@@ -1,0 +1,202 @@
+(* dqo — command-line interface to the Deep Query Optimisation library.
+
+   Subcommands:
+     run        generate the paper's R/S database and run a SQL query
+     explain    show the SQO-vs-DQO plan comparison for a query
+     granules   print the physiological (granule) unnest tree
+     calibrate  measure the cost model's constants on this machine
+     avsp       solve the Algorithmic View Selection Problem
+
+   Try:  dune exec bin/dqo.exe -- run \
+           "SELECT a, COUNT(*) AS c FROM R JOIN S ON id = r_id GROUP BY a" *)
+
+open Cmdliner
+
+let default_sql =
+  "SELECT a, COUNT(*) AS c FROM R JOIN S ON id = r_id GROUP BY a"
+
+(* ------------------------------------------------------------------ *)
+(* Shared flags describing the generated database.                     *)
+
+let r_rows =
+  Arg.(value & opt int 25_000 & info [ "r-rows" ] ~docv:"N" ~doc:"Rows in R.")
+
+let s_rows =
+  Arg.(value & opt int 90_000 & info [ "s-rows" ] ~docv:"N" ~doc:"Rows in S.")
+
+let groups =
+  Arg.(
+    value & opt int 20_000
+    & info [ "groups" ] ~docv:"N" ~doc:"Distinct values of R.a.")
+
+let sorted =
+  Arg.(
+    value & flag
+    & info [ "sorted" ] ~doc:"Generate both relations physically sorted.")
+
+let sparse =
+  Arg.(
+    value & flag
+    & info [ "sparse" ] ~doc:"Draw keys from a sparse (wide) domain.")
+
+let seed =
+  Arg.(value & opt int 2020 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~seed =
+  let rng = Dqo_util.Rng.create ~seed in
+  let pair =
+    Dqo_data.Datagen.fk_pair ~rng ~r_rows ~s_rows ~r_groups:groups
+      ~r_sorted:sorted ~s_sorted:sorted ~dense:(not sparse)
+  in
+  let db = Dqo_engine.Engine.create () in
+  Dqo_engine.Engine.register db ~name:"R" pair.Dqo_data.Datagen.r;
+  Dqo_engine.Engine.register db ~name:"S" pair.Dqo_data.Datagen.s;
+  db
+
+let sql_arg =
+  Arg.(
+    value & pos 0 string default_sql
+    & info [] ~docv:"SQL" ~doc:"Query over the generated tables R and S.")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt (enum [ ("sqo", Dqo_engine.Engine.SQO); ("dqo", Dqo_engine.Engine.DQO) ])
+        Dqo_engine.Engine.DQO
+    & info [ "mode" ] ~docv:"MODE" ~doc:"Optimiser: $(b,sqo) or $(b,dqo).")
+
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let action sql mode r_rows s_rows groups sorted sparse seed =
+    let db = make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~seed in
+    let result, ms =
+      Dqo_util.Timer.time_ms (fun () ->
+          Dqo_engine.Engine.run_sql db ~mode sql)
+    in
+    Format.printf "%a@." Dqo_data.Relation.pp result;
+    Printf.printf "(%d rows in %.1f ms)\n"
+      (Dqo_data.Relation.cardinality result)
+      ms
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Optimise and execute a SQL query.")
+    Term.(
+      const action $ sql_arg $ mode_arg $ r_rows $ s_rows $ groups $ sorted
+      $ sparse $ seed)
+
+let explain_cmd =
+  let action sql r_rows s_rows groups sorted sparse seed =
+    let db = make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~seed in
+    print_endline (Dqo_engine.Engine.explain_sql db sql)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the shallow and deep plans side by side for a query.")
+    Term.(
+      const action $ sql_arg $ r_rows $ s_rows $ groups $ sorted $ sparse
+      $ seed)
+
+let granules_cmd =
+  let action operator =
+    let component =
+      match operator with
+      | "grouping" -> Dqo_plan.Granule.grouping_cell
+      | "join" -> Dqo_plan.Granule.join_cell
+      | other ->
+        Printf.eprintf "unknown operator %s (have: grouping, join)\n" other;
+        exit 1
+    in
+    Format.printf "%a@." Dqo_plan.Granule.pp component;
+    let all =
+      [
+        Dqo_plan.Granule.Requires_dense; Dqo_plan.Granule.Requires_clustered;
+        Dqo_plan.Granule.Requires_sorted;
+        Dqo_plan.Granule.Requires_known_universe;
+      ]
+    in
+    Printf.printf
+      "plan space: %d shallow (organelle-level) / %d deep (full unnest)\n"
+      (Dqo_plan.Granule.count ~available:all
+         ~max_level:Dqo_plan.Granule.Organelle component)
+      (Dqo_plan.Granule.count ~available:all component)
+  in
+  let operator =
+    Arg.(
+      value & pos 0 string "grouping"
+      & info [] ~docv:"OPERATOR" ~doc:"$(b,grouping) or $(b,join).")
+  in
+  Cmd.v
+    (Cmd.info "granules"
+       ~doc:"Print an operator's physiological unnest tree (paper Fig. 3).")
+    Term.(const action $ operator)
+
+let calibrate_cmd =
+  let action rows groups =
+    Printf.printf "Measuring per-tuple costs (n = %d, %d groups)...\n%!" rows
+      groups;
+    let ms = Dqo_cost.Calibrate.measure ~rows ~groups () in
+    List.iter
+      (fun m ->
+        Printf.printf "  %-5s %8.2f ns/tuple\n" m.Dqo_cost.Calibrate.algorithm
+          m.Dqo_cost.Calibrate.per_tuple_ns)
+      ms;
+    Printf.printf "hash factor (HG/OG, Table 2 says 4): %.2f\n"
+      (Dqo_cost.Calibrate.hash_factor ~rows ~groups ())
+  in
+  let rows =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "rows" ] ~docv:"N" ~doc:"Measurement input size.")
+  in
+  let groups_c =
+    Arg.(
+      value & opt int 1_024
+      & info [ "groups" ] ~docv:"N" ~doc:"Distinct keys in the measurement.")
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:"Re-measure Table 2's cost constants on this machine.")
+    Term.(const action $ rows $ groups_c)
+
+let avsp_cmd =
+  let action budget r_rows s_rows groups sorted sparse seed =
+    let db = make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~seed in
+    let catalog = Dqo_engine.Engine.catalog db in
+    let workload =
+      [ (Dqo_sql.Binder.plan_of_sql catalog default_sql, 1.0) ]
+    in
+    let candidates = Dqo_av.Avsp.default_candidates catalog in
+    let base = Dqo_av.Avsp.workload_cost catalog workload in
+    let s = Dqo_av.Avsp.greedy ~budget catalog workload candidates in
+    Printf.printf "workload cost without AVs: %.0f\n" base;
+    Printf.printf "selected %d AVs (build cost %.0f):\n"
+      (List.length s.Dqo_av.Avsp.chosen)
+      s.Dqo_av.Avsp.build_cost;
+    List.iter
+      (fun v -> Printf.printf "  + %s\n" (Dqo_av.View.describe v))
+      s.Dqo_av.Avsp.chosen;
+    Printf.printf "workload cost with AVs:   %.0f (%.1f%% saved)\n"
+      s.Dqo_av.Avsp.workload_cost
+      (100.0 *. (base -. s.Dqo_av.Avsp.workload_cost) /. Float.max 1.0 base)
+  in
+  let budget =
+    Arg.(
+      value & opt float 500_000.0
+      & info [ "budget" ] ~docv:"COST" ~doc:"Build-cost budget.")
+  in
+  Cmd.v
+    (Cmd.info "avsp"
+       ~doc:"Solve the Algorithmic View Selection Problem for the demo \
+             workload.")
+    Term.(
+      const action $ budget $ r_rows $ s_rows $ groups $ sorted $ sparse
+      $ seed)
+
+let () =
+  let doc = "Deep Query Optimisation (CIDR 2020) — reproduction toolkit" in
+  let info = Cmd.info "dqo" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; explain_cmd; granules_cmd; calibrate_cmd; avsp_cmd ]))

@@ -1,0 +1,1 @@
+examples/adaptive_index.ml: Array Dqo_av Dqo_index Dqo_plan Dqo_util Float Printf

@@ -1,0 +1,1 @@
+examples/avsp_workload.ml: Dqo_av Dqo_data Dqo_engine Dqo_opt Dqo_plan Dqo_sql Dqo_util List Printf

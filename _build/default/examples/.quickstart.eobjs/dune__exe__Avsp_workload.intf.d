@@ -1,0 +1,1 @@
+examples/avsp_workload.mli:

@@ -1,0 +1,1 @@
+examples/dictionary_sph.ml: Array Dqo_data Dqo_exec Dqo_util Format List Printf

@@ -1,0 +1,1 @@
+examples/grouping_lab.ml: Array Dqo_data Dqo_exec Dqo_util List Printf Sys

@@ -1,0 +1,1 @@
+examples/online_dashboard.ml: Array Dqo_data Dqo_exec Dqo_util Float List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dqo_data Dqo_engine Dqo_util Format List Printf

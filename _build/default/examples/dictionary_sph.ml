@@ -1,0 +1,64 @@
+(* Dictionary compression as a natural source of static perfect hashing.
+
+   The paper (Section 2.1) points out that "the keys of a
+   dictionary-compressed column are a natural candidate for SPH and can
+   directly be used".  This example makes that concrete:
+
+   1. a STRING column of country codes is dictionary-encoded;
+   2. the code column is measured: dense and minimal by construction;
+   3. grouping runs on the codes with HG (shallow choice) and SPHG (the
+      choice only DQO can make) — same result, SPHG faster;
+   4. the decoded result is printed.
+
+   Run with: dune exec examples/dictionary_sph.exe *)
+
+module Dictionary = Dqo_data.Dictionary
+module Col_stats = Dqo_data.Col_stats
+module Grouping = Dqo_exec.Grouping
+module Group_result = Dqo_exec.Group_result
+
+let countries =
+  [| "DE"; "FR"; "US"; "JP"; "BR"; "IN"; "CN"; "GB"; "IT"; "ES";
+     "NL"; "SE"; "PL"; "AR"; "MX"; "KR"; "CA"; "AU"; "ZA"; "NO" |]
+
+let rows = 5_000_000
+
+let () =
+  let rng = Dqo_util.Rng.create ~seed:11 in
+  (* A raw string column, as it would arrive from a CSV load. *)
+  let column =
+    Array.init rows (fun _ ->
+        countries.(Dqo_util.Rng.int rng (Array.length countries)))
+  in
+  let dict, codes = Dictionary.encode_strings column in
+  Printf.printf "Encoded %d strings into %d dictionary codes.\n" rows
+    (Dictionary.cardinality dict);
+
+  let stats = Col_stats.analyze codes in
+  Format.printf "Measured code-column properties: %a@." Col_stats.pp stats;
+  assert stats.Col_stats.dense;
+  Printf.printf
+    "The code domain is dense and minimal ([0, %d]) by construction —\n\
+     exactly what static perfect hashing needs.\n\n"
+    (Dictionary.cardinality dict - 1);
+
+  let values = Array.make rows 1 in
+  let hg, hg_ms =
+    Dqo_util.Timer.best_of ~repeats:3 (fun () ->
+        Grouping.hash_based ~keys:codes ~values ())
+  in
+  let sphg, sphg_ms =
+    Dqo_util.Timer.best_of ~repeats:3 (fun () ->
+        Grouping.sph_based ~lo:stats.Col_stats.lo ~hi:stats.Col_stats.hi
+          ~keys:codes ~values)
+  in
+  assert (Group_result.equal hg sphg);
+  Printf.printf "hash-based grouping (SQO's only choice): %7.1f ms\n" hg_ms;
+  Printf.printf "SPH grouping (unlocked by density):      %7.1f ms\n" sphg_ms;
+  Printf.printf "speedup: %.1fx\n\n" (hg_ms /. sphg_ms);
+
+  print_endline "Counts per country (decoded):";
+  List.iter
+    (fun (code, (count, _sum)) ->
+      Printf.printf "  %s %d\n" (Dictionary.decode dict code) count)
+    (Group_result.to_sorted_alist sphg)

@@ -1,0 +1,1 @@
+lib/av/avsp.ml: Array Dqo_opt Dqo_plan Float List View

@@ -1,0 +1,1 @@
+lib/av/avsp.mli: Dqo_cost Dqo_opt Dqo_plan View

@@ -1,0 +1,1 @@
+lib/av/partial.ml: Dqo_plan Float List String

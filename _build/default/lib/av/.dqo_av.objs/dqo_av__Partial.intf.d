@@ -1,0 +1,1 @@
+lib/av/partial.mli: Dqo_plan

@@ -1,0 +1,1 @@
+lib/av/view.ml: Dqo_cost Dqo_data Dqo_exec Dqo_hash Dqo_opt Dqo_plan Float List Printf String

@@ -1,0 +1,1 @@
+lib/av/view.mli: Dqo_data Dqo_exec Dqo_hash Dqo_opt

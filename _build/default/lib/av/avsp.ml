@@ -1,0 +1,89 @@
+module Catalog = Dqo_opt.Catalog
+
+type workload = (Dqo_plan.Logical.t * float) list
+
+type selection = {
+  chosen : View.t list;
+  build_cost : float;
+  workload_cost : float;
+}
+
+let workload_cost ?model catalog workload =
+  List.fold_left
+    (fun acc (q, freq) ->
+      let best = Dqo_opt.Dqo.optimize ?model catalog q in
+      acc +. (freq *. best.Dqo_opt.Pareto.cost))
+    0.0 workload
+
+let evaluate ?model catalog workload chosen =
+  let catalog' = View.apply_all catalog chosen in
+  {
+    chosen;
+    build_cost = List.fold_left (fun acc v -> acc +. v.View.build_cost) 0.0 chosen;
+    workload_cost = workload_cost ?model catalog' workload;
+  }
+
+let greedy ?model ~budget catalog workload candidates =
+  let rec step chosen remaining budget_left current_cost =
+    let scored =
+      List.filter_map
+        (fun v ->
+          if v.View.build_cost > budget_left then None
+          else begin
+            let s = evaluate ?model catalog workload (v :: chosen) in
+            let benefit = current_cost -. s.workload_cost in
+            if benefit > 1e-9 then
+              Some (benefit /. Float.max 1.0 v.View.build_cost, v, s)
+            else None
+          end)
+        remaining
+    in
+    match scored with
+    | [] -> evaluate ?model catalog workload chosen
+    | _ ->
+      let _, best_v, best_s =
+        List.fold_left
+          (fun (br, bv, bs) (r, v, s) ->
+            if r > br then (r, v, s) else (br, bv, bs))
+          (List.hd scored) (List.tl scored)
+      in
+      step (best_v :: chosen)
+        (List.filter (fun v -> v != best_v) remaining)
+        (budget_left -. best_v.View.build_cost)
+        best_s.workload_cost
+  in
+  step [] candidates budget (workload_cost ?model catalog workload)
+
+let exact ?model ~budget catalog workload candidates =
+  let k = List.length candidates in
+  if k > 16 then invalid_arg "Avsp.exact: too many candidates";
+  let arr = Array.of_list candidates in
+  let best = ref (evaluate ?model catalog workload []) in
+  for mask = 1 to (1 lsl k) - 1 do
+    let chosen = ref [] in
+    for i = 0 to k - 1 do
+      if mask land (1 lsl i) <> 0 then chosen := arr.(i) :: !chosen
+    done;
+    let build = List.fold_left (fun a v -> a +. v.View.build_cost) 0.0 !chosen in
+    if build <= budget then begin
+      let s = evaluate ?model catalog workload !chosen in
+      if
+        s.workload_cost < !best.workload_cost
+        || (s.workload_cost = !best.workload_cost && build < !best.build_cost)
+      then best := s
+    end
+  done;
+  !best
+
+let default_candidates catalog =
+  List.concat_map
+    (fun (ti : Catalog.table_info) ->
+      List.concat_map
+        (fun (cname, _) ->
+          [
+            View.sorted_projection catalog ~relation:ti.Catalog.name
+              ~column:cname;
+            View.perfect_hash catalog ~relation:ti.Catalog.name ~column:cname;
+          ])
+        ti.Catalog.props.Dqo_plan.Props.columns)
+    (Catalog.tables catalog)

@@ -1,0 +1,60 @@
+(** The Algorithmic View Selection Problem (paper §3).
+
+    Given a workload of (query, frequency) pairs, a set of candidate
+    AVs, and a build-cost budget, choose the AV subset minimising total
+    workload cost.  "Like with MVs there is no need to make any manual
+    decision about which granules to precompute" — this module makes
+    that decision.  Benefits are evaluated by running the {e actual}
+    deep optimiser against the AV-transformed catalog, so interactions
+    between AVs are accounted for exactly. *)
+
+type workload = (Dqo_plan.Logical.t * float) list
+(** Queries with relative frequencies ([> 0]). *)
+
+type selection = {
+  chosen : View.t list;
+  build_cost : float;  (** Sum of build costs of [chosen]. *)
+  workload_cost : float;
+      (** Σ frequency × optimiser cost under the transformed catalog. *)
+}
+
+val workload_cost :
+  ?model:Dqo_cost.Model.t ->
+  Dqo_opt.Catalog.t ->
+  workload ->
+  float
+(** Cost with no AVs installed. *)
+
+val evaluate :
+  ?model:Dqo_cost.Model.t ->
+  Dqo_opt.Catalog.t ->
+  workload ->
+  View.t list ->
+  selection
+(** Cost with exactly the given AVs installed. *)
+
+val greedy :
+  ?model:Dqo_cost.Model.t ->
+  budget:float ->
+  Dqo_opt.Catalog.t ->
+  workload ->
+  View.t list ->
+  selection
+(** Iteratively add the candidate with the best marginal
+    benefit-per-build-cost ratio until no candidate fits the remaining
+    budget or improves the workload. *)
+
+val exact :
+  ?model:Dqo_cost.Model.t ->
+  budget:float ->
+  Dqo_opt.Catalog.t ->
+  workload ->
+  View.t list ->
+  selection
+(** Exhaustive subset search — exponential; intended for ≤ ~12
+    candidates.
+    @raise Invalid_argument with more than 16 candidates. *)
+
+val default_candidates : Dqo_opt.Catalog.t -> View.t list
+(** One sorted-projection and one perfect-hash AV per recorded column of
+    every relation — a reasonable syntactic candidate pool. *)

@@ -1,0 +1,125 @@
+module Catalog = Dqo_opt.Catalog
+module Props = Dqo_plan.Props
+
+type kind =
+  | Sorted_projection of { relation : string; column : string }
+  | Perfect_hash of { relation : string; column : string }
+  | Grouping_result of { relation : string; key : string }
+
+type t = { id : string; kind : kind; build_cost : float }
+
+let log2 = Dqo_cost.Model.log2
+
+let sorted_projection catalog ~relation ~column =
+  let ti = Catalog.find catalog relation in
+  let n = Float.of_int ti.Catalog.rows in
+  {
+    id = Printf.sprintf "sorted(%s.%s)" relation column;
+    kind = Sorted_projection { relation; column };
+    build_cost = n *. log2 n;
+  }
+
+let perfect_hash catalog ~relation ~column =
+  let ti = Catalog.find catalog relation in
+  let n = Float.of_int ti.Catalog.rows in
+  {
+    id = Printf.sprintf "sph(%s.%s)" relation column;
+    kind = Perfect_hash { relation; column };
+    build_cost = 2.0 *. n;
+  }
+
+let grouping_result catalog ~relation ~key =
+  let ti = Catalog.find catalog relation in
+  let n = Float.of_int ti.Catalog.rows in
+  {
+    id = Printf.sprintf "grouped(%s by %s)" relation key;
+    kind = Grouping_result { relation; key };
+    build_cost = 4.0 *. n;
+  }
+
+let update_table catalog name f =
+  Catalog.create
+    (List.map
+       (fun (ti : Catalog.table_info) ->
+         if String.equal ti.Catalog.name name then f ti else ti)
+       (Catalog.tables catalog))
+
+let grouped_name relation key = relation ^ "__by_" ^ key
+
+let apply catalog t =
+  match t.kind with
+  | Sorted_projection { relation; column } ->
+    update_table catalog relation (fun ti ->
+        {
+          ti with
+          Catalog.props = Props.with_sort ti.Catalog.props column;
+        })
+  | Perfect_hash { relation; column } ->
+    update_table catalog relation (fun ti ->
+        let props = ti.Catalog.props in
+        let columns =
+          List.map
+            (fun (n, (c : Props.column)) ->
+              if String.equal n column then (n, { c with Props.dense = true })
+              else (n, c))
+            props.Props.columns
+        in
+        { ti with Catalog.props = { props with Props.columns } })
+  | Grouping_result { relation; key } ->
+    let ti = Catalog.find catalog relation in
+    let groups =
+      match Props.distinct_of ti.Catalog.props key with
+      | Some d -> d
+      | None -> ti.Catalog.rows
+    in
+    let key_col =
+      match Props.column ti.Catalog.props key with
+      | Some c -> { c with Props.distinct = groups }
+      | None -> { Props.dense = false; lo = 0; hi = -1; distinct = groups }
+    in
+    let props =
+      {
+        Props.sorted_by = Some key;
+        clustered_by = Some key;
+        columns = [ (key, key_col) ];
+        co_ordered = [];
+      }
+    in
+    Catalog.create
+      (Catalog.tables catalog
+      @ [ Catalog.table ~name:(grouped_name relation key) ~rows:groups ~props ])
+
+let apply_all catalog ts = List.fold_left apply catalog ts
+
+type materialized =
+  | M_sorted of Dqo_data.Relation.t
+  | M_fks of Dqo_hash.Perfect.Fks.t
+  | M_dense_bounds of { lo : int; hi : int }
+  | M_grouping of Dqo_exec.Group_result.t
+
+let materialize rel t =
+  match t.kind with
+  | Sorted_projection { column; _ } ->
+    M_sorted (Dqo_exec.Sort_op.by_column rel column)
+  | Perfect_hash { column; _ } ->
+    let keys = Dqo_data.Relation.int_column rel column in
+    let stats = Dqo_data.Col_stats.analyze keys in
+    if stats.Dqo_data.Col_stats.dense then
+      M_dense_bounds
+        { lo = stats.Dqo_data.Col_stats.lo; hi = stats.Dqo_data.Col_stats.hi }
+    else M_fks (Dqo_hash.Perfect.Fks.build keys)
+  | Grouping_result { key; _ } ->
+    let keys = Dqo_data.Relation.int_column rel key in
+    M_grouping (Dqo_exec.Grouping.hash_based ~keys ~values:keys ())
+
+let describe t =
+  let detail =
+    match t.kind with
+    | Sorted_projection { relation; column } ->
+      Printf.sprintf "sorted projection of %s by %s" relation column
+    | Perfect_hash { relation; column } ->
+      Printf.sprintf "static perfect hash over %s.%s" relation column
+    | Grouping_result { relation; key } ->
+      Printf.sprintf "materialised grouping of %s by %s" relation key
+  in
+  Printf.sprintf "%s (build cost %.0f)" detail t.build_cost

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Dqo_av Dqo_cost Dqo_data Dqo_exec Dqo_hash Dqo_opt Dqo_plan Dqo_sql Dqo_util Float Hashtbl List String

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Dqo_av Dqo_cost Dqo_data Dqo_opt Dqo_plan

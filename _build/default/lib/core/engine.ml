@@ -1,0 +1,532 @@
+module Relation = Dqo_data.Relation
+module Schema = Dqo_data.Schema
+module Column = Dqo_data.Column
+module Col_stats = Dqo_data.Col_stats
+module Physical = Dqo_plan.Physical
+module Logical = Dqo_plan.Logical
+module Catalog = Dqo_opt.Catalog
+module Grouping = Dqo_exec.Grouping
+module Join = Dqo_exec.Join
+module Aggregate = Dqo_exec.Aggregate
+module Fks = Dqo_hash.Perfect.Fks
+
+type mode = SQO | DQO
+
+type t = {
+  model : Dqo_cost.Model.t;
+  mutable relations : (string * Relation.t) list;
+  mutable catalog : Catalog.t;
+  mutable avs : Dqo_av.View.t list;
+  (* Perfect-hash structures built by AVs, keyed by column name; the
+     executor consults these when a plan prescribes SPH on a column whose
+     physical domain is not dense. *)
+  fks_index : (string, Fks.t) Hashtbl.t;
+}
+
+let create ?(model = Dqo_cost.Model.table2) () =
+  {
+    model;
+    relations = [];
+    catalog = Catalog.create [];
+    avs = [];
+    fks_index = Hashtbl.create 8;
+  }
+
+let rebuild_catalog t =
+  (* Grouping-result AVs already exist as stored relations and are
+     measured directly; re-applying them would duplicate the catalog
+     entry. *)
+  let catalog_level_avs =
+    List.filter
+      (fun (v : Dqo_av.View.t) ->
+        match v.Dqo_av.View.kind with
+        | Dqo_av.View.Grouping_result _ -> false
+        | Dqo_av.View.Sorted_projection _ | Dqo_av.View.Perfect_hash _ -> true)
+      t.avs
+  in
+  t.catalog <-
+    Dqo_av.View.apply_all
+      (Catalog.create
+         (List.map (fun (n, r) -> Catalog.of_relation n r) t.relations))
+      catalog_level_avs
+
+let register t ~name rel =
+  if List.mem_assoc name t.relations then
+    invalid_arg ("Engine.register: relation already registered: " ^ name);
+  t.relations <- t.relations @ [ (name, rel) ];
+  rebuild_catalog t
+
+let relation t name =
+  match List.assoc_opt name t.relations with
+  | Some r -> r
+  | None -> raise Not_found
+
+let catalog t = t.catalog
+
+let plan t mode l =
+  let search_mode =
+    match mode with SQO -> Dqo_opt.Search.Shallow | DQO -> Dqo_opt.Search.Deep
+  in
+  Dqo_opt.Search.optimize ~model:t.model search_mode t.catalog l
+
+let plan_sql t mode sql = plan t mode (Dqo_sql.Binder.plan_of_sql t.catalog sql)
+
+(* ------------------------------------------------------------------ *)
+(* Execution.                                                          *)
+
+(* Grouping via an FKS perfect hash built offline by an AV: the slot of a
+   key comes from the FKS structure instead of the dense offset. *)
+let fks_grouping fks ~keys ~values =
+  let g = Fks.length fks in
+  let slot_key = Array.make (max 1 g) 0 in
+  let counts = Array.make (max 1 g) 0 in
+  let sums = Array.make (max 1 g) 0 in
+  Array.iteri
+    (fun i k ->
+      match Fks.slot fks k with
+      | Some s ->
+        slot_key.(s) <- k;
+        counts.(s) <- counts.(s) + 1;
+        sums.(s) <- sums.(s) + values.(i)
+      | None ->
+        invalid_arg "Engine: key outside the perfect-hash AV's key set")
+    keys;
+  (* Compact away never-hit slots (keys present in the AV build set but
+     absent from this input). *)
+  let hit = ref 0 in
+  Array.iter (fun c -> if c > 0 then incr hit) counts;
+  let out_k = Array.make !hit 0
+  and out_c = Array.make !hit 0
+  and out_s = Array.make !hit 0 in
+  let j = ref 0 in
+  for s = 0 to g - 1 do
+    if counts.(s) > 0 then begin
+      out_k.(!j) <- slot_key.(s);
+      out_c.(!j) <- counts.(s);
+      out_s.(!j) <- sums.(s);
+      incr j
+    end
+  done;
+  { Dqo_exec.Group_result.keys = out_k; counts = out_c; sums = out_s }
+
+let fks_join fks ~left ~right =
+  (* SPH join where the perfect hash comes from an AV: bucket heads are
+     indexed by FKS slot. *)
+  let g = max 1 (Fks.length fks) in
+  let head = Array.make g (-1) in
+  let next = Array.make (max 1 (Array.length left)) (-1) in
+  Array.iteri
+    (fun i k ->
+      match Fks.slot fks k with
+      | Some s ->
+        next.(i) <- head.(s);
+        head.(s) <- i
+      | None ->
+        invalid_arg "Engine: build key outside the perfect-hash AV's key set")
+    left;
+  let lbuf = ref [] and rbuf = ref [] and count = ref 0 in
+  Array.iteri
+    (fun j k ->
+      match Fks.slot fks k with
+      | None -> ()
+      | Some s ->
+        let e = ref head.(s) in
+        while !e >= 0 do
+          if left.(!e) = k then begin
+            lbuf := !e :: !lbuf;
+            rbuf := j :: !rbuf;
+            incr count
+          end;
+          e := next.(!e)
+        done)
+    right;
+  let l = Array.make !count 0 and r = Array.make !count 0 in
+  let pos = ref (!count - 1) in
+  List.iter2
+    (fun a b ->
+      l.(!pos) <- a;
+      r.(!pos) <- b;
+      decr pos)
+    !lbuf !rbuf;
+  { Join.left = l; right = r }
+
+let exec_join t left_rel right_rel lc rc (impl : Physical.join_impl) =
+  let lk = Relation.int_column left_rel lc in
+  let rk = Relation.int_column right_rel rc in
+  let pairs =
+    match impl.Physical.j_alg with
+    | Join.HJ ->
+      Join.hash_join ~hash:impl.Physical.j_hash ~table:impl.Physical.j_table
+        ~left:lk ~right:rk ()
+    | Join.OJ -> Join.merge_join ~left:lk ~right:rk
+    | Join.SOJ -> Join.sort_merge_join ~left:lk ~right:rk
+    | Join.BSJ -> Join.binary_search_join ~left:lk ~right:rk
+    | Join.SPHJ -> (
+      (* The slot array covers the whole [lo, hi] domain; that is
+         affordable whenever the domain is within a small factor of the
+         input (a dense base column stays eligible even when a join or
+         filter thinned it out).  Truly sparse domains need the FKS
+         perfect hash built offline by an AV. *)
+      let stats = Col_stats.analyze lk in
+      let range = stats.Col_stats.hi - stats.Col_stats.lo + 1 in
+      if range > 0 && range <= 4 * (Array.length lk + 1024) then
+        Join.sph_join ~lo:stats.Col_stats.lo ~hi:stats.Col_stats.hi ~left:lk
+          ~right:rk
+      else
+        match Hashtbl.find_opt t.fks_index lc with
+        | Some fks -> fks_join fks ~left:lk ~right:rk
+        | None ->
+          invalid_arg
+            ("Engine: SPHJ chosen for sparse column " ^ lc
+           ^ " without a perfect-hash AV"))
+  in
+  Join.materialize left_rel right_rel pairs
+
+(* The five-algorithm fast path computes COUNT and SUM over one payload
+   column; it applies when every aggregate is COUNT or SUM over a single
+   shared column. *)
+let fast_path_payload aggs =
+  let only_count_sum =
+    List.for_all
+      (fun (a : Logical.aggregate) ->
+        match a.Logical.spec with
+        | Aggregate.Count | Aggregate.Sum -> true
+        | Aggregate.Min | Aggregate.Max | Aggregate.Avg -> false)
+      aggs
+  in
+  if not only_count_sum then None
+  else begin
+    let sum_cols =
+      List.sort_uniq String.compare
+        (List.filter_map
+           (fun (a : Logical.aggregate) ->
+             match a.Logical.spec with
+             | Aggregate.Sum -> a.Logical.column
+             | Aggregate.Count | Aggregate.Min | Aggregate.Max
+             | Aggregate.Avg ->
+               None)
+           aggs)
+    in
+    match sum_cols with
+    | [] -> Some None
+    | [ c ] -> Some (Some c)
+    | _ :: _ :: _ -> None
+  end
+
+let group_fast t rel key aggs payload_col (impl : Physical.grouping_impl) =
+  let keys = Relation.int_column rel key in
+  let values =
+    match payload_col with
+    | Some c -> Relation.int_column rel c
+    | None -> Array.make (Array.length keys) 0
+  in
+  let result =
+    match impl.Physical.g_alg with
+    | Grouping.HG ->
+      Grouping.hash_based ~hash:impl.Physical.g_hash
+        ~table:impl.Physical.g_table ~keys ~values ()
+    | Grouping.OG -> Grouping.order_based ~keys ~values ()
+    | Grouping.SOG -> Grouping.sort_order_based ~keys ~values
+    | Grouping.BSG ->
+      Grouping.binary_search_based
+        ~universe:(Dqo_util.Int_array.distinct_sorted keys)
+        ~keys ~values
+    | Grouping.SPHG -> (
+      (* Same affordability rule as the SPH join: cover [lo, hi] with a
+         direct slot array when the domain is within a small factor of
+         the input; fall back to an FKS perfect-hash AV otherwise. *)
+      let stats = Col_stats.analyze keys in
+      let range = stats.Col_stats.hi - stats.Col_stats.lo + 1 in
+      if range > 0 && range <= 4 * (Array.length keys + 1024) then
+        Grouping.sph_based ~lo:stats.Col_stats.lo ~hi:stats.Col_stats.hi
+          ~keys ~values
+      else
+        match Hashtbl.find_opt t.fks_index key with
+        | Some fks -> fks_grouping fks ~keys ~values
+        | None ->
+          invalid_arg
+            ("Engine: SPHG chosen for sparse column " ^ key
+           ^ " without a perfect-hash AV"))
+  in
+  let agg_column (a : Logical.aggregate) =
+    match a.Logical.spec with
+    | Aggregate.Count -> Column.Ints (Array.copy result.Dqo_exec.Group_result.counts)
+    | Aggregate.Sum -> Column.Ints (Array.copy result.Dqo_exec.Group_result.sums)
+    | Aggregate.Min | Aggregate.Max | Aggregate.Avg -> assert false
+  in
+  let schema =
+    Schema.of_names
+      ((key, Schema.T_int)
+      :: List.map (fun (a : Logical.aggregate) -> (a.Logical.alias, Schema.T_int)) aggs)
+  in
+  Relation.create schema
+    (Column.Ints result.Dqo_exec.Group_result.keys
+    :: List.map agg_column aggs)
+
+(* Generic grouped aggregation: insertion-ordered slots from a linear-
+   probing table, one Aggregate.state per (group, aggregate). *)
+let group_generic rel key aggs =
+  let keys = Relation.int_column rel key in
+  let n = Array.length keys in
+  let tbl = Dqo_hash.Linear_probe.create ~expected:1024 () in
+  let group_keys = ref [] in
+  let n_aggs = List.length aggs in
+  let states = ref (Array.make (16 * n_aggs) (Aggregate.init Aggregate.Count)) in
+  let agg_arr = Array.of_list aggs in
+  let columns =
+    Array.map
+      (fun (a : Logical.aggregate) ->
+        match a.Logical.column with
+        | Some c -> Some (Relation.int_column rel c)
+        | None -> None)
+      agg_arr
+  in
+  let groups = ref 0 in
+  for i = 0 to n - 1 do
+    let slot = Dqo_hash.Linear_probe.find_or_add tbl keys.(i) in
+    if slot = !groups then begin
+      (* New group: remember its key and initialise its states. *)
+      group_keys := keys.(i) :: !group_keys;
+      incr groups;
+      if !groups * n_aggs > Array.length !states then begin
+        let bigger =
+          Array.make (2 * Array.length !states) (Aggregate.init Aggregate.Count)
+        in
+        Array.blit !states 0 bigger 0 Array.(length !states);
+        states := bigger
+      end;
+      Array.iteri
+        (fun j (a : Logical.aggregate) ->
+          !states.((slot * n_aggs) + j) <- Aggregate.init a.Logical.spec)
+        agg_arr
+    end;
+    Array.iteri
+      (fun j (a : Logical.aggregate) ->
+        let v = match columns.(j) with Some c -> c.(i) | None -> 0 in
+        let idx = (slot * n_aggs) + j in
+        !states.(idx) <- Aggregate.step a.Logical.spec !states.(idx) v)
+      agg_arr
+  done;
+  let g = !groups in
+  let key_arr = Array.make (max 1 g) 0 in
+  List.iteri (fun i k -> key_arr.(g - 1 - i) <- k) !group_keys;
+  let key_arr = Array.sub key_arr 0 g in
+  let agg_col j (a : Logical.aggregate) =
+    let values =
+      Array.init g (fun slot ->
+          Aggregate.finalize a.Logical.spec !states.((slot * n_aggs) + j))
+    in
+    match a.Logical.spec with
+    | Aggregate.Avg ->
+      ( Schema.T_float,
+        Column.Floats
+          (Array.map
+             (function
+               | Dqo_data.Value.Float f -> f
+               | Dqo_data.Value.Int i -> Float.of_int i
+               | Dqo_data.Value.Null | Dqo_data.Value.String _ -> nan)
+             values) )
+    | Aggregate.Count | Aggregate.Sum | Aggregate.Min | Aggregate.Max ->
+      ( Schema.T_int,
+        Column.Ints
+          (Array.map
+             (function
+               | Dqo_data.Value.Int i -> i
+               | Dqo_data.Value.Null | Dqo_data.Value.Float _
+               | Dqo_data.Value.String _ ->
+                 0)
+             values) )
+  in
+  let typed = List.mapi agg_col aggs in
+  let schema =
+    Schema.of_names
+      ((key, Schema.T_int)
+      :: List.map2
+           (fun (a : Logical.aggregate) (ty, _) -> (a.Logical.alias, ty))
+           aggs typed)
+  in
+  Relation.create schema (Column.Ints key_arr :: List.map snd typed)
+
+let rec execute t (p : Physical.t) =
+  match p with
+  | Physical.Table_scan name -> relation t name
+  | Physical.Filter_op (sub, col, pred) ->
+    Dqo_exec.Filter.select_relation (execute t sub) ~column:col pred
+  | Physical.Project_op (sub, cols) -> Relation.project (execute t sub) cols
+  | Physical.Sort_enforcer (sub, col) ->
+    Dqo_exec.Sort_op.by_column (execute t sub) col
+  | Physical.Join_op (l, r, lc, rc, impl) ->
+    exec_join t (execute t l) (execute t r) lc rc impl
+  | Physical.Group_op (sub, key, aggs, impl) -> (
+    let rel = execute t sub in
+    match fast_path_payload aggs with
+    | Some payload -> group_fast t rel key aggs payload impl
+    | None -> group_generic rel key aggs)
+
+let run t ?(mode = DQO) l =
+  let chosen = plan t mode l in
+  execute t chosen.Dqo_opt.Pareto.plan
+
+(* ------------------------------------------------------------------ *)
+(* Runtime re-optimisation.                                            *)
+
+type adaptive_report = {
+  static_grouping : string;
+  adaptive_grouping : string;
+  replanned : bool;
+}
+
+let top_grouping_name plan =
+  match plan with
+  | Physical.Group_op (_, _, _, impl) -> Grouping.name impl.Physical.g_alg
+  | Physical.Table_scan _ | Physical.Filter_op _ | Physical.Project_op _
+  | Physical.Sort_enforcer _ | Physical.Join_op _ ->
+    "-"
+
+let run_adaptive t l =
+  match l with
+  | Logical.Group_by (input, key, aggs) ->
+    let static = plan t DQO l in
+    let static_grouping = top_grouping_name static.Dqo_opt.Pareto.plan in
+    (* Execute the input subplan, then measure what actually came out —
+       including properties the static optimiser had to discard (e.g.
+       the probe-order sortedness of a hash-join output, which the paper
+       treats as unknown "to be on the safe side"). *)
+    let input_best = plan t DQO input in
+    let intermediate = execute t input_best.Dqo_opt.Pareto.plan in
+    let sub = create ~model:t.model () in
+    register sub ~name:"__adaptive" intermediate;
+    let regrouped =
+      Logical.group_by (Logical.scan "__adaptive") ~key aggs
+    in
+    let adaptive_plan = plan sub DQO regrouped in
+    let adaptive_grouping =
+      top_grouping_name adaptive_plan.Dqo_opt.Pareto.plan
+    in
+    let result = execute sub adaptive_plan.Dqo_opt.Pareto.plan in
+    ( result,
+      {
+        static_grouping;
+        adaptive_grouping;
+        replanned = not (String.equal static_grouping adaptive_grouping);
+      } )
+  | Logical.Scan _ | Logical.Select _ | Logical.Project _ | Logical.Join _ ->
+    let result = run t l in
+    (result, { static_grouping = "-"; adaptive_grouping = "-"; replanned = false })
+
+let run_sql t ?mode sql =
+  run t ?mode (Dqo_sql.Binder.plan_of_sql t.catalog sql)
+
+(* ------------------------------------------------------------------ *)
+(* Prepared statements.                                                *)
+
+type prepared = { entry : Dqo_opt.Pareto.entry }
+
+let prepare t ?(mode = DQO) sql =
+  { entry = plan t mode (Dqo_sql.Binder.plan_of_sql t.catalog sql) }
+
+let prepared_entry p = p.entry
+let execute_prepared t p = execute t p.entry.Dqo_opt.Pareto.plan
+
+(* ------------------------------------------------------------------ *)
+(* Answering grouping queries from materialised-grouping AVs.          *)
+
+(* [GROUP BY key] over a bare base-relation scan, with aggregates the
+   materialised view can serve (COUNT, SUM(key)), is answered by reading
+   the view.  Output columns are renamed to the query's aliases. *)
+let try_view_answer t l =
+  match l with
+  | Logical.Group_by (Logical.Scan rel_name, key, aggs) ->
+    let has_view =
+      List.exists
+        (fun (v : Dqo_av.View.t) ->
+          match v.Dqo_av.View.kind with
+          | Dqo_av.View.Grouping_result { relation; key = k } ->
+            String.equal relation rel_name && String.equal k key
+          | Dqo_av.View.Sorted_projection _ | Dqo_av.View.Perfect_hash _ ->
+            false)
+        t.avs
+    in
+    let servable (a : Logical.aggregate) =
+      match (a.Logical.spec, a.Logical.column) with
+      | Aggregate.Count, _ -> true
+      | Aggregate.Sum, Some c -> String.equal c key
+      | (Aggregate.Sum | Aggregate.Min | Aggregate.Max | Aggregate.Avg), _ ->
+        false
+    in
+    if has_view && List.for_all servable aggs then begin
+      let mv = relation t (rel_name ^ "__by_" ^ key) in
+      let key_col = Column.Ints (Relation.int_column mv key) in
+      let pick (a : Logical.aggregate) =
+        match a.Logical.spec with
+        | Aggregate.Count -> Column.Ints (Relation.int_column mv "cnt")
+        | Aggregate.Sum -> Column.Ints (Relation.int_column mv "total")
+        | Aggregate.Min | Aggregate.Max | Aggregate.Avg -> assert false
+      in
+      let schema =
+        Schema.of_names
+          ((key, Schema.T_int)
+          :: List.map
+               (fun (a : Logical.aggregate) -> (a.Logical.alias, Schema.T_int))
+               aggs)
+      in
+      Some (Relation.create schema (key_col :: List.map pick aggs))
+    end
+    else None
+  | Logical.Scan _ | Logical.Select _ | Logical.Project _ | Logical.Join _
+  | Logical.Group_by _ ->
+    None
+
+let run_with_views t l =
+  match try_view_answer t l with
+  | Some result -> (result, true)
+  | None -> (run t l, false)
+
+let explain_sql t sql =
+  let l = Dqo_sql.Binder.plan_of_sql t.catalog sql in
+  Dqo_opt.Explain.comparison ~model:t.model t.catalog l
+
+let install_av t (v : Dqo_av.View.t) =
+  (match v.Dqo_av.View.kind with
+  | Dqo_av.View.Sorted_projection { relation = rel_name; _ } ->
+    let rel = relation t rel_name in
+    (match Dqo_av.View.materialize rel v with
+    | Dqo_av.View.M_sorted sorted ->
+      t.relations <-
+        List.map
+          (fun (n, r) -> if String.equal n rel_name then (n, sorted) else (n, r))
+          t.relations
+    | Dqo_av.View.M_fks _ | Dqo_av.View.M_dense_bounds _
+    | Dqo_av.View.M_grouping _ ->
+      assert false)
+  | Dqo_av.View.Perfect_hash { relation = rel_name; column } -> (
+    let rel = relation t rel_name in
+    match Dqo_av.View.materialize rel v with
+    | Dqo_av.View.M_fks fks -> Hashtbl.replace t.fks_index column fks
+    | Dqo_av.View.M_dense_bounds _ -> ()
+    | Dqo_av.View.M_sorted _ | Dqo_av.View.M_grouping _ -> assert false)
+  | Dqo_av.View.Grouping_result { relation = rel_name; key } -> (
+    let rel = relation t rel_name in
+    match Dqo_av.View.materialize rel v with
+    | Dqo_av.View.M_grouping g ->
+      let name = rel_name ^ "__by_" ^ key in
+      let schema =
+        Schema.of_names
+          [ (key, Schema.T_int); ("cnt", Schema.T_int); ("total", Schema.T_int) ]
+      in
+      let mat =
+        Relation.create schema
+          [
+            Column.Ints g.Dqo_exec.Group_result.keys;
+            Column.Ints g.Dqo_exec.Group_result.counts;
+            Column.Ints g.Dqo_exec.Group_result.sums;
+          ]
+      in
+      t.relations <- t.relations @ [ (name, mat) ]
+    | Dqo_av.View.M_sorted _ | Dqo_av.View.M_fks _
+    | Dqo_av.View.M_dense_bounds _ ->
+      assert false));
+  t.avs <- t.avs @ [ v ];
+  rebuild_catalog t
+
+let installed_avs t = t.avs

@@ -1,0 +1,105 @@
+(** The query engine facade: catalog, optimisation, execution, and
+    algorithmic-view management in one handle.
+
+    {[
+      let db = Engine.create () in
+      Engine.register db ~name:"R" r;
+      Engine.register db ~name:"S" s;
+      let result =
+        Engine.run_sql db ~mode:Engine.DQO
+          "SELECT a, COUNT(STAR) FROM R JOIN S ON id = r_id GROUP BY a"
+      in
+      ...
+    ]}
+
+    (write [*] for [STAR]; the bracket syntax above avoids a nested
+    OCaml comment). *)
+
+type t
+
+type mode = SQO | DQO
+(** Which optimiser plans the query — the paper's shallow baseline or
+    deep query optimisation. *)
+
+val create : ?model:Dqo_cost.Model.t -> unit -> t
+(** Fresh engine; the cost model defaults to the paper's Table 2. *)
+
+val register : t -> name:string -> Dqo_data.Relation.t -> unit
+(** Add a base relation; its statistics (sortedness, density, distinct
+    counts, co-ordering) are measured immediately.
+    @raise Invalid_argument if the name is taken. *)
+
+val relation : t -> string -> Dqo_data.Relation.t
+(** @raise Not_found for unknown names. *)
+
+val catalog : t -> Dqo_opt.Catalog.t
+
+val plan : t -> mode -> Dqo_plan.Logical.t -> Dqo_opt.Pareto.entry
+(** Optimise a logical plan without executing it. *)
+
+val plan_sql : t -> mode -> string -> Dqo_opt.Pareto.entry
+
+val execute : t -> Dqo_plan.Physical.t -> Dqo_data.Relation.t
+(** Run a physical plan against the stored relations.
+    @raise Not_found / Invalid_argument on plans referencing unknown
+    relations or columns. *)
+
+val run : t -> ?mode:mode -> Dqo_plan.Logical.t -> Dqo_data.Relation.t
+(** Optimise (default [DQO]) and execute. *)
+
+val run_sql : t -> ?mode:mode -> string -> Dqo_data.Relation.t
+
+val explain_sql : t -> string -> string
+(** SQO-vs-DQO comparison report for the query. *)
+
+type adaptive_report = {
+  static_grouping : string;
+      (** Grouping implementation the static deep optimiser chose. *)
+  adaptive_grouping : string;
+      (** Implementation chosen after measuring the real intermediate. *)
+  replanned : bool;  (** The two differ. *)
+}
+
+val run_adaptive : t -> Dqo_plan.Logical.t -> Dqo_data.Relation.t * adaptive_report
+(** Mid-query re-optimisation (paper §6, "Runtime-Adaptivity and
+    Reoptimisation of AVs"): for a [Group_by] query, execute the input
+    subplan first, {e measure} the intermediate's actual properties
+    (sortedness, clustering, density — including those the static
+    optimiser had to discard under the black-box assumption, cf. §2.1),
+    and re-optimise the grouping against the measured reality.  For
+    other query shapes this degrades to {!run} with
+    [replanned = false]. *)
+
+type prepared
+(** A pre-optimised query, the "prepared statement" of the paper's §3
+    analogy: optimisation happened once at prepare time; execution reuses
+    the stored physical plan. *)
+
+val prepare : t -> ?mode:mode -> string -> prepared
+(** Parse, bind and optimise once.
+    @raise Dqo_sql.Parser.Error / Dqo_sql.Binder.Error on bad SQL. *)
+
+val prepared_entry : prepared -> Dqo_opt.Pareto.entry
+(** The stored plan with its estimated cost and properties. *)
+
+val execute_prepared : t -> prepared -> Dqo_data.Relation.t
+(** Run the stored plan; no optimiser work happens here.  The plan
+    refers to relations by name, so it sees AVs installed after
+    [prepare] only if they replaced a stored relation (e.g. a sorted
+    projection); it is the caller's job to re-prepare when the physical
+    design changes materially. *)
+
+val run_with_views : t -> Dqo_plan.Logical.t -> Dqo_data.Relation.t * bool
+(** Like {!run}, but first tries to answer the query from an installed
+    materialised-grouping AV: [GROUP BY key] over a base relation whose
+    [Grouping_result] view exists, with aggregates limited to [COUNT]
+    and [SUM(key)], is rewritten to a scan of the materialised result.
+    Returns the result and whether a view was used. *)
+
+val install_av : t -> Dqo_av.View.t -> unit
+(** Materialise an algorithmic view and update the catalog: a sorted
+    projection physically reorders the stored relation; a perfect-hash
+    AV builds (and stores) a dense-domain or FKS structure that the
+    executor uses whenever a plan calls for SPH on that column. *)
+
+val installed_avs : t -> Dqo_av.View.t list

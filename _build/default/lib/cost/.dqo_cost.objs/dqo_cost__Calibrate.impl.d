@@ -1,0 +1,1 @@
+lib/cost/calibrate.ml: Array Dqo_data Dqo_exec Dqo_util Float List Model String

@@ -1,0 +1,1 @@
+lib/cost/model.ml: Dqo_exec Dqo_hash Dqo_plan Float

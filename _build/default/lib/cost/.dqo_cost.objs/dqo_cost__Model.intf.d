@@ -1,0 +1,1 @@
+lib/cost/model.mli: Dqo_exec Dqo_hash Dqo_plan

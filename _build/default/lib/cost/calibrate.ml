@@ -1,0 +1,40 @@
+module Datagen = Dqo_data.Datagen
+module Grouping = Dqo_exec.Grouping
+module Timer = Dqo_util.Timer
+
+type measurement = { algorithm : string; per_tuple_ns : float }
+
+let measure ?(rows = 1_000_000) ?(groups = 1024) ?(seed = 42) () =
+  let rng = Dqo_util.Rng.create ~seed in
+  let unsorted =
+    Datagen.grouping ~rng ~n:rows ~groups ~sorted:false ~dense:true
+  in
+  let sorted =
+    Datagen.grouping ~rng ~n:rows ~groups ~sorted:true ~dense:true
+  in
+  let values = Array.make rows 1 in
+  let per_tuple ms = ms *. 1e6 /. Float.of_int rows in
+  let time name f =
+    let _, ms = Timer.best_of ~repeats:3 f in
+    { algorithm = name; per_tuple_ns = per_tuple ms }
+  in
+  [
+    time "HG" (fun () -> Grouping.run Grouping.HG ~dataset:unsorted ~values);
+    time "SPHG" (fun () -> Grouping.run Grouping.SPHG ~dataset:unsorted ~values);
+    time "OG" (fun () -> Grouping.run Grouping.OG ~dataset:sorted ~values);
+    time "SOG" (fun () -> Grouping.run Grouping.SOG ~dataset:unsorted ~values);
+    time "BSG" (fun () -> Grouping.run Grouping.BSG ~dataset:unsorted ~values);
+  ]
+
+let hash_factor ?rows ?groups ?seed () =
+  let ms = measure ?rows ?groups ?seed () in
+  let find name =
+    match List.find_opt (fun m -> String.equal m.algorithm name) ms with
+    | Some m -> m.per_tuple_ns
+    | None -> assert false
+  in
+  let og = find "OG" in
+  if og <= 0.0 then 4.0 else find "HG" /. og
+
+let calibrated_model ?rows ?groups ?seed () =
+  Model.with_hash_factor (hash_factor ?rows ?groups ?seed ())

@@ -1,0 +1,23 @@
+(** Cost-model calibration against the real execution engine.
+
+    Table 2's constant "4" for the hash-based algorithms is an empirical
+    statement about the paper's machine.  This module re-measures it on
+    the current machine by timing HG and OG on the same dense unsorted
+    input and taking the per-tuple ratio, yielding a
+    {!Model.with_hash_factor} model that the benches can report next to
+    the paper-exact one. *)
+
+type measurement = {
+  algorithm : string;
+  per_tuple_ns : float;  (** Nanoseconds per input tuple. *)
+}
+
+val measure : ?rows:int -> ?groups:int -> ?seed:int -> unit -> measurement list
+(** Times all five grouping algorithms on an unsorted dense dataset
+    (plus OG on its sorted variant) and reports per-tuple costs. *)
+
+val hash_factor : ?rows:int -> ?groups:int -> ?seed:int -> unit -> float
+(** Measured HG-vs-OG per-tuple ratio — the empirical counterpart of
+    Table 2's 4. *)
+
+val calibrated_model : ?rows:int -> ?groups:int -> ?seed:int -> unit -> Model.t

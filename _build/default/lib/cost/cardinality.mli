@@ -1,0 +1,26 @@
+(** Cardinality estimation.
+
+    Deliberately simple, textbook estimators — the paper's DP experiment
+    fixes the interesting cardinalities explicitly (join output 90,000,
+    grouping output 20,000), and these estimators recover exactly those
+    numbers for foreign-key joins and known distinct counts. *)
+
+val equi_join :
+  left_rows:int ->
+  right_rows:int ->
+  left_distinct:int ->
+  right_distinct:int ->
+  int
+(** [|R| * |S| / max(dR, dS)] — the classic containment assumption.  For
+    a foreign-key join (every right key hits, [left_distinct = left_rows])
+    this yields [right_rows]. *)
+
+val group_by : key_distinct:int -> int
+(** Output cardinality of grouping = distinct keys. *)
+
+val filter : rows:int -> selectivity:float -> int
+(** Rounded, at least 0, at most [rows]. *)
+
+val distinct_after_join : side_distinct:int -> output_rows:int -> int
+(** Distinct values of a column after a join: bounded by both the input's
+    distinct count and the output size. *)

@@ -1,0 +1,1 @@
+lib/data/col_stats.ml: Array Dqo_util Float Format Hashtbl

@@ -1,0 +1,1 @@
+lib/data/col_stats.mli: Format

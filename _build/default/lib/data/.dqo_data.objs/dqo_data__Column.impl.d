@@ -1,0 +1,1 @@
+lib/data/column.ml: Array Float List Schema Value

@@ -1,0 +1,1 @@
+lib/data/column.mli: Schema Value

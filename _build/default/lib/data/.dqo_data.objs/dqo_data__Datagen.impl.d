@@ -1,0 +1,1 @@
+lib/data/datagen.ml: Array Column Dqo_util Float Relation Schema

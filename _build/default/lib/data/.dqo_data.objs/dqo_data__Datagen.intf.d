@@ -1,0 +1,1 @@
+lib/data/datagen.mli: Dqo_util Relation

@@ -1,0 +1,1 @@
+lib/data/relation.ml: Array Column Format List Schema Value

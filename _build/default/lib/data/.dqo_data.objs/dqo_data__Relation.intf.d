@@ -1,0 +1,1 @@
+lib/data/relation.mli: Column Format Schema Value

@@ -1,0 +1,53 @@
+type t = {
+  sorted : bool;
+  distinct : int;
+  lo : int;
+  hi : int;
+  dense : bool;
+  clustered : bool;
+}
+
+let is_clustered a =
+  (* Equal values must form one contiguous run each: every value's first
+     occurrence index must be preceded only by other runs; detect by
+     checking that a value never reappears after its run ended. *)
+  let seen = Hashtbl.create 64 in
+  let n = Array.length a in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    let v = a.(!i) in
+    if !i = 0 || a.(!i - 1) <> v then begin
+      if Hashtbl.mem seen v then ok := false else Hashtbl.add seen v ()
+    end;
+    incr i
+  done;
+  !ok
+
+let analyze a =
+  let n = Array.length a in
+  if n = 0 then
+    { sorted = true; distinct = 0; lo = 0; hi = -1; dense = false;
+      clustered = true }
+  else begin
+    let sorted = Dqo_util.Int_array.is_sorted a in
+    let distinct = Dqo_util.Int_array.count_distinct a in
+    let lo, hi =
+      match Dqo_util.Int_array.min_max a with
+      | Some (lo, hi) -> (lo, hi)
+      | None -> assert false
+    in
+    let range = hi - lo + 1 in
+    let dense = range <= 2 * distinct in
+    let clustered = if sorted then true else is_clustered a in
+    { sorted; distinct; lo; hi; dense; clustered }
+  end
+
+let density_ratio t =
+  let range = t.hi - t.lo + 1 in
+  if range <= 0 then 0.0 else Float.of_int t.distinct /. Float.of_int range
+
+let pp ppf t =
+  Format.fprintf ppf
+    "{sorted=%b; clustered=%b; dense=%b; distinct=%d; range=[%d,%d]}"
+    t.sorted t.clustered t.dense t.distinct t.lo t.hi

@@ -1,0 +1,66 @@
+type t = Ints of int array | Floats of float array | Strings of string array
+
+let length = function
+  | Ints a -> Array.length a
+  | Floats a -> Array.length a
+  | Strings a -> Array.length a
+
+let ty = function
+  | Ints _ -> Schema.T_int
+  | Floats _ -> Schema.T_float
+  | Strings _ -> Schema.T_string
+
+let get c i =
+  match c with
+  | Ints a -> Value.Int a.(i)
+  | Floats a -> Value.Float a.(i)
+  | Strings a -> Value.String a.(i)
+
+let ints_exn = function
+  | Ints a -> a
+  | Floats _ | Strings _ -> invalid_arg "Column.ints_exn: not an int column"
+
+let of_values ty values =
+  let fail () = invalid_arg "Column.of_values: type mismatch" in
+  match ty with
+  | Schema.T_int ->
+    Ints
+      (Array.of_list
+         (List.map
+            (function Value.Int i -> i | Null | Float _ | String _ -> fail ())
+            values))
+  | Schema.T_float ->
+    Floats
+      (Array.of_list
+         (List.map
+            (function
+              | Value.Float f -> f
+              | Value.Int i -> Float.of_int i
+              | Null | String _ -> fail ())
+            values))
+  | Schema.T_string ->
+    Strings
+      (Array.of_list
+         (List.map
+            (function
+              | Value.String s -> s | Null | Int _ | Float _ -> fail ())
+            values))
+
+let take c idx =
+  match c with
+  | Ints a -> Ints (Array.map (fun i -> a.(i)) idx)
+  | Floats a -> Floats (Array.map (fun i -> a.(i)) idx)
+  | Strings a -> Strings (Array.map (fun i -> a.(i)) idx)
+
+let sub c ~pos ~len =
+  match c with
+  | Ints a -> Ints (Array.sub a pos len)
+  | Floats a -> Floats (Array.sub a pos len)
+  | Strings a -> Strings (Array.sub a pos len)
+
+let equal a b =
+  match (a, b) with
+  | Ints x, Ints y -> x = y
+  | Floats x, Floats y -> x = y
+  | Strings x, Strings y -> x = y
+  | (Ints _ | Floats _ | Strings _), _ -> false

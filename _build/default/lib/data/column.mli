@@ -1,0 +1,32 @@
+(** Typed columnar storage.
+
+    A column is a flat array of one scalar type.  Integer columns expose
+    their backing [int array] directly ({!ints_exn}) because every hot
+    operator in the execution engine works on raw int arrays. *)
+
+type t =
+  | Ints of int array
+  | Floats of float array
+  | Strings of string array
+
+val length : t -> int
+
+val ty : t -> Schema.ty
+
+val get : t -> int -> Value.t
+(** [get c i] boxes the [i]-th element. *)
+
+val ints_exn : t -> int array
+(** The backing array of an integer column — shared, not copied.
+    @raise Invalid_argument on non-integer columns. *)
+
+val of_values : Schema.ty -> Value.t list -> t
+(** Builds a column of the given type; [Null] is rejected.
+    @raise Invalid_argument on a type mismatch or [Null]. *)
+
+val take : t -> int array -> t
+(** [take c idx] gathers [c] at positions [idx] (row-id selection). *)
+
+val sub : t -> pos:int -> len:int -> t
+
+val equal : t -> t -> bool

@@ -1,0 +1,111 @@
+module Rng = Dqo_util.Rng
+module Int_array = Dqo_util.Int_array
+
+type grouping_dataset = {
+  keys : int array;
+  universe : int array;
+  sorted : bool;
+  dense : bool;
+}
+
+let sparse_domain = 1 lsl 30
+
+let make_universe ~rng ~groups ~dense =
+  if dense then Array.init groups (fun i -> i)
+  else begin
+    let u = Rng.sample_distinct rng ~k:groups ~bound:sparse_domain in
+    Int_array.sort u;
+    u
+  end
+
+let grouping ~rng ~n ~groups ~sorted ~dense =
+  if groups < 1 then invalid_arg "Datagen.grouping: groups < 1";
+  if n < groups then invalid_arg "Datagen.grouping: n < groups";
+  let universe = make_universe ~rng ~groups ~dense in
+  let keys = Array.make n 0 in
+  (* One occurrence of each universe value guarantees the distinct count,
+     then uniform draws fill the rest. *)
+  for i = 0 to groups - 1 do
+    keys.(i) <- universe.(i)
+  done;
+  for i = groups to n - 1 do
+    keys.(i) <- universe.(Rng.int rng groups)
+  done;
+  if sorted then Int_array.sort keys else Rng.shuffle rng keys;
+  { keys; universe; sorted; dense }
+
+let zipf_keys ~rng ~n ~groups ~theta =
+  if groups < 1 then invalid_arg "Datagen.zipf_keys: groups < 1";
+  if theta < 0.0 then invalid_arg "Datagen.zipf_keys: theta < 0";
+  (* Inverse-CDF sampling over the precomputed Zipf cumulative weights. *)
+  let cdf = Array.make groups 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to groups - 1 do
+    acc := !acc +. (1.0 /. Float.of_int (i + 1) ** theta);
+    cdf.(i) <- !acc
+  done;
+  let total = !acc in
+  let draw () =
+    let u = Rng.float rng total in
+    let lo = ref 0 and hi = ref (groups - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  Array.init n (fun _ -> draw ())
+
+type fk_pair = { r : Relation.t; s : Relation.t }
+
+let fk_pair ~rng ~r_rows ~s_rows ~r_groups ~r_sorted ~s_sorted ~dense =
+  if r_rows < 1 || s_rows < 1 then invalid_arg "Datagen.fk_pair: sizes < 1";
+  if r_groups > r_rows || r_groups < 1 then
+    invalid_arg "Datagen.fk_pair: r_groups out of range";
+  (* Build R in id-sorted order first; [a] is a bucketisation of the id
+     rank so that sorting by id also sorts by a (the paper's DP treats
+     "sorted" as a per-relation property that survives the merge join and
+     still helps the grouping). *)
+  let ids =
+    if dense then Array.init r_rows (fun i -> i)
+    else begin
+      let u = Rng.sample_distinct rng ~k:r_rows ~bound:sparse_domain in
+      Int_array.sort u;
+      u
+    end
+  in
+  (* In the sparse setting the grouping key must be sparse as well, so
+     group codes are mapped through a sparse, still monotone, value set
+     (monotonicity in id preserves the id->a co-ordering). *)
+  let a_values =
+    if dense then Array.init r_groups (fun g -> g)
+    else begin
+      let u = Rng.sample_distinct rng ~k:r_groups ~bound:sparse_domain in
+      Int_array.sort u;
+      u
+    end
+  in
+  let a = Array.init r_rows (fun rank -> a_values.(rank * r_groups / r_rows)) in
+  if not r_sorted then begin
+    (* Shuffle rows of R while keeping (id, a) pairs together. *)
+    let perm = Array.init r_rows (fun i -> i) in
+    Rng.shuffle rng perm;
+    let ids' = Array.map (fun i -> ids.(i)) perm in
+    let a' = Array.map (fun i -> a.(i)) perm in
+    Array.blit ids' 0 ids 0 r_rows;
+    Array.blit a' 0 a 0 r_rows
+  end;
+  let r =
+    Relation.create
+      (Schema.of_names [ ("id", Schema.T_int); ("a", Schema.T_int) ])
+      [ Column.Ints ids; Column.Ints a ]
+  in
+  let r_id = Array.init s_rows (fun _ -> ids.(Rng.int rng r_rows)) in
+  if s_sorted then Int_array.sort r_id;
+  let b = Array.init s_rows (fun _ -> Rng.int rng 1_000_000) in
+  let s =
+    Relation.create
+      (Schema.of_names [ ("r_id", Schema.T_int); ("b", Schema.T_int) ])
+      [ Column.Ints r_id; Column.Ints b ]
+  in
+  { r; s }

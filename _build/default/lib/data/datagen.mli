@@ -1,0 +1,61 @@
+(** Synthetic dataset generators for the paper's experiments.
+
+    Section 4.1: "The datasets consist of 100 million 4 byte unsigned
+    integer values representing the grouping key.  Each dataset is
+    uniformly distributed and has two properties, sortedness and density."
+    This module generates all four combinations plus the foreign-key pair
+    used by the dynamic-programming experiment (§4.3), and Zipf-skewed
+    variants used by the ablation benches. *)
+
+type grouping_dataset = {
+  keys : int array;  (** The grouping-key column, [n] rows. *)
+  universe : int array;  (** Sorted distinct key values, [groups] many. *)
+  sorted : bool;
+  dense : bool;
+}
+
+val grouping :
+  rng:Dqo_util.Rng.t ->
+  n:int ->
+  groups:int ->
+  sorted:bool ->
+  dense:bool ->
+  grouping_dataset
+(** [grouping ~rng ~n ~groups ~sorted ~dense] draws [n] keys uniformly
+    from a universe of exactly [groups] distinct values.  Dense universes
+    are [0 .. groups-1]; sparse universes are [groups] distinct values
+    sampled from [\[0, 2^30)].  Every universe value is guaranteed to
+    occur at least once (so the distinct count is exact), requiring
+    [n >= groups].
+    @raise Invalid_argument if [groups < 1] or [n < groups]. *)
+
+val zipf_keys :
+  rng:Dqo_util.Rng.t -> n:int -> groups:int -> theta:float -> int array
+(** [zipf_keys ~rng ~n ~groups ~theta] draws [n] keys in
+    [\[0, groups)] from a Zipf distribution with skew [theta] ([0.0] =
+    uniform).  Used by skew-sensitivity ablations.
+    @raise Invalid_argument if [groups < 1] or [theta < 0]. *)
+
+type fk_pair = {
+  r : Relation.t;  (** Schema [(id INT, a INT)]. *)
+  s : Relation.t;  (** Schema [(r_id INT, b INT)]. *)
+}
+
+val fk_pair :
+  rng:Dqo_util.Rng.t ->
+  r_rows:int ->
+  s_rows:int ->
+  r_groups:int ->
+  r_sorted:bool ->
+  s_sorted:bool ->
+  dense:bool ->
+  fk_pair
+(** Generates the §4.3 workload: [R (id, a)] with [r_rows] rows whose
+    [id] is a key (dense: [0..r_rows-1]; sparse: distinct samples of a
+    wide domain) and whose [a] takes [r_groups] distinct values; and
+    [S (r_id, b)] with [s_rows] rows whose [r_id] is a foreign key into
+    [R.id] (so the join output has exactly [s_rows] rows).  [r_sorted] /
+    [s_sorted] control the physical order of [R.id] / [S.r_id]; [a] is
+    ordered consistently with [id] so that merge-join output remains
+    usable by order-based grouping, matching the paper's DP setting.
+    @raise Invalid_argument if [r_groups > r_rows] or any size < 1. *)

@@ -1,0 +1,49 @@
+type 'a t = { values : 'a array; compare : 'a -> 'a -> int }
+
+let encode ~compare xs =
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  (* Deduplicate the sorted copy. *)
+  let n = Array.length sorted in
+  let values =
+    if n = 0 then [||]
+    else begin
+      let m = ref 1 in
+      for i = 1 to n - 1 do
+        if compare sorted.(i) sorted.(i - 1) <> 0 then begin
+          sorted.(!m) <- sorted.(i);
+          incr m
+        end
+      done;
+      Array.sub sorted 0 !m
+    end
+  in
+  let dict = { values; compare } in
+  let lookup x =
+    let lo = ref 0 and hi = ref (Array.length values) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if compare values.(mid) x < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  (dict, Array.map lookup xs)
+
+let encode_strings xs = encode ~compare:String.compare xs
+let encode_ints xs = encode ~compare:Int.compare xs
+
+let decode t c =
+  if c < 0 || c >= Array.length t.values then
+    invalid_arg "Dictionary.decode: code out of range";
+  t.values.(c)
+
+let code t x =
+  let n = Array.length t.values in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.compare t.values.(mid) x < 0 then lo := mid + 1 else hi := mid
+  done;
+  if !lo < n && t.compare t.values.(!lo) x = 0 then Some !lo else None
+
+let cardinality t = Array.length t.values

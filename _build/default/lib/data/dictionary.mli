@@ -1,0 +1,25 @@
+(** Dictionary compression.
+
+    The paper (§2.1) observes that the codes of a dictionary-compressed
+    column form a dense key domain and are therefore a natural input for
+    static perfect hashing.  This module provides order-preserving
+    dictionary encoding for string and integer columns; the code column
+    is always dense and minimal ([0 .. cardinality-1]). *)
+
+type 'a t
+(** A dictionary over values of type ['a]. *)
+
+val encode_strings : string array -> string t * int array
+(** [encode_strings xs] returns the dictionary and the code column;
+    codes are order-preserving: [code x < code y] iff [x < y]. *)
+
+val encode_ints : int array -> int t * int array
+
+val decode : 'a t -> int -> 'a
+(** @raise Invalid_argument if the code is out of range. *)
+
+val code : 'a t -> 'a -> int option
+(** Lookup a value's code. *)
+
+val cardinality : 'a t -> int
+(** Number of distinct values = size of the dense code domain. *)

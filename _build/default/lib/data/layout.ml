@@ -1,0 +1,108 @@
+type t =
+  | Row_major of int array
+  | Columnar of { keys : int array; values : int array }
+  | Pax of { page_rows : int; pages : (int array * int array) array }
+
+let layout_name = function
+  | Row_major _ -> "row-major"
+  | Columnar _ -> "columnar"
+  | Pax _ -> "PAX"
+
+let rows = function
+  | Row_major a -> Array.length a / 2
+  | Columnar { keys; _ } -> Array.length keys
+  | Pax { pages; _ } ->
+    Array.fold_left (fun acc (k, _) -> acc + Array.length k) 0 pages
+
+let of_columns ?(page_rows = 1024) ~keys ~values kind =
+  let n = Array.length keys in
+  if Array.length values <> n then
+    invalid_arg "Layout.of_columns: length mismatch";
+  match kind with
+  | `Col -> Columnar { keys = Array.copy keys; values = Array.copy values }
+  | `Row ->
+    let a = Array.make (2 * n) 0 in
+    for i = 0 to n - 1 do
+      a.(2 * i) <- keys.(i);
+      a.((2 * i) + 1) <- values.(i)
+    done;
+    Row_major a
+  | `Pax ->
+    if page_rows < 1 then invalid_arg "Layout.of_columns: page_rows < 1";
+    let n_pages = (n + page_rows - 1) / page_rows in
+    let pages =
+      Array.init n_pages (fun p ->
+          let pos = p * page_rows in
+          let len = min page_rows (n - pos) in
+          (Array.sub keys pos len, Array.sub values pos len))
+    in
+    Pax { page_rows; pages }
+
+let get t i =
+  match t with
+  | Row_major a -> (a.(2 * i), a.((2 * i) + 1))
+  | Columnar { keys; values } -> (keys.(i), values.(i))
+  | Pax { page_rows; pages } ->
+    let k, v = pages.(i / page_rows) in
+    (k.(i mod page_rows), v.(i mod page_rows))
+
+let fold_rows t ~init ~f =
+  match t with
+  | Row_major a ->
+    let n = Array.length a / 2 in
+    let acc = ref init in
+    for i = 0 to n - 1 do
+      acc := f !acc a.(2 * i) a.((2 * i) + 1)
+    done;
+    !acc
+  | Columnar { keys; values } ->
+    let acc = ref init in
+    for i = 0 to Array.length keys - 1 do
+      acc := f !acc keys.(i) values.(i)
+    done;
+    !acc
+  | Pax { pages; _ } ->
+    let acc = ref init in
+    Array.iter
+      (fun (k, v) ->
+        for i = 0 to Array.length k - 1 do
+          acc := f !acc k.(i) v.(i)
+        done)
+      pages;
+    !acc
+
+let fold_keys t ~init ~f =
+  match t with
+  | Row_major a ->
+    let n = Array.length a / 2 in
+    let acc = ref init in
+    for i = 0 to n - 1 do
+      acc := f !acc a.(2 * i)
+    done;
+    !acc
+  | Columnar { keys; _ } ->
+    let acc = ref init in
+    for i = 0 to Array.length keys - 1 do
+      acc := f !acc keys.(i)
+    done;
+    !acc
+  | Pax { pages; _ } ->
+    let acc = ref init in
+    Array.iter
+      (fun (k, _) ->
+        for i = 0 to Array.length k - 1 do
+          acc := f !acc k.(i)
+        done)
+      pages;
+    !acc
+
+let to_columns t =
+  let n = rows t in
+  let keys = Array.make n 0 and values = Array.make n 0 in
+  let _ =
+    fold_rows t ~init:0 ~f:(fun i k v ->
+        keys.(i) <- k;
+        values.(i) <- v;
+        i + 1)
+  in
+  (keys, values)

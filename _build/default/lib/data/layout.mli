@@ -1,0 +1,43 @@
+(** Physical storage layouts: row-major (NSM), columnar (DSM), and
+    PAX-style paged hybrid.
+
+    Section 2.2 of the paper lists the data layout — "row, col, PAXish,
+    in-between" — among the DQO plan properties that sub-components may
+    depend on.  This module materialises the same two-column data
+    (grouping key + payload) in all three layouts and exposes the
+    layout-generic scan the grouping benches use to measure the effect:
+    columnar scans touch only the key bytes, row-major drags the payload
+    through the cache, PAX sits in between (per-page mini-columns). *)
+
+type t =
+  | Row_major of int array  (** Interleaved [k0; v0; k1; v1; ...]. *)
+  | Columnar of { keys : int array; values : int array }
+  | Pax of { page_rows : int; pages : (int array * int array) array }
+      (** Each page holds up to [page_rows] rows as two mini-columns. *)
+
+val layout_name : t -> string
+val rows : t -> int
+
+val of_columns :
+  ?page_rows:int ->
+  keys:int array ->
+  values:int array ->
+  [ `Row | `Col | `Pax ] ->
+  t
+(** [of_columns ~keys ~values kind] materialises the data ([page_rows]
+    only meaningful for [`Pax], default 1024).
+    @raise Invalid_argument on length mismatch or [page_rows < 1]. *)
+
+val get : t -> int -> int * int
+(** [get t i] is [(key, value)] of row [i] — the random-access path. *)
+
+val fold_rows : t -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+(** Sequential scan delivering [(key, value)] pairs — the layout-generic
+    access path whose cost the layouts differentiate. *)
+
+val fold_keys : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Key-only scan: the case where columnar/PAX avoid touching payload
+    bytes entirely. *)
+
+val to_columns : t -> int array * int array
+(** Convert back to plain columns (for tests). *)

@@ -1,0 +1,70 @@
+type t = { schema : Schema.t; columns : Column.t array; cardinality : int }
+
+let create schema columns =
+  let columns = Array.of_list columns in
+  if Array.length columns <> Schema.arity schema then
+    invalid_arg "Relation.create: column count does not match schema";
+  let cardinality =
+    if Array.length columns = 0 then 0 else Column.length columns.(0)
+  in
+  Array.iteri
+    (fun i c ->
+      if Column.length c <> cardinality then
+        invalid_arg "Relation.create: column length mismatch";
+      if Column.ty c <> (Schema.field_at schema i).Schema.ty then
+        invalid_arg "Relation.create: column type mismatch")
+    columns;
+  { schema; columns; cardinality }
+
+let schema t = t.schema
+let cardinality t = t.cardinality
+let column_at t i = t.columns.(i)
+let column t name = t.columns.(Schema.index_of_exn t.schema name)
+let int_column t name = Column.ints_exn (column t name)
+
+let row t i = Array.to_list (Array.map (fun c -> Column.get c i) t.columns)
+
+let rows t = List.init t.cardinality (row t)
+
+let project t names =
+  let schema = Schema.project t.schema names in
+  let columns = List.map (fun n -> column t n) names in
+  create schema columns
+
+let take t idx =
+  {
+    t with
+    columns = Array.map (fun c -> Column.take c idx) t.columns;
+    cardinality = Array.length idx;
+  }
+
+let of_int_rows schema rows =
+  let arity = Schema.arity schema in
+  List.iteri
+    (fun i f ->
+      ignore i;
+      if f.Schema.ty <> Schema.T_int then
+        invalid_arg "Relation.of_int_rows: schema must be all-int")
+    (Schema.fields schema);
+  let n = List.length rows in
+  let cols = Array.init arity (fun _ -> Array.make n 0) in
+  List.iteri
+    (fun r vals ->
+      if List.length vals <> arity then
+        invalid_arg "Relation.of_int_rows: arity mismatch";
+      List.iteri (fun c v -> cols.(c).(r) <- v) vals)
+    rows;
+  create schema (Array.to_list (Array.map (fun a -> Column.Ints a) cols))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a (%d rows)@," Schema.pp t.schema t.cardinality;
+  let limit = min 20 t.cardinality in
+  for i = 0 to limit - 1 do
+    Format.fprintf ppf "| %a@,"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+         Value.pp)
+      (row t i)
+  done;
+  if t.cardinality > limit then Format.fprintf ppf "| ...@,";
+  Format.fprintf ppf "@]"

@@ -1,0 +1,39 @@
+(** In-memory relations: a schema plus one column per field.
+
+    Relations are immutable once created.  All columns must have the same
+    length. *)
+
+type t
+
+val create : Schema.t -> Column.t list -> t
+(** @raise Invalid_argument on arity/length/type mismatches. *)
+
+val schema : t -> Schema.t
+val cardinality : t -> int
+
+val column : t -> string -> Column.t
+(** @raise Not_found if the field is absent. *)
+
+val column_at : t -> int -> Column.t
+
+val int_column : t -> string -> int array
+(** Backing array of an integer field (shared, not copied).
+    @raise Not_found / Invalid_argument as for {!column} / non-int. *)
+
+val row : t -> int -> Value.t list
+(** [row t i] boxes row [i]. *)
+
+val rows : t -> Value.t list list
+(** All rows, in storage order (intended for tests and small results). *)
+
+val project : t -> string list -> t
+val take : t -> int array -> t
+(** Row-id gather across all columns. *)
+
+val of_int_rows : Schema.t -> int list list -> t
+(** Convenience for tests: build an all-integer relation from row
+    literals.
+    @raise Invalid_argument on arity mismatch or non-int schema. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render schema and up to 20 rows. *)

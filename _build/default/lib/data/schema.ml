@@ -1,0 +1,67 @@
+type ty = T_int | T_float | T_string
+type field = { name : string; ty : ty }
+type t = { fields : field array }
+
+let create fields =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem seen f.name then
+        invalid_arg ("Schema.create: duplicate field " ^ f.name);
+      Hashtbl.add seen f.name ())
+    fields;
+  { fields = Array.of_list fields }
+
+let of_names l = create (List.map (fun (name, ty) -> { name; ty }) l)
+let fields t = Array.to_list t.fields
+let arity t = Array.length t.fields
+
+let index_of t name =
+  let n = Array.length t.fields in
+  let rec loop i =
+    if i >= n then None
+    else if String.equal t.fields.(i).name name then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let index_of_exn t name =
+  match index_of t name with Some i -> i | None -> raise Not_found
+
+let field_at t i = t.fields.(i)
+let mem t name = Option.is_some (index_of t name)
+let ty_of t name = Option.map (fun i -> t.fields.(i).ty) (index_of t name)
+
+let project t names =
+  create (List.map (fun n -> t.fields.(index_of_exn t n)) names)
+
+let concat a b =
+  let taken = Hashtbl.create 8 in
+  Array.iter (fun f -> Hashtbl.add taken f.name ()) a.fields;
+  let rename f =
+    let rec fresh name =
+      if Hashtbl.mem taken name then fresh (name ^ "'") else name
+    in
+    let name = fresh f.name in
+    Hashtbl.add taken name ();
+    { f with name }
+  in
+  { fields = Array.append a.fields (Array.map rename b.fields) }
+
+let equal a b =
+  arity a = arity b
+  && Array.for_all2
+       (fun f g -> String.equal f.name g.name && f.ty = g.ty)
+       a.fields b.fields
+
+let pp_ty ppf = function
+  | T_int -> Format.pp_print_string ppf "INT"
+  | T_float -> Format.pp_print_string ppf "FLOAT"
+  | T_string -> Format.pp_print_string ppf "STRING"
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf f -> Format.fprintf ppf "%s %a" f.name pp_ty f.ty))
+    (fields t)

@@ -1,0 +1,38 @@
+(** Relation schemas: ordered lists of named, typed columns. *)
+
+type ty = T_int | T_float | T_string
+
+type field = { name : string; ty : ty }
+
+type t
+(** A schema; field names are unique (case-sensitive). *)
+
+val create : field list -> t
+(** @raise Invalid_argument on duplicate field names. *)
+
+val of_names : (string * ty) list -> t
+val fields : t -> field list
+val arity : t -> int
+
+val index_of : t -> string -> int option
+(** Position of a field by name. *)
+
+val index_of_exn : t -> string -> int
+(** @raise Not_found if absent. *)
+
+val field_at : t -> int -> field
+val mem : t -> string -> bool
+
+val ty_of : t -> string -> ty option
+
+val project : t -> string list -> t
+(** [project t names] keeps the named fields, in the given order.
+    @raise Not_found if a name is absent. *)
+
+val concat : t -> t -> t
+(** [concat a b] appends the fields of [b]; clashing names from [b] get a
+    ["'"] suffix (repeatedly until fresh), mirroring join output naming. *)
+
+val equal : t -> t -> bool
+val pp_ty : Format.formatter -> ty -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+type t = Null | Int of int | Float of float | String of string
+
+let rank = function Null -> 0 | Int _ -> 1 | Float _ -> 1 | String _ -> 2
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (Float.of_int x) y
+  | Float x, Int y -> Float.compare x (Float.of_int y)
+  | String x, String y -> String.compare x y
+  | (Null | Int _ | Float _ | String _), _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Null -> Format.pp_print_string ppf "NULL"
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | String s -> Format.fprintf ppf "%S" s
+
+let to_string v = Format.asprintf "%a" pp v
+let to_int = function Int i -> Some i | Null | Float _ | String _ -> None
+
+let int_exn = function
+  | Int i -> i
+  | Null | Float _ | String _ -> invalid_arg "Value.int_exn: not an Int"

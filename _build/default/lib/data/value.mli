@@ -1,0 +1,27 @@
+(** Scalar values flowing through the generic (non-hot-path) row
+    interface.
+
+    The hot paths of the execution engine work on unboxed [int array]
+    columns directly; [Value.t] exists for result presentation, literals
+    in SQL predicates, and tests. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | String of string
+
+val compare : t -> t -> int
+(** Total order: [Null] sorts first, then ints and floats by numeric
+    value (an [Int] and a [Float] compare numerically), then strings. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val to_int : t -> int option
+(** [to_int v] is the integer content of an [Int]; [None] otherwise. *)
+
+val int_exn : t -> int
+(** @raise Invalid_argument if the value is not an [Int]. *)

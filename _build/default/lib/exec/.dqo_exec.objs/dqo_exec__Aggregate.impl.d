@@ -1,0 +1,1 @@
+lib/exec/aggregate.ml: Dqo_data Float

@@ -1,0 +1,1 @@
+lib/exec/aggregate.mli: Dqo_data

@@ -1,0 +1,1 @@
+lib/exec/filter.ml: Array Dqo_data Float Format

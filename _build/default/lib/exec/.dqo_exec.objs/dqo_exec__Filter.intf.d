@@ -1,0 +1,1 @@
+lib/exec/filter.mli: Dqo_data Format

@@ -1,0 +1,1 @@
+lib/exec/group_result.ml: Array Dqo_util Format Int List

@@ -1,0 +1,1 @@
+lib/exec/group_result.mli: Format

@@ -1,0 +1,1 @@
+lib/exec/grouping.ml: Array Dqo_data Dqo_hash Dqo_util Group_result Hashtbl

@@ -1,0 +1,1 @@
+lib/exec/grouping.mli: Dqo_data Dqo_hash Group_result

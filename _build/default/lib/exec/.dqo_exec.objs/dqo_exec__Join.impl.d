@@ -1,0 +1,1 @@
+lib/exec/join.ml: Array Dqo_data Dqo_hash Dqo_util Grouping Int List

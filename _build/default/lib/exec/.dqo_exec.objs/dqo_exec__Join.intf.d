@@ -1,0 +1,1 @@
+lib/exec/join.mli: Dqo_data Dqo_hash Grouping

@@ -1,0 +1,1 @@
+lib/exec/online_agg.ml: Array Dqo_hash Float Group_result List Pipeline

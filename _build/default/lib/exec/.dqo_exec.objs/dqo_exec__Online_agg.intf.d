@@ -1,0 +1,1 @@
+lib/exec/online_agg.mli: Group_result Pipeline

@@ -1,0 +1,1 @@
+lib/exec/partition.ml: Array Dqo_hash

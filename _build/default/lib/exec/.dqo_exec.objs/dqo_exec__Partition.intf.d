@@ -1,0 +1,1 @@
+lib/exec/partition.mli: Dqo_hash

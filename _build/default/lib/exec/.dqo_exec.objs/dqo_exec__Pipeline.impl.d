@@ -1,0 +1,1 @@
+lib/exec/pipeline.ml: Array Dqo_hash Group_result Grouping List Partition

@@ -1,0 +1,1 @@
+lib/exec/pipeline.mli: Dqo_hash Group_result

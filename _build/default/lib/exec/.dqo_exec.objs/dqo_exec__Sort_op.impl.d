@@ -1,0 +1,1 @@
+lib/exec/sort_op.ml: Array Dqo_data Int

@@ -1,0 +1,1 @@
+lib/exec/sort_op.mli: Dqo_data

@@ -1,0 +1,47 @@
+type spec = Count | Sum | Min | Max | Avg
+
+type classification = Distributive | Algebraic | Holistic
+
+let classify = function
+  | Count | Sum | Min | Max -> Distributive
+  | Avg -> Algebraic
+
+let name = function
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Min -> "MIN"
+  | Max -> "MAX"
+  | Avg -> "AVG"
+
+(* [count] doubles as "seen anything" marker for MIN/MAX/AVG. *)
+type state = { count : int; acc : int }
+
+let init = function
+  | Count | Sum | Avg -> { count = 0; acc = 0 }
+  | Min -> { count = 0; acc = max_int }
+  | Max -> { count = 0; acc = min_int }
+
+let step spec st v =
+  match spec with
+  | Count -> { st with count = st.count + 1 }
+  | Sum -> { count = st.count + 1; acc = st.acc + v }
+  | Avg -> { count = st.count + 1; acc = st.acc + v }
+  | Min -> { count = st.count + 1; acc = min st.acc v }
+  | Max -> { count = st.count + 1; acc = max st.acc v }
+
+let merge spec a b =
+  match spec with
+  | Count -> { a with count = a.count + b.count }
+  | Sum | Avg -> { count = a.count + b.count; acc = a.acc + b.acc }
+  | Min -> { count = a.count + b.count; acc = min a.acc b.acc }
+  | Max -> { count = a.count + b.count; acc = max a.acc b.acc }
+
+let finalize spec st =
+  match spec with
+  | Count -> Dqo_data.Value.Int st.count
+  | Sum -> Dqo_data.Value.Int st.acc
+  | Min | Max ->
+    if st.count = 0 then Dqo_data.Value.Null else Dqo_data.Value.Int st.acc
+  | Avg ->
+    if st.count = 0 then Dqo_data.Value.Null
+    else Dqo_data.Value.Float (Float.of_int st.acc /. Float.of_int st.count)

@@ -1,0 +1,29 @@
+(** Aggregation functions over integer payloads.
+
+    The paper's experiments compute COUNT and SUM "on the fly", i.e. as
+    running (distributive) aggregates stored next to the group key.  The
+    classification matters for DQO: only distributive/algebraic
+    aggregates can live inside a static-perfect-hash slot array as
+    running values (paper §2.1). *)
+
+type spec = Count | Sum | Min | Max | Avg
+
+type classification =
+  | Distributive  (** Mergeable from partial states by one value. *)
+  | Algebraic  (** Mergeable from a fixed-size partial state (AVG). *)
+  | Holistic  (** Needs the full group (e.g. MEDIAN) — none built in. *)
+
+val classify : spec -> classification
+val name : spec -> string
+
+type state
+(** Running state for one group and one aggregate. *)
+
+val init : spec -> state
+val step : spec -> state -> int -> state
+val merge : spec -> state -> state -> state
+(** Combine two partial states (used by partitioned aggregation). *)
+
+val finalize : spec -> state -> Dqo_data.Value.t
+(** COUNT/SUM/MIN/MAX yield [Int]; AVG yields [Float]; an empty MIN/MAX
+    group yields [Null]. *)

@@ -1,0 +1,21 @@
+type t = { keys : int array; counts : int array; sums : int array }
+
+let groups t = Array.length t.keys
+
+let to_sorted_alist t =
+  let l =
+    List.init (groups t) (fun g -> (t.keys.(g), (t.counts.(g), t.sums.(g))))
+  in
+  List.sort (fun (k1, _) (k2, _) -> Int.compare k1 k2) l
+
+let equal a b = to_sorted_alist a = to_sorted_alist b
+
+let total_count t = Dqo_util.Int_array.sum t.counts
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (k, (c, s)) ->
+      Format.fprintf ppf "key=%d count=%d sum=%d@," k c s)
+    (to_sorted_alist t);
+  Format.fprintf ppf "@]"

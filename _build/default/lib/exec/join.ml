@@ -1,0 +1,231 @@
+module Int_array = Dqo_util.Int_array
+
+type algorithm = HJ | SPHJ | OJ | SOJ | BSJ
+
+type result = { left : int array; right : int array }
+
+let all = [ HJ; SPHJ; OJ; SOJ; BSJ ]
+
+let name = function
+  | HJ -> "HJ"
+  | SPHJ -> "SPHJ"
+  | OJ -> "OJ"
+  | SOJ -> "SOJ"
+  | BSJ -> "BSJ"
+
+let cardinality r = Array.length r.left
+
+(* Growable pair buffer. *)
+type buf = { mutable l : int array; mutable r : int array; mutable len : int }
+
+let buf_create () = { l = Array.make 64 0; r = Array.make 64 0; len = 0 }
+
+let buf_push b li ri =
+  if b.len >= Array.length b.l then begin
+    let cap = 2 * Array.length b.l in
+    let grow a = let n = Array.make cap 0 in Array.blit a 0 n 0 b.len; n in
+    b.l <- grow b.l;
+    b.r <- grow b.r
+  end;
+  b.l.(b.len) <- li;
+  b.r.(b.len) <- ri;
+  b.len <- b.len + 1
+
+let buf_result b =
+  { left = Array.sub b.l 0 b.len; right = Array.sub b.r 0 b.len }
+
+(* Build a multimap over [left]: key -> chain of left row ids, where
+   [head] is indexed by the dense slot of the key and [next] chains
+   duplicates (most recent first). *)
+let probe_chains ~head_of ~next ~right b =
+  let m = Array.length right in
+  for j = 0 to m - 1 do
+    let e = ref (head_of right.(j)) in
+    while !e >= 0 do
+      buf_push b !e j;
+      e := next.(!e)
+    done
+  done
+
+let hash_join ?(hash = Dqo_hash.Hash_fn.Murmur3) ?(table = Grouping.Chaining)
+    ~left ~right () =
+  let n = Array.length left in
+  let next = Array.make (max 1 n) (-1) in
+  let b = buf_create () in
+  (* All three table kinds expose the same dense-slot interface; the
+     multimap layer on top is shared. *)
+  let build (type t) (module T : Dqo_hash.Table_intf.TABLE with type t = t)
+      (tbl : t) =
+    let head = ref (Array.make (max 16 n) (-1)) in
+    for i = 0 to n - 1 do
+      let slot = T.find_or_add tbl left.(i) in
+      if slot >= Array.length !head then begin
+        let grown = Array.make (2 * Array.length !head) (-1) in
+        Array.blit !head 0 grown 0 (Array.length !head);
+        head := grown
+      end;
+      next.(i) <- !head.(slot);
+      !head.(slot) <- i
+    done;
+    let head = !head in
+    let head_of key =
+      match T.find tbl key with Some slot -> head.(slot) | None -> -1
+    in
+    probe_chains ~head_of ~next ~right b
+  in
+  (match table with
+  | Grouping.Chaining ->
+    build (module Dqo_hash.Chain_table)
+      (Dqo_hash.Chain_table.create ~hash ~expected:n ())
+  | Grouping.Linear_probing ->
+    build (module Dqo_hash.Linear_probe)
+      (Dqo_hash.Linear_probe.create ~hash ~expected:n ())
+  | Grouping.Robin_hood ->
+    build (module Dqo_hash.Robin_hood)
+      (Dqo_hash.Robin_hood.create ~hash ~expected:n ()));
+  buf_result b
+
+let sph_join ~lo ~hi ~left ~right =
+  if hi < lo then invalid_arg "Join.sph_join: hi < lo";
+  let domain = hi - lo + 1 in
+  let n = Array.length left in
+  let head = Array.make domain (-1) in
+  let next = Array.make (max 1 n) (-1) in
+  for i = 0 to n - 1 do
+    let k = left.(i) in
+    if k < lo || k > hi then
+      invalid_arg "Join.sph_join: build key outside dense domain";
+    let slot = k - lo in
+    next.(i) <- head.(slot);
+    head.(slot) <- i
+  done;
+  let b = buf_create () in
+  let head_of key = if key < lo || key > hi then -1 else head.(key - lo) in
+  probe_chains ~head_of ~next ~right b;
+  buf_result b
+
+(* Merge join over row-id permutations: [lp]/[rp] enumerate the inputs in
+   key order; equal-key runs produce their cross product. *)
+let merge_over ~left ~right ~lp ~rp =
+  let n = Array.length lp and m = Array.length rp in
+  let b = buf_create () in
+  let i = ref 0 and j = ref 0 in
+  while !i < n && !j < m do
+    let lk = left.(lp.(!i)) and rk = right.(rp.(!j)) in
+    if lk < rk then incr i
+    else if lk > rk then incr j
+    else begin
+      (* Find both runs of the shared key. *)
+      let i_end = ref (!i + 1) in
+      while !i_end < n && left.(lp.(!i_end)) = lk do
+        incr i_end
+      done;
+      let j_end = ref (!j + 1) in
+      while !j_end < m && right.(rp.(!j_end)) = lk do
+        incr j_end
+      done;
+      for a = !i to !i_end - 1 do
+        for c = !j to !j_end - 1 do
+          buf_push b lp.(a) rp.(c)
+        done
+      done;
+      i := !i_end;
+      j := !j_end
+    end
+  done;
+  buf_result b
+
+let identity_perm n = Array.init n (fun i -> i)
+
+let merge_join ~left ~right =
+  if not (Int_array.is_sorted left) then
+    invalid_arg "Join.merge_join: left input not sorted";
+  if not (Int_array.is_sorted right) then
+    invalid_arg "Join.merge_join: right input not sorted";
+  merge_over ~left ~right
+    ~lp:(identity_perm (Array.length left))
+    ~rp:(identity_perm (Array.length right))
+
+let sorted_perm keys =
+  let perm = identity_perm (Array.length keys) in
+  let cmp i j = Int.compare keys.(i) keys.(j) in
+  Array.sort cmp perm;
+  perm
+
+let sort_merge_join ~left ~right =
+  merge_over ~left ~right ~lp:(sorted_perm left) ~rp:(sorted_perm right)
+
+let binary_search_join ~left ~right =
+  (* Run-length index of the build side: distinct sorted keys plus, per
+     key, the slice of [perm] holding its row ids. *)
+  let n = Array.length left in
+  let perm = sorted_perm left in
+  let distinct = ref 0 in
+  for i = 0 to n - 1 do
+    if i = 0 || left.(perm.(i)) <> left.(perm.(i - 1)) then incr distinct
+  done;
+  let keys = Array.make (max 1 !distinct) 0 in
+  let offsets = Array.make (max 1 !distinct + 1) 0 in
+  let d = ref 0 in
+  for i = 0 to n - 1 do
+    if i = 0 || left.(perm.(i)) <> left.(perm.(i - 1)) then begin
+      keys.(!d) <- left.(perm.(i));
+      offsets.(!d) <- i;
+      incr d
+    end
+  done;
+  offsets.(!d) <- n;
+  let g = !d in
+  let b = buf_create () in
+  let m = Array.length right in
+  for j = 0 to m - 1 do
+    let k = right.(j) in
+    let lo = ref 0 and hi = ref g in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if keys.(mid) < k then lo := mid + 1 else hi := mid
+    done;
+    if !lo < g && keys.(!lo) = k then
+      for a = offsets.(!lo) to offsets.(!lo + 1) - 1 do
+        buf_push b perm.(a) j
+      done
+  done;
+  buf_result b
+
+let run alg ~left ~right =
+  match alg with
+  | HJ -> hash_join ~left ~right ()
+  | SPHJ ->
+    (match Int_array.min_max left with
+    | None -> { left = [||]; right = [||] }
+    | Some (lo, hi) -> sph_join ~lo ~hi ~left ~right)
+  | OJ -> merge_join ~left ~right
+  | SOJ -> sort_merge_join ~left ~right
+  | BSJ -> binary_search_join ~left ~right
+
+let materialize l r pairs =
+  let lt = Dqo_data.Relation.take l pairs.left in
+  let rt = Dqo_data.Relation.take r pairs.right in
+  let schema =
+    Dqo_data.Schema.concat
+      (Dqo_data.Relation.schema l)
+      (Dqo_data.Relation.schema r)
+  in
+  let columns =
+    List.init
+      (Dqo_data.Schema.arity schema)
+      (fun i ->
+        let la = Dqo_data.Schema.arity (Dqo_data.Relation.schema l) in
+        if i < la then Dqo_data.Relation.column_at lt i
+        else Dqo_data.Relation.column_at rt (i - la))
+  in
+  Dqo_data.Relation.create schema columns
+
+let nested_loop_reference ~left ~right =
+  let b = buf_create () in
+  for i = 0 to Array.length left - 1 do
+    for j = 0 to Array.length right - 1 do
+      if left.(i) = right.(j) then buf_push b i j
+    done
+  done;
+  buf_result b

@@ -1,0 +1,101 @@
+type t = {
+  total_rows : int;
+  table : Dqo_hash.Linear_probe.t;
+  mutable keys : int array;
+  mutable counts : int array;
+  mutable sums : int array;
+  mutable groups : int;
+  mutable seen : int;
+}
+
+type estimate = {
+  key : int;
+  seen_count : int;
+  seen_sum : int;
+  est_count : float;
+  est_sum : float;
+  progress : float;
+}
+
+let create ~total_rows =
+  if total_rows < 0 then invalid_arg "Online_agg.create";
+  {
+    total_rows;
+    table = Dqo_hash.Linear_probe.create ~expected:64 ();
+    keys = Array.make 64 0;
+    counts = Array.make 64 0;
+    sums = Array.make 64 0;
+    groups = 0;
+    seen = 0;
+  }
+
+let grow t =
+  let cap = 2 * Array.length t.keys in
+  let extend a =
+    let b = Array.make cap 0 in
+    Array.blit a 0 b 0 t.groups;
+    b
+  in
+  t.keys <- extend t.keys;
+  t.counts <- extend t.counts;
+  t.sums <- extend t.sums
+
+let feed t (chunk : Pipeline.chunk) =
+  let n = Array.length chunk.Pipeline.keys in
+  if t.seen + n > t.total_rows then
+    invalid_arg "Online_agg.feed: more tuples than total_rows";
+  for i = 0 to n - 1 do
+    let k = chunk.Pipeline.keys.(i) in
+    let slot = Dqo_hash.Linear_probe.find_or_add t.table k in
+    if slot = t.groups then begin
+      if t.groups >= Array.length t.keys then grow t;
+      t.keys.(slot) <- k;
+      t.groups <- t.groups + 1
+    end;
+    t.counts.(slot) <- t.counts.(slot) + 1;
+    t.sums.(slot) <- t.sums.(slot) + chunk.Pipeline.values.(i)
+  done;
+  t.seen <- t.seen + n
+
+let rows_seen t = t.seen
+
+let snapshot t =
+  if t.seen = 0 then []
+  else begin
+    let progress =
+      if t.total_rows = 0 then 1.0
+      else Float.of_int t.seen /. Float.of_int t.total_rows
+    in
+    List.init t.groups (fun slot ->
+        {
+          key = t.keys.(slot);
+          seen_count = t.counts.(slot);
+          seen_sum = t.sums.(slot);
+          est_count = Float.of_int t.counts.(slot) /. progress;
+          est_sum = Float.of_int t.sums.(slot) /. progress;
+          progress;
+        })
+  end
+
+let finalize t =
+  if t.seen < t.total_rows then
+    invalid_arg "Online_agg.finalize: input not fully consumed";
+  {
+    Group_result.keys = Array.sub t.keys 0 t.groups;
+    counts = Array.sub t.counts 0 t.groups;
+    sums = Array.sub t.sums 0 t.groups;
+  }
+
+let run_progressive ~keys ~values ~report_every callback =
+  if Array.length keys <> Array.length values then
+    invalid_arg "Online_agg.run_progressive: length mismatch";
+  if report_every < 1 then
+    invalid_arg "Online_agg.run_progressive: report_every < 1";
+  let t = create ~total_rows:(Array.length keys) in
+  let producer =
+    Pipeline.of_arrays ~chunk_size:report_every ~keys ~values ()
+  in
+  producer (fun chunk ->
+      feed t chunk;
+      callback (snapshot t));
+  finalize t

@@ -1,0 +1,52 @@
+(** Online (non-blocking) aggregation.
+
+    The paper's critique of textbook hash grouping (§1, point 5) is that
+    its two rigid phases "forbid any kind of non-blocking behaviour,
+    e.g. like in any kind of online aggregation algorithm".  This module
+    is the non-blocking counterpart: it consumes the input chunk by
+    chunk and can serve a consistent running estimate {e at any point},
+    scaling the aggregates seen so far to the full input size — the
+    classic online-aggregation estimator over a randomly-ordered
+    stream. *)
+
+type t
+
+type estimate = {
+  key : int;
+  seen_count : int;  (** Tuples of this group consumed so far. *)
+  seen_sum : int;
+  est_count : float;  (** [seen_count / progress] — projected final count. *)
+  est_sum : float;
+  progress : float;  (** Fraction of the input consumed, in (0, 1]. *)
+}
+
+val create : total_rows:int -> t
+(** [create ~total_rows] prepares an aggregation over an input of known
+    size (needed to scale estimates).
+    @raise Invalid_argument if [total_rows < 0]. *)
+
+val feed : t -> Pipeline.chunk -> unit
+(** Consume one chunk.
+    @raise Invalid_argument when fed more than [total_rows] tuples. *)
+
+val rows_seen : t -> int
+
+val snapshot : t -> estimate list
+(** Running estimates for every group seen so far, in first-seen order.
+    On a shuffled input the estimates converge to the exact aggregates
+    as [progress -> 1]. *)
+
+val finalize : t -> Group_result.t
+(** Exact result once the whole input has been fed.
+    @raise Invalid_argument if fed fewer than [total_rows] tuples. *)
+
+val run_progressive :
+  keys:int array ->
+  values:int array ->
+  report_every:int ->
+  (estimate list -> unit) ->
+  Group_result.t
+(** Convenience driver: streams the arrays in [report_every]-row chunks,
+    invoking the callback with a snapshot after each, and returns the
+    exact final result.
+    @raise Invalid_argument on length mismatch or [report_every < 1]. *)

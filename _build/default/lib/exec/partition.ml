@@ -1,0 +1,46 @@
+module Hash_fn = Dqo_hash.Hash_fn
+
+type parts = { keys : int array array; values : int array array }
+
+let scatter ~bucket_of ~buckets ~keys ~values =
+  let n = Array.length keys in
+  if Array.length values <> n then
+    invalid_arg "Partition: keys/values length mismatch";
+  (* Counting pass, then exclusive prefix sums, then scatter — the
+     classic two-pass radix partition. *)
+  let counts = Array.make buckets 0 in
+  for i = 0 to n - 1 do
+    let b = bucket_of keys.(i) in
+    counts.(b) <- counts.(b) + 1
+  done;
+  let out_keys = Array.init buckets (fun b -> Array.make counts.(b) 0) in
+  let out_values = Array.init buckets (fun b -> Array.make counts.(b) 0) in
+  let cursor = Array.make buckets 0 in
+  for i = 0 to n - 1 do
+    let b = bucket_of keys.(i) in
+    let c = cursor.(b) in
+    out_keys.(b).(c) <- keys.(i);
+    out_values.(b).(c) <- values.(i);
+    cursor.(b) <- c + 1
+  done;
+  { keys = out_keys; values = out_values }
+
+let by_hash ?(hash = Hash_fn.Murmur3) ~partitions ~keys ~values () =
+  if partitions < 1 then invalid_arg "Partition.by_hash: partitions < 1";
+  scatter
+    ~bucket_of:(fun k -> Hash_fn.apply hash k mod partitions)
+    ~buckets:partitions ~keys ~values
+
+let by_dense_key ~lo ~hi ~keys ~values =
+  if hi < lo then invalid_arg "Partition.by_dense_key: hi < lo";
+  scatter
+    ~bucket_of:(fun k ->
+      if k < lo || k > hi then
+        invalid_arg "Partition.by_dense_key: key outside domain";
+      k - lo)
+    ~buckets:(hi - lo + 1) ~keys ~values
+
+let partition_count p = Array.length p.keys
+
+let total_rows p =
+  Array.fold_left (fun acc a -> acc + Array.length a) 0 p.keys

@@ -1,0 +1,100 @@
+type chunk = { keys : int array; values : int array }
+type producer = (chunk -> unit) -> unit
+type bundle = producer array
+
+let of_arrays ?(chunk_size = 4096) ~keys ~values () =
+  let n = Array.length keys in
+  if Array.length values <> n then
+    invalid_arg "Pipeline.of_arrays: length mismatch";
+  if chunk_size < 1 then invalid_arg "Pipeline.of_arrays: chunk_size < 1";
+  fun consume ->
+    let pos = ref 0 in
+    while !pos < n do
+      let len = min chunk_size (n - !pos) in
+      consume
+        {
+          keys = Array.sub keys !pos len;
+          values = Array.sub values !pos len;
+        };
+      pos := !pos + len
+    done
+
+let filter p prod consume =
+  prod (fun c ->
+      let n = Array.length c.keys in
+      let ks = Array.make n 0 and vs = Array.make n 0 in
+      let m = ref 0 in
+      for i = 0 to n - 1 do
+        if p c.keys.(i) c.values.(i) then begin
+          ks.(!m) <- c.keys.(i);
+          vs.(!m) <- c.values.(i);
+          incr m
+        end
+      done;
+      if !m > 0 then
+        consume { keys = Array.sub ks 0 !m; values = Array.sub vs 0 !m })
+
+let map_values f prod consume =
+  prod (fun c -> consume { c with values = Array.map f c.values })
+
+let collect prod =
+  let ks = ref [] and vs = ref [] and total = ref 0 in
+  prod (fun c ->
+      ks := c.keys :: !ks;
+      vs := c.values :: !vs;
+      total := !total + Array.length c.keys);
+  let keys = Array.make !total 0 and values = Array.make !total 0 in
+  let pos = ref !total in
+  List.iter2
+    (fun k v ->
+      pos := !pos - Array.length k;
+      Array.blit k 0 keys !pos (Array.length k);
+      Array.blit v 0 values !pos (Array.length v))
+    !ks !vs;
+  (keys, values)
+
+let row_count prod =
+  let n = ref 0 in
+  prod (fun c -> n := !n + Array.length c.keys);
+  !n
+
+let bundle_of_parts (parts : Partition.parts) : bundle =
+  Array.init (Partition.partition_count parts) (fun p ->
+      of_arrays ~keys:parts.Partition.keys.(p)
+        ~values:parts.Partition.values.(p) ())
+
+let partition_by ?(hash = Dqo_hash.Hash_fn.Murmur3) ~partitions prod =
+  let keys, values = collect prod in
+  bundle_of_parts (Partition.by_hash ~hash ~partitions ~keys ~values ())
+
+let partition_by_dense_key ~lo ~hi prod =
+  let keys, values = collect prod in
+  bundle_of_parts (Partition.by_dense_key ~lo ~hi ~keys ~values)
+
+let aggregate_bundle (b : bundle) =
+  Array.map
+    (fun prod ->
+      let keys, values = collect prod in
+      Grouping.hash_based ~keys ~values ())
+    b
+
+let partition_based_grouping ?(hash = Dqo_hash.Hash_fn.Murmur3) ~partitions
+    prod : Group_result.t =
+  let results =
+    aggregate_bundle (partition_by ~hash ~partitions prod)
+  in
+  (* Partitions are disjoint by key, so concatenation is the union. *)
+  let total = Array.fold_left (fun acc r -> acc + Group_result.groups r) 0 results in
+  let keys = Array.make total 0
+  and counts = Array.make total 0
+  and sums = Array.make total 0 in
+  let pos = ref 0 in
+  Array.iter
+    (fun (r : Group_result.t) ->
+      let g = Group_result.groups r in
+      Array.blit r.Group_result.keys 0 keys !pos g;
+      Array.blit r.Group_result.counts 0 counts !pos g;
+      Array.blit r.Group_result.sums 0 sums !pos g;
+      pos := !pos + g)
+    results;
+  { Group_result.keys; counts; sums }

@@ -1,0 +1,55 @@
+(** Push-based, vectorised producer/consumer pipelines.
+
+    Figure 2 of the paper rewrites grouping as
+
+    {v R -> partitionBy(key) => bundle of producers => aggregate each v}
+
+    without committing to any physical realisation.  This module is that
+    abstraction: a {!producer} pushes chunks of (key, payload) pairs into
+    a consumer; {!partition_by} turns one producer into a {!bundle} of
+    independent producers; {!aggregate_bundle} folds each member
+    separately.  Hash-based grouping, SPH grouping, and partitioned
+    grouping are all instantiations of this one pattern
+    ({!partition_based_grouping} demonstrates it). *)
+
+type chunk = { keys : int array; values : int array }
+(** A vector of rows; both arrays have equal length. *)
+
+type producer = (chunk -> unit) -> unit
+(** [p consume] pushes every chunk of the stream into [consume]. *)
+
+type bundle = producer array
+(** Independent producers, e.g. one per group or per partition. *)
+
+val of_arrays : ?chunk_size:int -> keys:int array -> values:int array
+  -> unit -> producer
+(** Chunked scan over column arrays (default chunk size 4096).
+    @raise Invalid_argument on length mismatch or [chunk_size < 1]. *)
+
+val filter : (int -> int -> bool) -> producer -> producer
+(** [filter p prod] keeps rows with [p key value]; chunks are compacted. *)
+
+val map_values : (int -> int) -> producer -> producer
+
+val collect : producer -> int array * int array
+(** Materialise a producer back into columns. *)
+
+val row_count : producer -> int
+
+val partition_by :
+  ?hash:Dqo_hash.Hash_fn.t -> partitions:int -> producer -> bundle
+(** Hash-partition a producer into independent producers (materialises
+    internally — partitioning is a pipeline breaker by nature). *)
+
+val partition_by_dense_key : lo:int -> hi:int -> producer -> bundle
+(** One producer per domain value — the literal Figure 2 semantics. *)
+
+val aggregate_bundle : bundle -> Group_result.t array
+(** Aggregate each member producer independently (COUNT and SUM per key
+    within the member). *)
+
+val partition_based_grouping :
+  ?hash:Dqo_hash.Hash_fn.t -> partitions:int -> producer -> Group_result.t
+(** The paper's partition-based grouping: partition, aggregate each
+    partition with hash grouping, concatenate.  Equivalent to plain HG
+    (tested), but expressed in the producer-bundle algebra. *)

@@ -1,0 +1,15 @@
+let permutation keys =
+  let n = Array.length keys in
+  let perm = Array.init n (fun i -> i) in
+  (* [Array.sort] is not stable; sort (key, index) packed comparisons so
+     ties keep their original order, which makes the permutation stable. *)
+  let cmp i j =
+    let c = Int.compare keys.(i) keys.(j) in
+    if c <> 0 then c else Int.compare i j
+  in
+  Array.sort cmp perm;
+  perm
+
+let by_column r name =
+  let keys = Dqo_data.Relation.int_column r name in
+  Dqo_data.Relation.take r (permutation keys)

@@ -1,0 +1,1 @@
+lib/hash/chain_table.ml: Array Float Hash_fn Option

@@ -1,0 +1,1 @@
+lib/hash/chain_table.mli: Table_intf

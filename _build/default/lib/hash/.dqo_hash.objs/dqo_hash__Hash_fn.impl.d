@@ -1,0 +1,1 @@
+lib/hash/hash_fn.ml:

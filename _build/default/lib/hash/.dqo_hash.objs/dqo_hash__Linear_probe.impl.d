@@ -1,0 +1,1 @@
+lib/hash/linear_probe.ml: Array Float Hash_fn Option

@@ -1,0 +1,1 @@
+lib/hash/linear_probe.mli: Table_intf

@@ -1,0 +1,1 @@
+lib/hash/perfect.ml: Array Dqo_util Hash_fn List

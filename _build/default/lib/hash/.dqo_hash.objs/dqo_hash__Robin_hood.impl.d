@@ -1,0 +1,1 @@
+lib/hash/robin_hood.ml: Array Hash_fn Option

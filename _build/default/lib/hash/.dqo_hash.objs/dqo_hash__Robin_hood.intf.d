@@ -1,0 +1,1 @@
+lib/hash/robin_hood.mli: Table_intf

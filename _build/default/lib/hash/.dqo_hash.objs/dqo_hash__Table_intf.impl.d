@@ -1,0 +1,1 @@
+lib/hash/table_intf.ml: Hash_fn

@@ -1,0 +1,12 @@
+(** Separate-chaining hash table over flat arrays.
+
+    The closest analogue of [std::unordered_map] used by the paper's HG
+    implementation: each bucket heads a linked list of entries.  Chains
+    are encoded in int arrays (no boxed cons cells), but lookups still
+    chase pointers across the entry arrays, giving the classic extra cache
+    miss per chain hop. *)
+
+include Table_intf.TABLE
+
+val average_chain_length : t -> float
+(** Mean length of non-empty chains (for tests/ablations). *)

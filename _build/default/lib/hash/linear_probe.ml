@@ -1,0 +1,86 @@
+(* Buckets are two parallel arrays [keys] and [slots]; [empty_key] marks a
+   free bucket.  We resize at 70% load by rehashing into a table twice the
+   size.  Keys may be any int except [min_int] (reserved sentinel). *)
+
+type t = {
+  hash : Hash_fn.t;
+  mutable keys : int array;
+  mutable slots : int array;
+  mutable mask : int; (* capacity - 1; capacity is a power of two *)
+  mutable count : int;
+}
+
+let name = "linear-probing"
+let empty_key = min_int
+
+let rec next_pow2 n acc = if acc >= n then acc else next_pow2 n (acc * 2)
+
+let create ?(hash = Hash_fn.Murmur3) ~expected () =
+  if expected < 0 then invalid_arg "Linear_probe.create";
+  let cap = next_pow2 (max 16 (expected * 2)) 16 in
+  {
+    hash;
+    keys = Array.make cap empty_key;
+    slots = Array.make cap 0;
+    mask = cap - 1;
+    count = 0;
+  }
+
+let capacity t = t.mask + 1
+let length t = t.count
+let load_factor t = Float.of_int t.count /. Float.of_int (capacity t)
+
+let grow t =
+  let old_keys = t.keys and old_slots = t.slots in
+  let cap = 2 * (t.mask + 1) in
+  t.keys <- Array.make cap empty_key;
+  t.slots <- Array.make cap 0;
+  t.mask <- cap - 1;
+  Array.iteri
+    (fun i k ->
+      if k <> empty_key then begin
+        let j = ref (Hash_fn.apply t.hash k land t.mask) in
+        while t.keys.(!j) <> empty_key do
+          j := (!j + 1) land t.mask
+        done;
+        t.keys.(!j) <- k;
+        t.slots.(!j) <- old_slots.(i)
+      end)
+    old_keys
+
+let find_or_add t key =
+  if 10 * t.count >= 7 * (t.mask + 1) then grow t;
+  let j = ref (Hash_fn.apply t.hash key land t.mask) in
+  let result = ref (-1) in
+  while !result < 0 do
+    let k = t.keys.(!j) in
+    if k = key then result := t.slots.(!j)
+    else if k = empty_key then begin
+      t.keys.(!j) <- key;
+      t.slots.(!j) <- t.count;
+      result := t.count;
+      t.count <- t.count + 1
+    end
+    else j := (!j + 1) land t.mask
+  done;
+  !result
+
+let find t key =
+  let j = ref (Hash_fn.apply t.hash key land t.mask) in
+  let result = ref None in
+  let continue = ref true in
+  while !continue do
+    let k = t.keys.(!j) in
+    if k = key then begin
+      result := Some t.slots.(!j);
+      continue := false
+    end
+    else if k = empty_key then continue := false
+    else j := (!j + 1) land t.mask
+  done;
+  !result
+
+let mem t key = Option.is_some (find t key)
+
+let iter f t =
+  Array.iteri (fun i k -> if k <> empty_key then f k t.slots.(i)) t.keys

@@ -1,0 +1,14 @@
+(** Open-addressing hash table with linear probing.
+
+    Keys and slots live in flat [int] arrays; probing is sequential from
+    the hashed bucket, which is the cache-friendly layout the paper's HG
+    measurements implicitly depend on (runtime grows with the number of
+    groups once the table outgrows the caches). *)
+
+include Table_intf.TABLE
+
+val load_factor : t -> float
+(** Current fill ratio of the underlying array (for tests/ablations). *)
+
+val capacity : t -> int
+(** Current number of buckets (a power of two). *)

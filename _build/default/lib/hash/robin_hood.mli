@@ -1,0 +1,10 @@
+(** Open-addressing hash table with Robin Hood displacement.
+
+    On insertion, an element that has probed further from its home bucket
+    than the resident steals the bucket, bounding probe-length variance.
+    One of the molecule-level alternatives to {!Linear_probe}. *)
+
+include Table_intf.TABLE
+
+val max_probe_length : t -> int
+(** Longest displacement currently in the table (for tests/ablations). *)

@@ -1,0 +1,1 @@
+lib/index/art.ml: Array List Option Printf

@@ -1,0 +1,1 @@
+lib/index/cracking.ml: Array Dqo_util Printf

@@ -1,0 +1,308 @@
+(* Inner layouts follow the ART paper: N4/N16 hold sorted key bytes with
+   parallel children; N48 indirects through a 256-entry byte map into a
+   dense child array; N256 points directly.  Leaves sit as high as their
+   key prefix is unambiguous (lazy expansion); there is no path
+   compression, which only matters for very deep sparse sets.  Keys are
+   consumed as 8 bytes, most significant first, so in-order traversal
+   yields ascending keys. *)
+
+type node =
+  | Empty
+  | Leaf of leaf
+  | N4 of small
+  | N16 of small
+  | N48 of n48
+  | N256 of n256
+
+and leaf = { key : int; mutable value : int }
+
+and small = {
+  mutable count : int;
+  kbytes : int array; (* sorted, first [count] live *)
+  kids : node array;
+}
+
+and n48 = {
+  mutable count48 : int;
+  index : int array; (* byte -> slot in kids48, or -1 *)
+  kids48 : node array;
+}
+
+and n256 = { mutable count256 : int; kids256 : node array }
+
+type t = { mutable root : node; mutable size : int }
+
+let create () = { root = Empty; size = 0 }
+let length t = t.size
+
+let byte_of key depth = (key lsr (8 * (7 - depth))) land 0xFF
+
+let small_make cap = { count = 0; kbytes = Array.make cap 0; kids = Array.make cap Empty }
+
+(* Child lookup per layout; returns [Empty] when the byte is absent. *)
+let child_of node b =
+  match node with
+  | N4 s | N16 s ->
+    let rec scan i =
+      if i >= s.count then Empty
+      else if s.kbytes.(i) = b then s.kids.(i)
+      else scan (i + 1)
+    in
+    scan 0
+  | N48 n -> if n.index.(b) < 0 then Empty else n.kids48.(n.index.(b))
+  | N256 n -> n.kids256.(b)
+  | Empty | Leaf _ -> Empty
+
+(* Replace the child at byte [b]; the byte must already be present. *)
+let set_child node b child =
+  match node with
+  | N4 s | N16 s ->
+    let rec scan i =
+      if i >= s.count then assert false
+      else if s.kbytes.(i) = b then s.kids.(i) <- child
+      else scan (i + 1)
+    in
+    scan 0
+  | N48 n -> n.kids48.(n.index.(b)) <- child
+  | N256 n -> n.kids256.(b) <- child
+  | Empty | Leaf _ -> assert false
+
+(* Add a new (byte, child) pair, growing the layout when full; returns
+   the node to store in the parent (possibly a bigger layout). *)
+let rec add_child node b child =
+  match node with
+  | N4 s | N16 s ->
+    let cap = Array.length s.kbytes in
+    if s.count < cap then begin
+      (* Insert keeping kbytes sorted. *)
+      let pos = ref s.count in
+      while !pos > 0 && s.kbytes.(!pos - 1) > b do
+        s.kbytes.(!pos) <- s.kbytes.(!pos - 1);
+        s.kids.(!pos) <- s.kids.(!pos - 1);
+        decr pos
+      done;
+      s.kbytes.(!pos) <- b;
+      s.kids.(!pos) <- child;
+      s.count <- s.count + 1;
+      node
+    end
+    else if cap = 4 then begin
+      let bigger = small_make 16 in
+      Array.blit s.kbytes 0 bigger.kbytes 0 4;
+      Array.blit s.kids 0 bigger.kids 0 4;
+      bigger.count <- 4;
+      add_child (N16 bigger) b child
+    end
+    else begin
+      let n = { count48 = 0; index = Array.make 256 (-1); kids48 = Array.make 48 Empty } in
+      for i = 0 to s.count - 1 do
+        n.index.(s.kbytes.(i)) <- i;
+        n.kids48.(i) <- s.kids.(i)
+      done;
+      n.count48 <- s.count;
+      add_child (N48 n) b child
+    end
+  | N48 n ->
+    if n.count48 < 48 then begin
+      n.index.(b) <- n.count48;
+      n.kids48.(n.count48) <- child;
+      n.count48 <- n.count48 + 1;
+      node
+    end
+    else begin
+      let big = { count256 = 0; kids256 = Array.make 256 Empty } in
+      Array.iteri
+        (fun byte slot -> if slot >= 0 then big.kids256.(byte) <- n.kids48.(slot))
+        n.index;
+      big.count256 <- 48;
+      add_child (N256 big) b child
+    end
+  | N256 n ->
+    n.kids256.(b) <- child;
+    n.count256 <- n.count256 + 1;
+    node
+  | Empty | Leaf _ -> assert false
+
+let insert t ~key ~value =
+  if key < 0 then invalid_arg "Art.insert: negative key";
+  let rec ins node depth =
+    match node with
+    | Empty ->
+      t.size <- t.size + 1;
+      Leaf { key; value }
+    | Leaf l when l.key = key ->
+      l.value <- value;
+      node
+    | Leaf l ->
+      (* Chain N4s until the two keys' bytes diverge (no path
+         compression), then hang both leaves. *)
+      let rec build d =
+        let bl = byte_of l.key d and bk = byte_of key d in
+        if bl = bk then begin
+          let s = small_make 4 in
+          let inner = build (d + 1) in
+          add_child (N4 s) bl inner
+        end
+        else begin
+          let s = small_make 4 in
+          let s = add_child (N4 s) bl (Leaf l) in
+          add_child s bk (Leaf { key; value })
+        end
+      in
+      t.size <- t.size + 1;
+      build depth
+    | N4 _ | N16 _ | N48 _ | N256 _ -> (
+      let b = byte_of key depth in
+      match child_of node b with
+      | Empty ->
+        t.size <- t.size + 1;
+        add_child node b (Leaf { key; value })
+      | child ->
+        let child' = ins child (depth + 1) in
+        if child' != child then set_child node b child';
+        node)
+  in
+  t.root <- ins t.root 0
+
+let find t key =
+  if key < 0 then None
+  else begin
+    let rec go node depth =
+      match node with
+      | Empty -> None
+      | Leaf l -> if l.key = key then Some l.value else None
+      | N4 _ | N16 _ | N48 _ | N256 _ ->
+        go (child_of node (byte_of key depth)) (depth + 1)
+    in
+    go t.root 0
+  end
+
+let mem t key = Option.is_some (find t key)
+
+(* In-order traversal with subtree pruning on the key interval covered by
+   the current prefix. *)
+let iter_range t ~lo ~hi f =
+  let rec go node prefix depth =
+    match node with
+    | Empty -> ()
+    | Leaf l -> if l.key >= lo && l.key <= hi then f l.key l.value
+    | N4 _ | N16 _ | N48 _ | N256 _ ->
+      let shift = 8 * (8 - depth) in
+      let each b child =
+        let p = (prefix lsl 8) lor b in
+        let child_lo = p lsl (shift - 8) in
+        let child_hi = child_lo lor ((1 lsl (shift - 8)) - 1) in
+        if child_hi >= lo && child_lo <= hi then go child p (depth + 1)
+      in
+      (match node with
+      | N4 s | N16 s ->
+        for i = 0 to s.count - 1 do
+          each s.kbytes.(i) s.kids.(i)
+        done
+      | N48 n ->
+        for b = 0 to 255 do
+          if n.index.(b) >= 0 then each b n.kids48.(n.index.(b))
+        done
+      | N256 n ->
+        for b = 0 to 255 do
+          match n.kids256.(b) with Empty -> () | child -> each b child
+        done
+      | Empty | Leaf _ -> ())
+  in
+  go t.root 0 0
+
+let to_list t =
+  let acc = ref [] in
+  iter_range t ~lo:0 ~hi:max_int (fun k v -> acc := (k, v) :: !acc);
+  List.rev !acc
+
+let node_histogram t =
+  let n4 = ref 0 and n16 = ref 0 and n48 = ref 0 and n256 = ref 0 in
+  let rec walk = function
+    | Empty | Leaf _ -> ()
+    | N4 s ->
+      incr n4;
+      for i = 0 to s.count - 1 do
+        walk s.kids.(i)
+      done
+    | N16 s ->
+      incr n16;
+      for i = 0 to s.count - 1 do
+        walk s.kids.(i)
+      done
+    | N48 n ->
+      incr n48;
+      Array.iter (fun slot -> if slot >= 0 then walk n.kids48.(slot)) n.index
+    | N256 n ->
+      incr n256;
+      Array.iter (fun c -> match c with Empty -> () | c -> walk c) n.kids256
+  in
+  walk t.root;
+  [ ("Node4", !n4); ("Node16", !n16); ("Node48", !n48); ("Node256", !n256) ]
+
+let height t =
+  let rec go = function
+    | Empty -> 0
+    | Leaf _ -> 1
+    | N4 s | N16 s ->
+      let h = ref 0 in
+      for i = 0 to s.count - 1 do
+        h := max !h (go s.kids.(i))
+      done;
+      1 + !h
+    | N48 n ->
+      let h = ref 0 in
+      Array.iter (fun slot -> if slot >= 0 then h := max !h (go n.kids48.(slot))) n.index;
+      1 + !h
+    | N256 n ->
+      let h = ref 0 in
+      Array.iter
+        (fun c -> match c with Empty -> () | c -> h := max !h (go c))
+        n.kids256;
+      1 + !h
+  in
+  go t.root
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let count = ref 0 in
+  let rec walk node prefix depth =
+    match node with
+    | Empty -> ()
+    | Leaf l ->
+      incr count;
+      (* The leaf's key must match the path prefix taken so far. *)
+      if depth > 0 && l.key lsr (8 * (8 - depth)) <> prefix then
+        fail "leaf key %d disagrees with its prefix at depth %d" l.key depth
+    | N4 s | N16 s ->
+      let cap = Array.length s.kbytes in
+      (match node with
+      | N4 _ when cap <> 4 -> fail "N4 with capacity %d" cap
+      | N16 _ when cap <> 16 -> fail "N16 with capacity %d" cap
+      | _ -> ());
+      if s.count < 1 || s.count > cap then fail "small node count %d" s.count;
+      for i = 1 to s.count - 1 do
+        if s.kbytes.(i - 1) >= s.kbytes.(i) then fail "key bytes unsorted"
+      done;
+      for i = 0 to s.count - 1 do
+        walk s.kids.(i) ((prefix lsl 8) lor s.kbytes.(i)) (depth + 1)
+      done
+    | N48 n ->
+      if n.count48 < 1 || n.count48 > 48 then fail "N48 count %d" n.count48;
+      Array.iteri
+        (fun b slot ->
+          if slot >= 0 then begin
+            if slot >= 48 then fail "N48 slot out of range";
+            walk n.kids48.(slot) ((prefix lsl 8) lor b) (depth + 1)
+          end)
+        n.index
+    | N256 n ->
+      Array.iteri
+        (fun b c ->
+          match c with
+          | Empty -> ()
+          | c -> walk c ((prefix lsl 8) lor b) (depth + 1))
+        n.kids256
+  in
+  walk t.root 0 0;
+  if !count <> t.size then fail "size %d but %d leaves" t.size !count

@@ -1,0 +1,44 @@
+(** Adaptive Radix Tree (ART) for non-negative integer keys.
+
+    The paper's research agenda (§6, "Algorithmic Index Views") points at
+    indexes "composed of substructures (atoms), i.e. different nodes and
+    leaf-types", citing the adaptive radix tree as the index that grew
+    the allowed node set.  This implementation realises exactly that:
+    inner nodes adaptively take one of four layouts — Node4 and Node16
+    (sorted key-byte arrays), Node48 (256-way indirection into a dense
+    child array) and Node256 (direct pointers) — and {!node_histogram}
+    exposes which "molecules" a given key distribution actually
+    instantiated.
+
+    Keys are processed as 8 radix bytes, most significant first; leaves
+    are stored lazily at the highest unambiguous level, so sparse key
+    sets stay shallow. *)
+
+type t
+
+val create : unit -> t
+
+val insert : t -> key:int -> value:int -> unit
+(** Adds or overwrites.  @raise Invalid_argument on a negative key. *)
+
+val find : t -> int -> int option
+val mem : t -> int -> bool
+val length : t -> int
+
+val iter_range : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** In ascending key order over [lo <= key <= hi]. *)
+
+val to_list : t -> (int * int) list
+(** All bindings in ascending key order. *)
+
+val node_histogram : t -> (string * int) list
+(** Count of inner nodes per layout, e.g.
+    [[("Node4", 12); ("Node16", 3); ("Node48", 0); ("Node256", 1)]] —
+    the index's molecule composition. *)
+
+val height : t -> int
+(** Longest root-to-leaf path (0 for an empty tree). *)
+
+val check_invariants : t -> unit
+(** Validates layout occupancy bounds and key placement.
+    @raise Failure on the first violated invariant. *)

@@ -1,0 +1,298 @@
+type leaf_search = Linear_scan | Binary_search
+
+type node =
+  | Leaf of leaf
+  | Inner of inner
+
+and leaf = {
+  mutable keys : int array;
+  mutable values : int array;
+  mutable next : leaf option;
+}
+
+and inner = {
+  mutable seps : int array; (* seps.(i) = smallest key of children.(i+1) *)
+  mutable children : node array;
+}
+
+type t = {
+  fanout : int;
+  leaf_search : leaf_search;
+  mutable root : node option;
+  mutable count : int;
+}
+
+let create ?(fanout = 64) ?(leaf_search = Binary_search) () =
+  if fanout < 4 then invalid_arg "Btree.create: fanout < 4";
+  { fanout; leaf_search; root = None; count = 0 }
+
+let length t = t.count
+
+(* Position of [key] in a sorted array per the configured leaf strategy:
+   returns the lower-bound index. *)
+let search_keys strategy keys key =
+  match strategy with
+  | Binary_search -> Dqo_util.Int_array.lower_bound keys key
+  | Linear_scan ->
+    let n = Array.length keys in
+    let rec loop i = if i >= n || keys.(i) >= key then i else loop (i + 1) in
+    loop 0
+
+(* Child index to descend into for [key]. *)
+let child_index inner key =
+  let n = Array.length inner.seps in
+  let rec loop lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if key >= inner.seps.(mid) then loop (mid + 1) hi else loop lo mid
+    end
+  in
+  loop 0 n
+
+let rec find_in t node key =
+  match node with
+  | Leaf l ->
+    let i = search_keys t.leaf_search l.keys key in
+    if i < Array.length l.keys && l.keys.(i) = key then Some l.values.(i)
+    else None
+  | Inner inner -> find_in t inner.children.(child_index inner key) key
+
+let find t key =
+  match t.root with None -> None | Some node -> find_in t node key
+
+let mem t key = Option.is_some (find t key)
+
+let array_insert a i v =
+  let n = Array.length a in
+  let b = Array.make (n + 1) v in
+  Array.blit a 0 b 0 i;
+  Array.blit a i b (i + 1) (n - i);
+  b
+
+(* Result of inserting into a subtree: either done in place, or the node
+   split and we bubble a separator plus a new right sibling. *)
+type split = No_split | Split of int * node
+
+let rec insert_in t node key value =
+  match node with
+  | Leaf l ->
+    let i = search_keys t.leaf_search l.keys key in
+    if i < Array.length l.keys && l.keys.(i) = key then begin
+      l.values.(i) <- value;
+      No_split
+    end
+    else begin
+      t.count <- t.count + 1;
+      l.keys <- array_insert l.keys i key;
+      l.values <- array_insert l.values i value;
+      if Array.length l.keys <= t.fanout then No_split
+      else begin
+        let n = Array.length l.keys in
+        let mid = n / 2 in
+        let right =
+          {
+            keys = Array.sub l.keys mid (n - mid);
+            values = Array.sub l.values mid (n - mid);
+            next = l.next;
+          }
+        in
+        l.keys <- Array.sub l.keys 0 mid;
+        l.values <- Array.sub l.values 0 mid;
+        l.next <- Some right;
+        Split (right.keys.(0), Leaf right)
+      end
+    end
+  | Inner inner ->
+    let ci = child_index inner key in
+    begin
+      match insert_in t inner.children.(ci) key value with
+      | No_split -> No_split
+      | Split (sep, right) ->
+        inner.seps <- array_insert inner.seps ci sep;
+        inner.children <- array_insert inner.children (ci + 1) right;
+        if Array.length inner.children <= t.fanout then No_split
+        else begin
+          let nsep = Array.length inner.seps in
+          let mid = nsep / 2 in
+          let up_sep = inner.seps.(mid) in
+          let right_inner =
+            {
+              seps = Array.sub inner.seps (mid + 1) (nsep - mid - 1);
+              children =
+                Array.sub inner.children (mid + 1)
+                  (Array.length inner.children - mid - 1);
+            }
+          in
+          inner.seps <- Array.sub inner.seps 0 mid;
+          inner.children <- Array.sub inner.children 0 (mid + 1);
+          Split (up_sep, Inner right_inner)
+        end
+    end
+
+let insert t ~key ~value =
+  match t.root with
+  | None ->
+    t.root <- Some (Leaf { keys = [| key |]; values = [| value |]; next = None });
+    t.count <- 1
+  | Some node ->
+    (match insert_in t node key value with
+    | No_split -> ()
+    | Split (sep, right) ->
+      t.root <- Some (Inner { seps = [| sep |]; children = [| node; right |] }))
+
+let bulk_load ?(fanout = 64) ?(leaf_search = Binary_search) pairs =
+  if fanout < 4 then invalid_arg "Btree.bulk_load: fanout < 4";
+  let n = Array.length pairs in
+  for i = 1 to n - 1 do
+    if fst pairs.(i - 1) >= fst pairs.(i) then
+      invalid_arg "Btree.bulk_load: keys must be strictly increasing"
+  done;
+  let t = create ~fanout ~leaf_search () in
+  if n = 0 then t
+  else begin
+    (* Cut the pairs into leaves of ~3/4 fanout, link them, then build
+       inner levels bottom-up. *)
+    let per_leaf = max 2 (3 * fanout / 4) in
+    let n_leaves = (n + per_leaf - 1) / per_leaf in
+    let leaves =
+      Array.init n_leaves (fun li ->
+          let pos = li * per_leaf in
+          let len = min per_leaf (n - pos) in
+          {
+            keys = Array.init len (fun i -> fst pairs.(pos + i));
+            values = Array.init len (fun i -> snd pairs.(pos + i));
+            next = None;
+          })
+    in
+    for i = 0 to n_leaves - 2 do
+      leaves.(i).next <- Some leaves.(i + 1)
+    done;
+    let rec build_level (nodes : node array) (first_keys : int array) =
+      if Array.length nodes = 1 then nodes.(0)
+      else begin
+        let per_inner = max 2 (3 * fanout / 4) in
+        let n_nodes = Array.length nodes in
+        let n_inner = (n_nodes + per_inner - 1) / per_inner in
+        let inners =
+          Array.init n_inner (fun ii ->
+              let pos = ii * per_inner in
+              let len = min per_inner (n_nodes - pos) in
+              {
+                seps = Array.init (len - 1) (fun i -> first_keys.(pos + i + 1));
+                children = Array.sub nodes pos len;
+              })
+        in
+        let inner_first =
+          Array.init n_inner (fun ii -> first_keys.(ii * per_inner))
+        in
+        build_level (Array.map (fun i -> Inner i) inners) inner_first
+      end
+    in
+    let leaf_first = Array.map (fun l -> l.keys.(0)) leaves in
+    t.root <- Some (build_level (Array.map (fun l -> Leaf l) leaves) leaf_first);
+    t.count <- n;
+    t
+  end
+
+let rec leftmost_leaf = function
+  | Leaf l -> l
+  | Inner inner -> leftmost_leaf inner.children.(0)
+
+let rec descend_to_leaf node key =
+  match node with
+  | Leaf l -> l
+  | Inner inner -> descend_to_leaf inner.children.(child_index inner key) key
+
+let iter_range t ~lo ~hi f =
+  match t.root with
+  | None -> ()
+  | Some node ->
+    let leaf = descend_to_leaf node lo in
+    let rec walk l =
+      let n = Array.length l.keys in
+      let start = search_keys t.leaf_search l.keys lo in
+      let stop = ref false in
+      let i = ref start in
+      while (not !stop) && !i < n do
+        if l.keys.(!i) > hi then stop := true
+        else begin
+          f l.keys.(!i) l.values.(!i);
+          incr i
+        end
+      done;
+      if not !stop then
+        match l.next with None -> () | Some next -> walk next
+    in
+    walk leaf
+
+let to_list t =
+  match t.root with
+  | None -> []
+  | Some node ->
+    let acc = ref [] in
+    let rec walk l =
+      acc := !acc @ Array.to_list (Array.map2 (fun k v -> (k, v)) l.keys l.values);
+      match l.next with None -> () | Some next -> walk next
+    in
+    walk (leftmost_leaf node);
+    !acc
+
+let rec height_of = function
+  | Leaf _ -> 1
+  | Inner inner -> 1 + height_of inner.children.(0)
+
+let height t = match t.root with None -> 0 | Some n -> height_of n
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  match t.root with
+  | None -> if t.count <> 0 then fail "empty tree with count %d" t.count
+  | Some root ->
+    (* Every key in subtree i must lie in [lo, hi). *)
+    let rec check node lo hi depth =
+      match node with
+      | Leaf l ->
+        let n = Array.length l.keys in
+        if n = 0 then fail "empty leaf";
+        for i = 0 to n - 1 do
+          let k = l.keys.(i) in
+          if k < lo || k >= hi then fail "leaf key %d outside [%d,%d)" k lo hi;
+          if i > 0 && l.keys.(i - 1) >= k then fail "leaf keys unsorted"
+        done;
+        (depth, n)
+      | Inner inner ->
+        let nc = Array.length inner.children in
+        if nc < 2 then fail "inner with %d children" nc;
+        if Array.length inner.seps <> nc - 1 then fail "sep/child mismatch";
+        let depths = ref [] and total = ref 0 in
+        for i = 0 to nc - 1 do
+          let clo = if i = 0 then lo else inner.seps.(i - 1) in
+          let chi = if i = nc - 1 then hi else inner.seps.(i) in
+          if clo >= chi then fail "separator order violation";
+          let d, c = check inner.children.(i) clo chi (depth + 1) in
+          depths := d :: !depths;
+          total := !total + c
+        done;
+        (match !depths with
+        | [] -> fail "no children"
+        | d :: rest ->
+          if not (List.for_all (Int.equal d) rest) then
+            fail "leaves at different depths");
+        (List.hd !depths, !total)
+    in
+    let _, total = check root min_int max_int 1 in
+    if total <> t.count then fail "count %d but %d keys found" t.count total;
+    (* Leaf chain must enumerate keys in ascending order and cover all. *)
+    let chain = ref 0 and prev = ref min_int in
+    let rec walk l =
+      Array.iter
+        (fun k ->
+          if k < !prev then fail "leaf chain unsorted";
+          prev := k;
+          incr chain)
+        l.keys;
+      match l.next with None -> () | Some next -> walk next
+    in
+    walk (leftmost_leaf root);
+    if !chain <> t.count then fail "leaf chain covers %d of %d" !chain t.count

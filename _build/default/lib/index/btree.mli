@@ -1,0 +1,42 @@
+(** In-memory B+-tree mapping [int] keys to [int] values.
+
+    Built from the small set of node- and leaf-"molecules" the paper's
+    research agenda talks about: inner nodes route by separator keys,
+    leaves store sorted key/value runs and are linked for range scans.
+    The leaf search strategy (linear vs binary) is a molecule-level
+    parameter, exposed for the DQO ablations. *)
+
+type leaf_search = Linear_scan | Binary_search
+
+type t
+
+val create : ?fanout:int -> ?leaf_search:leaf_search -> unit -> t
+(** [create ()] returns an empty tree.  [fanout] bounds keys per node
+    (default 64, minimum 4).
+    @raise Invalid_argument if [fanout < 4]. *)
+
+val bulk_load :
+  ?fanout:int -> ?leaf_search:leaf_search -> (int * int) array -> t
+(** [bulk_load pairs] builds a tree from key-sorted [pairs] bottom-up.
+    @raise Invalid_argument if keys are unsorted or duplicated. *)
+
+val insert : t -> key:int -> value:int -> unit
+(** [insert t ~key ~value] adds or overwrites the binding of [key]. *)
+
+val find : t -> int -> int option
+val mem : t -> int -> bool
+val length : t -> int
+
+val iter_range : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** [iter_range t ~lo ~hi f] applies [f key value] to bindings with
+    [lo <= key <= hi] in ascending key order. *)
+
+val to_list : t -> (int * int) list
+(** All bindings in ascending key order. *)
+
+val height : t -> int
+(** Tree height (0 for an empty tree, 1 for a single leaf). *)
+
+val check_invariants : t -> unit
+(** Validates key ordering, node fill and leaf links.
+    @raise Failure describing the first violated invariant. *)

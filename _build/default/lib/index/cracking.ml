@@ -1,0 +1,130 @@
+(* The cracker column is a permutation of (value, rowid) pairs.  The
+   cracker index maps pivot values to positions: all values < pivot lie
+   left of the position.  We keep the index as sorted parallel arrays of
+   (pivot, position), small enough that insertion by shifting is cheap
+   relative to the partitioning work itself. *)
+
+type t = {
+  values : int array; (* cracker column *)
+  rowids : int array;
+  mutable pivots : int array; (* sorted *)
+  mutable positions : int array; (* positions.(i): first index with
+                                    value >= pivots.(i) *)
+}
+
+let create column =
+  let n = Array.length column in
+  {
+    values = Array.copy column;
+    rowids = Array.init n (fun i -> i);
+    pivots = [||];
+    positions = [||];
+  }
+
+let piece_count t = Array.length t.pivots + 1
+
+(* Find the piece [lo_pos, hi_pos) that would contain [pivot]. *)
+let piece_of t pivot =
+  let np = Array.length t.pivots in
+  let i = Dqo_util.Int_array.lower_bound t.pivots pivot in
+  let lo_pos = if i = 0 then 0 else t.positions.(i - 1) in
+  let hi_pos = if i >= np then Array.length t.values else t.positions.(i) in
+  (i, lo_pos, hi_pos)
+
+let swap t i j =
+  Dqo_util.Int_array.swap t.values i j;
+  Dqo_util.Int_array.swap t.rowids i j
+
+(* Hoare-style partition of [lo, hi) so that values < pivot precede values
+   >= pivot; returns the split position. *)
+let partition t pivot lo hi =
+  let i = ref lo and j = ref (hi - 1) in
+  while !i <= !j do
+    while !i <= !j && t.values.(!i) < pivot do
+      incr i
+    done;
+    while !i <= !j && t.values.(!j) >= pivot do
+      decr j
+    done;
+    if !i < !j then begin
+      swap t !i !j;
+      incr i;
+      decr j
+    end
+  done;
+  !i
+
+let array_insert a i v =
+  let n = Array.length a in
+  let b = Array.make (n + 1) v in
+  Array.blit a 0 b 0 i;
+  Array.blit a i b (i + 1) (n - i);
+  b
+
+(* Crack at [pivot]: afterwards there is a recorded position p such that
+   values.(k) < pivot iff k < p.  Returns p. *)
+let crack t pivot =
+  let i, lo_pos, hi_pos = piece_of t pivot in
+  if i < Array.length t.pivots && t.pivots.(i) = pivot then t.positions.(i)
+  else begin
+    let p = partition t pivot lo_pos hi_pos in
+    t.pivots <- array_insert t.pivots i pivot;
+    t.positions <- array_insert t.positions i p;
+    p
+  end
+
+let query_range t ~lo ~hi =
+  let start = crack t lo in
+  let stop = crack t (hi + 1) in
+  Array.sub t.rowids start (max 0 (stop - start))
+
+let count_range t ~lo ~hi =
+  let start = crack t lo in
+  let stop = crack t (hi + 1) in
+  max 0 (stop - start)
+
+let is_converged t =
+  let n = Array.length t.values in
+  let np = Array.length t.pivots in
+  let rec loop i prev_pos ok =
+    if not ok then false
+    else if i > np then ok
+    else begin
+      let hi_pos = if i = np then n else t.positions.(i) in
+      let width = hi_pos - prev_pos in
+      let single =
+        width <= 1
+        ||
+        let v = t.values.(prev_pos) in
+        let rec same j = j >= hi_pos || (t.values.(j) = v && same (j + 1)) in
+        same (prev_pos + 1)
+      in
+      loop (i + 1) hi_pos single
+    end
+  in
+  loop 0 0 true
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let np = Array.length t.pivots in
+  if Array.length t.positions <> np then fail "pivot/position length mismatch";
+  for i = 1 to np - 1 do
+    if t.pivots.(i - 1) >= t.pivots.(i) then fail "pivots unsorted";
+    if t.positions.(i - 1) > t.positions.(i) then fail "positions unsorted"
+  done;
+  let n = Array.length t.values in
+  for i = 0 to np - 1 do
+    let p = t.positions.(i) in
+    if p < 0 || p > n then fail "position out of range";
+    for k = 0 to n - 1 do
+      let v = t.values.(k) in
+      if k < p && v >= t.pivots.(i) then fail "value >= pivot left of cut";
+      if k >= p && v < t.pivots.(i) then fail "value < pivot right of cut"
+    done
+  done;
+  (* The cracker column must remain a permutation of the base column. *)
+  let sorted_rowids = Array.copy t.rowids in
+  Dqo_util.Int_array.sort sorted_rowids;
+  Array.iteri
+    (fun i r -> if r <> i then fail "rowids are not a permutation")
+    sorted_rowids

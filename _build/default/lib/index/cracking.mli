@@ -1,0 +1,33 @@
+(** Database cracking: an adaptive, incrementally-built index.
+
+    The paper's research agenda casts an adaptive index as a {e partial
+    algorithmic view} — optimisation decisions delegated to query time.
+    This module implements classic crack-in-two: each range query
+    physically reorganises just enough of the column copy to answer
+    itself, and remembers the partition boundaries for later queries. *)
+
+type t
+
+val create : int array -> t
+(** [create column] initialises the cracker column as an unindexed copy;
+    the base column is not modified. *)
+
+val query_range : t -> lo:int -> hi:int -> int array
+(** [query_range t ~lo ~hi] returns the row ids (positions in the base
+    column) whose value is in [\[lo, hi\]], cracking the column as a side
+    effect. *)
+
+val count_range : t -> lo:int -> hi:int -> int
+(** Like {!query_range} but returns only the count. *)
+
+val piece_count : t -> int
+(** Number of pieces the cracker column is currently split into;  grows
+    with query activity and measures index refinement (1 = untouched). *)
+
+val is_converged : t -> bool
+(** True once every piece is a single value or empty — i.e. the adaptive
+    index has become a full sort. *)
+
+val check_invariants : t -> unit
+(** Verifies that pieces partition the value range.
+    @raise Failure on violation. *)

@@ -1,0 +1,22 @@
+module Int_array = Dqo_util.Int_array
+
+type t = { keys : int array }
+
+let build keys = { keys = Int_array.distinct_sorted keys }
+
+let of_sorted_distinct u =
+  if not (Int_array.is_sorted u) then
+    invalid_arg "Sorted_array.of_sorted_distinct: not sorted";
+  { keys = u }
+
+let rank t key = Int_array.binary_search t.keys key
+
+let rank_exn t key =
+  match rank t key with Some r -> r | None -> raise Not_found
+
+let length t = Array.length t.keys
+let key_at t slot = t.keys.(slot)
+let keys t = t.keys
+
+let range t ~lo ~hi =
+  (Int_array.lower_bound t.keys lo, Int_array.upper_bound t.keys hi)

@@ -1,0 +1,32 @@
+(** Sorted-array index.
+
+    The substrate of binary-search-based grouping (BSG) and joins (BSJ):
+    a sorted array of distinct keys where the rank of a key is its dense
+    slot.  Lookup is O(log #keys), construction one sort. *)
+
+type t
+
+val build : int array -> t
+(** [build keys] indexes the distinct values of [keys]. *)
+
+val of_sorted_distinct : int array -> t
+(** [of_sorted_distinct u] trusts that [u] is sorted and duplicate-free
+    (as produced by dataset generators).
+    @raise Invalid_argument if [u] is found unsorted (checked). *)
+
+val rank : t -> int -> int option
+(** [rank t key] is the dense slot of [key] if present. *)
+
+val rank_exn : t -> int -> int
+(** @raise Not_found if the key is absent. *)
+
+val length : t -> int
+val key_at : t -> int -> int
+(** [key_at t slot] is the inverse of {!rank}. *)
+
+val keys : t -> int array
+(** The backing sorted array (shared, not copied). *)
+
+val range : t -> lo:int -> hi:int -> int * int
+(** [range t ~lo ~hi] is the half-open slot interval of keys in
+    [\[lo, hi\]]. *)

@@ -1,0 +1,1 @@
+lib/opt/catalog.ml: Array Dqo_data Dqo_exec Dqo_plan Hashtbl List String

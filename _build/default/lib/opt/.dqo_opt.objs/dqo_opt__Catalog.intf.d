@@ -1,0 +1,1 @@
+lib/opt/catalog.mli: Dqo_data Dqo_plan

@@ -1,0 +1,1 @@
+lib/opt/dqo.ml: Search

@@ -1,0 +1,1 @@
+lib/opt/dqo.mli: Catalog Dqo_cost Dqo_plan Pareto Search

@@ -1,0 +1,1 @@
+lib/opt/explain.ml: Dqo_plan Format Pareto Search

@@ -1,0 +1,1 @@
+lib/opt/explain.mli: Catalog Dqo_cost Dqo_plan Format Pareto

@@ -1,0 +1,1 @@
+lib/opt/pareto.ml: Dqo_plan Format List

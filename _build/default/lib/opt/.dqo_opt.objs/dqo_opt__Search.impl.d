@@ -1,0 +1,1 @@
+lib/opt/search.ml: Array Catalog Dqo_cost Dqo_exec Dqo_hash Dqo_plan Dqo_util Float Hashtbl Int List Pareto String

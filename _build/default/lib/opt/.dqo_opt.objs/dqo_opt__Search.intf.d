@@ -1,0 +1,1 @@
+lib/opt/search.mli: Catalog Dqo_cost Dqo_plan Pareto

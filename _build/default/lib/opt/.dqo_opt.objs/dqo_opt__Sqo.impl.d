@@ -1,0 +1,1 @@
+lib/opt/sqo.ml: Search

@@ -1,0 +1,34 @@
+(** Optimiser-facing catalog: per-relation cardinalities and base
+    properties.
+
+    The optimiser never touches the data; it sees only what this catalog
+    records.  {!of_relation} measures a real relation's statistics so
+    that end-to-end runs optimise against ground truth, while synthetic
+    entries ({!table}) let tests and the Figure 5 reproduction state
+    cardinalities directly, as the paper does. *)
+
+type table_info = {
+  name : string;
+  rows : int;
+  props : Dqo_plan.Props.t;
+}
+
+type t
+
+val create : table_info list -> t
+(** @raise Invalid_argument on duplicate relation names. *)
+
+val table : name:string -> rows:int -> props:Dqo_plan.Props.t -> table_info
+
+val of_relation : string -> Dqo_data.Relation.t -> table_info
+(** Measure every integer column with {!Dqo_data.Col_stats.analyze}.
+    Non-integer columns get no property entry. *)
+
+val find : t -> string -> table_info
+(** @raise Not_found for an unknown relation. *)
+
+val mem : t -> string -> bool
+val tables : t -> table_info list
+
+val columns_of : t -> string -> string list
+(** Column names with recorded properties, in catalog order. *)

@@ -1,0 +1,3 @@
+let optimize ?model catalog l = Search.optimize ?model Search.Deep catalog l
+let pareto ?model catalog l = Search.optimize_entries ?model Search.Deep catalog l
+let improvement_factor = Search.improvement_factor

@@ -1,0 +1,17 @@
+let entry ppf (e : Pareto.entry) =
+  Format.fprintf ppf
+    "@[<v>cost      %.0f@,rows      %d@,props     %a@,plan:@,%a@]"
+    e.Pareto.cost e.Pareto.rows Dqo_plan.Props.pp e.Pareto.props
+    Dqo_plan.Physical.pp e.Pareto.plan
+
+let comparison ?model catalog l =
+  let shallow = Search.optimize ?model Search.Shallow catalog l in
+  let deep = Search.optimize ?model Search.Deep catalog l in
+  let factor =
+    if deep.Pareto.cost <= 0.0 then 1.0
+    else shallow.Pareto.cost /. deep.Pareto.cost
+  in
+  Format.asprintf
+    "@[<v>=== SQO (shallow) ===@,%a@,@,=== DQO (deep) ===@,%a@,@,\
+     improvement factor (estimated cost): %.2fx@]"
+    entry shallow entry deep factor

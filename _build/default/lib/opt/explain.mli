@@ -1,0 +1,12 @@
+(** Plan explanation: render optimiser decisions for humans. *)
+
+val entry : Format.formatter -> Pareto.entry -> unit
+(** Plan tree with total cost, output cardinality, and properties. *)
+
+val comparison :
+  ?model:Dqo_cost.Model.t ->
+  Catalog.t ->
+  Dqo_plan.Logical.t ->
+  string
+(** Side-by-side SQO vs DQO report for a query: both chosen plans, both
+    costs, and the improvement factor. *)

@@ -1,0 +1,408 @@
+module Props = Dqo_plan.Props
+module Physical = Dqo_plan.Physical
+module Logical = Dqo_plan.Logical
+module Model = Dqo_cost.Model
+module Cardinality = Dqo_cost.Cardinality
+module Grouping = Dqo_exec.Grouping
+module Join = Dqo_exec.Join
+module Filter = Dqo_exec.Filter
+module Bitset = Dqo_util.Bitset
+
+type mode = Shallow | Deep
+
+type stats = { plans_considered : int; pareto_kept : int }
+
+type ctx = {
+  mode : mode;
+  model : Model.t;
+  catalog : Catalog.t;
+  interesting : string list;
+  mutable considered : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Interesting columns: any column a sort could later pay off on.      *)
+
+let interesting_columns l =
+  let rec go acc = function
+    | Logical.Scan _ -> acc
+    | Logical.Select (t, _, _) | Logical.Project (t, _) -> go acc t
+    | Logical.Join (a, b, lc, rc) -> go (go (lc :: rc :: acc) a) b
+    | Logical.Group_by (t, key, _) -> go (key :: acc) t
+  in
+  List.sort_uniq String.compare (go [] l)
+
+(* ------------------------------------------------------------------ *)
+(* Entry helpers.                                                      *)
+
+let count ctx n = ctx.considered <- ctx.considered + n
+
+let distinct_or props col default =
+  match Props.distinct_of props col with Some d -> d | None -> default
+
+(* After an operator produced [rows] tuples, no column can have more
+   distinct values than that. *)
+let scale_columns (props : Props.t) rows =
+  {
+    props with
+    Props.columns =
+      List.map
+        (fun (n, (c : Props.column)) ->
+          (n, { c with Props.distinct = min c.Props.distinct (max rows 0) }))
+        props.Props.columns;
+  }
+
+let base_entry ctx name =
+  let ti = Catalog.find ctx.catalog name in
+  let props =
+    match ctx.mode with
+    | Shallow -> Props.shallow ti.Catalog.props
+    | Deep -> ti.Catalog.props
+  in
+  {
+    Pareto.plan = Physical.Table_scan name;
+    cost = 0.0;
+    props;
+    rows = ti.Catalog.rows;
+  }
+
+(* Sort enforcers: for every interesting column the entry knows about
+   and is not already sorted on, offer a sorted variant. *)
+let with_enforcers ctx entries =
+  let enforced =
+    List.concat_map
+      (fun (e : Pareto.entry) ->
+        List.filter_map
+          (fun col ->
+            match Props.column e.Pareto.props col with
+            | None -> None
+            | Some _ ->
+              if Props.sorted_on e.Pareto.props col then None
+              else
+                Some
+                  {
+                    Pareto.plan = Physical.Sort_enforcer (e.Pareto.plan, col);
+                    cost =
+                      e.Pareto.cost
+                      +. Model.sort_cost ctx.model ~rows:e.Pareto.rows;
+                    props = Props.with_sort e.Pareto.props col;
+                    rows = e.Pareto.rows;
+                  })
+          ctx.interesting)
+      entries
+  in
+  count ctx (List.length enforced);
+  Pareto.add_all (Pareto.add_all [] entries) enforced
+
+(* ------------------------------------------------------------------ *)
+(* Molecule enumeration: which (table, hash) pairs to consider for the
+   hash-based operators.                                               *)
+
+let hash_molecules ctx =
+  match ctx.mode with
+  | Deep when ctx.model.Model.deep_molecules ->
+    List.concat_map
+      (fun table ->
+        List.map
+          (fun hash -> (table, hash))
+          [
+            Dqo_hash.Hash_fn.Murmur3;
+            Dqo_hash.Hash_fn.Fibonacci;
+            Dqo_hash.Hash_fn.Multiply_shift;
+          ])
+      [ Grouping.Chaining; Grouping.Linear_probing; Grouping.Robin_hood ]
+  | Deep | Shallow -> [ (Grouping.Chaining, Dqo_hash.Hash_fn.Murmur3) ]
+
+(* ------------------------------------------------------------------ *)
+(* Select / project.                                                   *)
+
+let default_selectivity props col p rows =
+  match Props.column props col with
+  | Some c when c.Props.hi >= c.Props.lo ->
+    Filter.selectivity p ~lo:c.Props.lo ~hi:c.Props.hi
+  | Some _ | None -> (
+    match p with
+    | Filter.Eq _ -> 1.0 /. Float.of_int (max 1 rows)
+    | Filter.Ne _ -> 1.0
+    | Filter.Lt _ | Filter.Le _ | Filter.Gt _ | Filter.Ge _ -> 0.33
+    | Filter.Between _ -> 0.25)
+
+let narrow_column props col p =
+  let update (c : Props.column) =
+    match p with
+    | Filter.Eq x -> { c with Props.lo = x; hi = x; distinct = 1 }
+    | Filter.Between (a, b) ->
+      let lo = max c.Props.lo a and hi = min c.Props.hi b in
+      let span = max 0 (hi - lo + 1) in
+      { c with Props.lo; hi; distinct = min c.Props.distinct span }
+    | Filter.Ne _ | Filter.Lt _ | Filter.Le _ | Filter.Gt _ | Filter.Ge _ ->
+      c
+  in
+  {
+    props with
+    Props.columns =
+      List.map
+        (fun (n, c) -> if String.equal n col then (n, update c) else (n, c))
+        props.Props.columns;
+  }
+
+let select_entry ctx col p (e : Pareto.entry) =
+  let sel = default_selectivity e.Pareto.props col p e.Pareto.rows in
+  let rows = Cardinality.filter ~rows:e.Pareto.rows ~selectivity:sel in
+  let props = scale_columns (narrow_column e.Pareto.props col p) rows in
+  {
+    Pareto.plan = Physical.Filter_op (e.Pareto.plan, col, p);
+    cost = e.Pareto.cost +. Model.filter_cost ctx.model ~rows:e.Pareto.rows;
+    props;
+    rows;
+  }
+
+let project_entry cols (e : Pareto.entry) =
+  {
+    e with
+    Pareto.plan = Physical.Project_op (e.Pareto.plan, cols);
+    props = Props.restrict e.Pareto.props cols;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Join candidates for one pair of Pareto entries and one predicate.   *)
+
+let join_candidates ctx (e1 : Pareto.entry) (e2 : Pareto.entry) c1 c2 =
+  let d1 = distinct_or e1.Pareto.props c1 e1.Pareto.rows in
+  let d2 = distinct_or e2.Pareto.props c2 e2.Pareto.rows in
+  let out_rows =
+    Cardinality.equi_join ~left_rows:e1.Pareto.rows ~right_rows:e2.Pareto.rows
+      ~left_distinct:d1 ~right_distinct:d2
+  in
+  let union = Props.union_columns e1.Pareto.props e2.Pareto.props in
+  let unordered = scale_columns union out_rows in
+  let ordered = scale_columns (Props.with_sort union c1) out_rows in
+  let mk impl cost props =
+    {
+      Pareto.plan =
+        Physical.Join_op (e1.Pareto.plan, e2.Pareto.plan, c1, c2, impl);
+      cost = e1.Pareto.cost +. e2.Pareto.cost +. cost;
+      props;
+      rows = out_rows;
+    }
+  in
+  let jcost impl =
+    Model.join_cost ctx.model ~impl ~left_rows:e1.Pareto.rows
+      ~right_rows:e2.Pareto.rows ~left_distinct:d1
+  in
+  let hash_joins =
+    List.map
+      (fun (table, hash) ->
+        let impl =
+          { Physical.j_alg = Join.HJ; j_table = table; j_hash = hash }
+        in
+        (* A black-box hash table's output order is unknown — the paper's
+           "assume unordered to be on the safe side". *)
+        mk impl (jcost impl) unordered)
+      (hash_molecules ctx)
+  in
+  let simple alg props =
+    let impl = Physical.default_join alg in
+    mk impl (jcost impl) props
+  in
+  let candidates =
+    hash_joins
+    @ (if
+         Props.sorted_on e1.Pareto.props c1
+         && Props.sorted_on e2.Pareto.props c2
+       then [ simple Join.OJ ordered ]
+       else [])
+    @ [ simple Join.SOJ ordered ]
+    @ (if Props.dense_on e1.Pareto.props c1 then
+         [ simple Join.SPHJ unordered ]
+       else [])
+    @
+    match Props.column e1.Pareto.props c1 with
+    | Some _ -> [ simple Join.BSJ unordered ]
+    | None -> []
+  in
+  count ctx (List.length candidates);
+  candidates
+
+(* ------------------------------------------------------------------ *)
+(* Join-subtree DP over relation subsets (System-R style, no cross
+   products).                                                          *)
+
+let rec flatten_joins l =
+  match l with
+  | Logical.Join (a, b, lc, rc) ->
+    let la, pa = flatten_joins a in
+    let lb, pb = flatten_joins b in
+    (la @ lb, (lc, rc) :: (pa @ pb))
+  | Logical.Scan _ | Logical.Select _ | Logical.Project _
+  | Logical.Group_by _ ->
+    ([ l ], [])
+
+let rec plan_node ctx (l : Logical.t) : Pareto.entry list =
+  match l with
+  | Logical.Scan name -> with_enforcers ctx [ base_entry ctx name ]
+  | Logical.Select (t, col, p) ->
+    let inputs = plan_node ctx t in
+    with_enforcers ctx
+      (Pareto.add_all [] (List.map (select_entry ctx col p) inputs))
+  | Logical.Project (t, cols) ->
+    let inputs = plan_node ctx t in
+    Pareto.add_all [] (List.map (project_entry cols) inputs)
+  | Logical.Join _ -> join_dp ctx l
+  | Logical.Group_by (t, key, aggs) ->
+    let inputs = plan_node ctx t in
+    let candidates =
+      List.concat_map (fun e -> group_candidates ctx e key aggs) inputs
+    in
+    Pareto.add_all [] candidates
+
+and join_dp ctx l =
+  let leaves, predicates = flatten_joins l in
+  let k = List.length leaves in
+  let leaf_sets = Array.of_list (List.map (plan_node ctx) leaves) in
+  (* Column -> leaf index, from each leaf's property column lists. *)
+  let col_leaf = Hashtbl.create 16 in
+  Array.iteri
+    (fun i entries ->
+      match entries with
+      | [] -> ()
+      | e :: _ ->
+        List.iter
+          (fun (n, _) ->
+            if not (Hashtbl.mem col_leaf n) then Hashtbl.add col_leaf n i)
+          e.Pareto.props.Props.columns)
+    leaf_sets;
+  let leaf_of col =
+    match Hashtbl.find_opt col_leaf col with
+    | Some i -> i
+    | None -> raise Not_found
+  in
+  (* A predicate oriented so that its first column lives in [s1]. *)
+  let connecting s1 s2 =
+    List.find_map
+      (fun (lc, rc) ->
+        try
+          let ll = leaf_of lc and rl = leaf_of rc in
+          if Bitset.mem ll s1 && Bitset.mem rl s2 then Some (lc, rc)
+          else if Bitset.mem rl s1 && Bitset.mem ll s2 then Some (rc, lc)
+          else None
+        with Not_found -> None)
+      predicates
+  in
+  let memo = Hashtbl.create 64 in
+  for i = 0 to k - 1 do
+    Hashtbl.replace memo (Bitset.singleton i) leaf_sets.(i)
+  done;
+  let full = Bitset.full k in
+  let all_subsets =
+    (* Subsets of the full leaf set, by ascending cardinality, so every
+       proper split is computed before it is needed. *)
+    List.sort
+      (fun a b -> Int.compare (Bitset.cardinal a) (Bitset.cardinal b))
+      (List.filter
+         (fun s -> Bitset.cardinal s >= 2)
+         (full :: Bitset.subsets full))
+  in
+  List.iter
+    (fun s ->
+      let candidates = ref [] in
+      List.iter
+        (fun s1 ->
+          let s2 = Bitset.diff s s1 in
+          match connecting s1 s2 with
+          | None -> ()
+          | Some (c1, c2) ->
+            let p1 = try Hashtbl.find memo s1 with Not_found -> [] in
+            let p2 = try Hashtbl.find memo s2 with Not_found -> [] in
+            List.iter
+              (fun e1 ->
+                List.iter
+                  (fun e2 ->
+                    candidates :=
+                      join_candidates ctx e1 e2 c1 c2 @ !candidates)
+                  p2)
+              p1)
+        (Bitset.subsets s);
+      Hashtbl.replace memo s
+        (with_enforcers ctx (Pareto.add_all [] !candidates)))
+    all_subsets;
+  match Hashtbl.find_opt memo full with
+  | Some [] | None ->
+    invalid_arg "Search: join graph is disconnected (cross product needed)"
+  | Some entries -> entries
+
+and group_candidates ctx (e : Pareto.entry) key aggs =
+  let groups =
+    min (max 1 (distinct_or e.Pareto.props key e.Pareto.rows)) (max 1 e.Pareto.rows)
+  in
+  let out_rows = Cardinality.group_by ~key_distinct:groups in
+  let key_props sorted =
+    let columns =
+      match Props.column e.Pareto.props key with
+      | Some c -> [ (key, { c with Props.distinct = groups }) ]
+      | None -> []
+    in
+    {
+      Props.sorted_by = (if sorted then Some key else None);
+      (* Every key appears exactly once in a grouping output, so the
+         result is trivially clustered by key. *)
+      clustered_by = Some key;
+      columns;
+      co_ordered = [];
+    }
+  in
+  let mk impl props =
+    let cost =
+      Model.grouping_cost ctx.model ~impl ~rows:e.Pareto.rows ~groups
+    in
+    {
+      Pareto.plan = Physical.Group_op (e.Pareto.plan, key, aggs, impl);
+      cost = e.Pareto.cost +. cost;
+      props;
+      rows = out_rows;
+    }
+  in
+  let hash_groupings =
+    List.map
+      (fun (table, hash) ->
+        mk
+          { Physical.g_alg = Grouping.HG; g_table = table; g_hash = hash }
+          (key_props false))
+      (hash_molecules ctx)
+  in
+  let simple alg sorted = mk (Physical.default_grouping alg) (key_props sorted) in
+  let candidates =
+    hash_groupings
+    @ (if Props.clustered_on e.Pareto.props key then
+         [ simple Grouping.OG (Props.sorted_on e.Pareto.props key) ]
+       else [])
+    @ [ simple Grouping.SOG true ]
+    @ (if Props.dense_on e.Pareto.props key then
+         [ simple Grouping.SPHG true ]
+       else [])
+    @
+    match Props.column e.Pareto.props key with
+    | Some _ -> [ simple Grouping.BSG true ]
+    | None -> []
+  in
+  count ctx (List.length candidates);
+  candidates
+
+(* ------------------------------------------------------------------ *)
+
+let optimize_entries ?(model = Model.table2) mode catalog l =
+  let ctx =
+    { mode; model; catalog; interesting = interesting_columns l; considered = 0 }
+  in
+  let entries = plan_node ctx l in
+  (entries, { plans_considered = ctx.considered; pareto_kept = List.length entries })
+
+let optimize ?model mode catalog l =
+  let entries, _ = optimize_entries ?model mode catalog l in
+  Pareto.cheapest entries
+
+let improvement_factor ?model catalog l =
+  let shallow = optimize ?model Shallow catalog l in
+  let deep = optimize ?model Deep catalog l in
+  if deep.Pareto.cost <= 0.0 then 1.0
+  else shallow.Pareto.cost /. deep.Pareto.cost

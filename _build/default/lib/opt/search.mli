@@ -1,0 +1,52 @@
+(** The plan enumerator shared by SQO and DQO.
+
+    One dynamic-programming search implements both optimisers; the only
+    differences, exactly as the paper frames them, are
+
+    {ul
+    {- {b property vector}: shallow mode projects base properties
+       through {!Dqo_plan.Props.shallow}, erasing density — so SPH-based
+       alternatives are never applicable;}
+    {- {b unnesting depth}: deep mode may additionally enumerate
+       molecule-level choices (hash-table layout, hash function) when
+       the cost model distinguishes them.}}
+
+    The search translates a logical tree bottom-up; maximal join
+    subtrees are optimised with System-R style DP over relation subsets
+    (no cross products), keeping a Pareto set of (cost, properties) per
+    subset; a sort enforcer may establish any interesting order. *)
+
+type mode = Shallow | Deep
+
+type stats = {
+  plans_considered : int;  (** Candidate entries generated. *)
+  pareto_kept : int;  (** Entries surviving in the root Pareto set. *)
+}
+
+val optimize_entries :
+  ?model:Dqo_cost.Model.t ->
+  mode ->
+  Catalog.t ->
+  Dqo_plan.Logical.t ->
+  Pareto.entry list * stats
+(** Root Pareto set for the query, with search statistics.
+    @raise Not_found if the query mentions a relation absent from the
+    catalog;
+    @raise Invalid_argument if a join has no connecting predicate (cross
+    products are not enumerated). *)
+
+val optimize :
+  ?model:Dqo_cost.Model.t ->
+  mode ->
+  Catalog.t ->
+  Dqo_plan.Logical.t ->
+  Pareto.entry
+(** Cheapest plan. *)
+
+val improvement_factor :
+  ?model:Dqo_cost.Model.t ->
+  Catalog.t ->
+  Dqo_plan.Logical.t ->
+  float
+(** [SQO best cost / DQO best cost] — the quantity of the paper's
+    Figure 5 ([1.0] means DQO found nothing better). *)

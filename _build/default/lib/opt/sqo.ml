@@ -1,0 +1,2 @@
+let optimize ?model catalog l = Search.optimize ?model Search.Shallow catalog l
+let pareto ?model catalog l = Search.optimize_entries ?model Search.Shallow catalog l

@@ -1,0 +1,19 @@
+(** Shallow Query Optimisation — the baseline of the paper.
+
+    Classic dynamic programming with interesting orders: physical
+    operators are black boxes, and the only data property tracked is
+    sortedness.  Implemented as {!Search} in shallow mode; see that
+    module for the machinery. *)
+
+val optimize :
+  ?model:Dqo_cost.Model.t ->
+  Catalog.t ->
+  Dqo_plan.Logical.t ->
+  Pareto.entry
+(** Cheapest shallow plan. *)
+
+val pareto :
+  ?model:Dqo_cost.Model.t ->
+  Catalog.t ->
+  Dqo_plan.Logical.t ->
+  Pareto.entry list * Search.stats

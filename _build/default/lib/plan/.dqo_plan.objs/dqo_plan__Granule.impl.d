@@ -1,0 +1,1 @@
+lib/plan/granule.ml: Format List String

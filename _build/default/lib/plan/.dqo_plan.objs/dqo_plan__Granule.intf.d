@@ -1,0 +1,1 @@
+lib/plan/granule.mli: Format

@@ -1,0 +1,1 @@
+lib/plan/logical.ml: Dqo_exec Format Hashtbl List Printf String

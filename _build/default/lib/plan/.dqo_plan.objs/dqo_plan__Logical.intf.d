@@ -1,0 +1,1 @@
+lib/plan/logical.mli: Dqo_exec Format

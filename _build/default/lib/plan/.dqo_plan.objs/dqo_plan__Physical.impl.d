@@ -1,0 +1,1 @@
+lib/plan/physical.ml: Dqo_exec Dqo_hash Format List Logical Printf String

@@ -1,0 +1,1 @@
+lib/plan/physical.mli: Dqo_exec Dqo_hash Format Logical

@@ -1,0 +1,1 @@
+lib/plan/props.ml: Dqo_data Format List Option String

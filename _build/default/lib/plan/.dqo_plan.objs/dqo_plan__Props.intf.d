@@ -1,0 +1,1 @@
+lib/plan/props.mli: Dqo_data Format

@@ -1,0 +1,269 @@
+type level = Cell | Organelle | Macro_molecule | Molecule | Atom
+
+let level_name = function
+  | Cell -> "physical query plan"
+  | Organelle -> "physical operator"
+  | Macro_molecule -> "index/scan/bulkload method"
+  | Molecule -> "node type, hash function, probing"
+  | Atom -> "assignment, loop, arithmetic"
+
+let biology_analogue = function
+  | Cell -> "living cell"
+  | Organelle -> "organelle"
+  | Macro_molecule -> "macro-molecule"
+  | Molecule -> "molecule"
+  | Atom -> "atom"
+
+let typical_loc = function
+  | Cell -> 10_000
+  | Organelle -> 1_000
+  | Macro_molecule -> 100
+  | Molecule -> 10
+  | Atom -> 1
+
+let deeper = function
+  | Cell -> Some Organelle
+  | Organelle -> Some Macro_molecule
+  | Macro_molecule -> Some Molecule
+  | Molecule -> Some Atom
+  | Atom -> None
+
+let level_rank = function
+  | Cell -> 0
+  | Organelle -> 1
+  | Macro_molecule -> 2
+  | Molecule -> 3
+  | Atom -> 4
+
+type requirement =
+  | Requires_dense
+  | Requires_clustered
+  | Requires_sorted
+  | Requires_known_universe
+
+let requirement_name = function
+  | Requires_dense -> "dense key domain"
+  | Requires_clustered -> "clustered input"
+  | Requires_sorted -> "sorted input"
+  | Requires_known_universe -> "known key universe"
+
+type component = { name : string; level : level; decisions : decision list }
+and decision = { dimension : string; options : option_ list }
+and option_ = { choice : string; requires : requirement list; sub : component list }
+
+let opt ?(requires = []) ?(sub = []) choice = { choice; requires; sub }
+
+(* Shared molecule components. *)
+
+let loop_atom =
+  {
+    name = "loop";
+    level = Atom;
+    decisions =
+      [
+        {
+          dimension = "schedule";
+          options = [ opt "serial"; opt "blocked" ];
+        };
+      ];
+  }
+
+let hash_function_molecule =
+  {
+    name = "hash-function";
+    level = Molecule;
+    decisions =
+      [
+        {
+          dimension = "mixer";
+          options = [ opt "murmur3"; opt "fibonacci"; opt "multiply-shift" ];
+        };
+      ];
+  }
+
+let hash_table_macro =
+  {
+    name = "hash-table";
+    level = Macro_molecule;
+    decisions =
+      [
+        {
+          dimension = "layout";
+          options =
+            [
+              opt "chaining" ~sub:[ hash_function_molecule; loop_atom ];
+              opt "linear-probing" ~sub:[ hash_function_molecule; loop_atom ];
+              opt "robin-hood" ~sub:[ hash_function_molecule; loop_atom ];
+            ];
+        };
+      ];
+  }
+
+let sph_macro =
+  {
+    name = "slot-array";
+    level = Macro_molecule;
+    decisions = [ { dimension = "load"; options = [ opt "serial"; opt "parallel" ] } ];
+  }
+
+let sort_macro =
+  {
+    name = "sort";
+    level = Macro_molecule;
+    decisions =
+      [
+        {
+          dimension = "sort-algorithm";
+          options = [ opt "radix"; opt "mergesort" ];
+        };
+      ];
+  }
+
+let search_structure_macro =
+  {
+    name = "search-structure";
+    level = Macro_molecule;
+    decisions =
+      [
+        {
+          dimension = "layout";
+          options =
+            [
+              opt "sorted-array";
+              opt "btree"
+                ~sub:
+                  [
+                    {
+                      name = "leaf";
+                      level = Molecule;
+                      decisions =
+                        [
+                          {
+                            dimension = "search";
+                            options = [ opt "binary"; opt "linear" ];
+                          };
+                        ];
+                    };
+                  ];
+            ];
+        };
+      ];
+  }
+
+let grouping_cell =
+  {
+    name = "grouping";
+    level = Organelle;
+    decisions =
+      [
+        {
+          dimension = "algorithm";
+          options =
+            [
+              opt "hash-based" ~sub:[ hash_table_macro ];
+              opt "sph-based" ~requires:[ Requires_dense ] ~sub:[ sph_macro ];
+              opt "order-based" ~requires:[ Requires_clustered ];
+              opt "sort-order-based" ~sub:[ sort_macro ];
+              opt "binary-search-based"
+                ~requires:[ Requires_known_universe ]
+                ~sub:[ search_structure_macro ];
+            ];
+        };
+      ];
+  }
+
+let join_cell =
+  {
+    name = "join";
+    level = Organelle;
+    decisions =
+      [
+        {
+          dimension = "algorithm";
+          options =
+            [
+              opt "hash-join" ~sub:[ hash_table_macro ];
+              opt "sph-join" ~requires:[ Requires_dense ] ~sub:[ sph_macro ];
+              opt "merge-join" ~requires:[ Requires_sorted ];
+              opt "sort-merge-join" ~sub:[ sort_macro ];
+              opt "binary-search-join"
+                ~requires:[ Requires_known_universe ]
+                ~sub:[ search_structure_macro ];
+            ];
+        };
+      ];
+  }
+
+type binding = (string * string) list
+
+let cartesian lists =
+  List.fold_right
+    (fun choices acc ->
+      List.concat_map
+        (fun c -> List.map (fun rest -> c @ rest) acc)
+        choices)
+    lists [ [] ]
+
+let enumerate ?(available = []) ?(max_level = Atom) component =
+  let cutoff = level_rank max_level in
+  let rec component_bindings prefix c =
+    if level_rank c.level > cutoff then [ [] ]
+    else begin
+      let path = if prefix = "" then c.name else prefix ^ "." ^ c.name in
+      cartesian (List.map (decision_bindings path) c.decisions)
+    end
+  and decision_bindings path d =
+    List.concat_map
+      (fun o ->
+        if List.for_all (fun r -> List.mem r available) o.requires then begin
+          let here = (path ^ "." ^ d.dimension, o.choice) in
+          let subs = cartesian (List.map (component_bindings path) o.sub) in
+          List.map (fun s -> here :: s) subs
+        end
+        else [])
+      d.options
+  in
+  component_bindings "" component
+
+let count ?available ?max_level component =
+  List.length (enumerate ?available ?max_level component)
+
+let depth component =
+  let rec go c =
+    let sub_depth =
+      List.fold_left
+        (fun acc d ->
+          List.fold_left
+            (fun acc o ->
+              List.fold_left (fun acc s -> max acc (go s)) acc o.sub)
+            acc d.options)
+        0 c.decisions
+    in
+    1 + sub_depth
+  in
+  go component
+
+let pp ppf component =
+  let rec pp_component indent c =
+    Format.fprintf ppf "%s%s [%s]@," indent c.name (biology_analogue c.level);
+    List.iter
+      (fun d ->
+        Format.fprintf ppf "%s  ?%s@," indent d.dimension;
+        List.iter
+          (fun o ->
+            let req =
+              match o.requires with
+              | [] -> ""
+              | rs ->
+                " (requires "
+                ^ String.concat ", " (List.map requirement_name rs)
+                ^ ")"
+            in
+            Format.fprintf ppf "%s    - %s%s@," indent o.choice req;
+            List.iter (pp_component (indent ^ "      ")) o.sub)
+          d.options)
+      c.decisions
+  in
+  Format.fprintf ppf "@[<v>";
+  pp_component "" component;
+  Format.fprintf ppf "@]"

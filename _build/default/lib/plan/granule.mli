@@ -1,0 +1,79 @@
+(** The physiological algebra: granules and recursive unnesting.
+
+    Table 1 of the paper maps biology onto query optimisation:
+
+    {v
+    living cell     ~ "physical" query plan      (~10000 LOC)
+    organelle       ~ "physical" operator        (~1000 LOC)
+    macro-molecule  ~ index type / scan method   (~100 LOC)
+    molecule        ~ node type, hash function,  (~10 LOC)
+                      probing implementation
+    atom            ~ assignment, loop, arithmetic (~1 LOC)
+    v}
+
+    A {!component} is a granule together with its decision dimensions;
+    each option may require data properties and may expose further
+    sub-components — unnesting one level is exactly one step of Figure 3.
+    {!enumerate} walks the whole tree and yields every fully-instantiated
+    deep plan whose requirements the context satisfies; shallow (SQO)
+    enumeration is the same walk cut off below {!Organelle}. *)
+
+type level = Cell | Organelle | Macro_molecule | Molecule | Atom
+
+val level_name : level -> string
+val biology_analogue : level -> string
+val typical_loc : level -> int
+(** Order-of-magnitude lines of code of a granule at this level. *)
+
+val deeper : level -> level option
+(** The next level down, [None] below [Atom]. *)
+
+type requirement =
+  | Requires_dense  (** Key domain dense (enables SPH). *)
+  | Requires_clustered  (** Equal keys contiguous (enables OG). *)
+  | Requires_sorted  (** Input sorted (enables merge). *)
+  | Requires_known_universe  (** Distinct keys known ahead (enables BSG). *)
+
+val requirement_name : requirement -> string
+
+type component = {
+  name : string;
+  level : level;
+  decisions : decision list;
+}
+
+and decision = { dimension : string; options : option_ list }
+
+and option_ = {
+  choice : string;
+  requires : requirement list;
+  sub : component list;  (** Components revealed by this choice. *)
+}
+
+val grouping_cell : component
+(** The full unnest tree of the grouping operator, from Figure 3:
+    algorithm choice at the organelle level, index-structure and
+    hash-function molecules below, loop atoms at the bottom. *)
+
+val join_cell : component
+(** The analogous tree for the join operator. *)
+
+type binding = (string * string) list
+(** A fully-instantiated deep plan: decision path → chosen option, e.g.
+    [("grouping.algorithm", "hash-based");
+     ("grouping.hash-table.layout", "chaining"); ...]. *)
+
+val enumerate :
+  ?available:requirement list -> ?max_level:level -> component -> binding list
+(** [enumerate ~available c] lists every complete instantiation whose
+    requirements are all in [available].  [max_level] cuts unnesting off:
+    [~max_level:Organelle] yields the {e shallow} (SQO) plan space,
+    deeper levels grow it combinatorially. *)
+
+val count : ?available:requirement list -> ?max_level:level -> component -> int
+
+val depth : component -> int
+(** Number of granule levels present in the tree. *)
+
+val pp : Format.formatter -> component -> unit
+(** Render the unnest tree. *)

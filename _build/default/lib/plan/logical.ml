@@ -1,0 +1,72 @@
+type aggregate = {
+  spec : Dqo_exec.Aggregate.spec;
+  column : string option;
+  alias : string;
+}
+
+type t =
+  | Scan of string
+  | Select of t * string * Dqo_exec.Filter.predicate
+  | Project of t * string list
+  | Join of t * t * string * string
+  | Group_by of t * string * aggregate list
+
+let scan name = Scan name
+let select t col p = Select (t, col, p)
+let project t cols = Project (t, cols)
+let join l r ~on:(lc, rc) = Join (l, r, lc, rc)
+let group_by t ~key aggs = Group_by (t, key, aggs)
+
+let count_star ?(alias = "count") () =
+  { spec = Dqo_exec.Aggregate.Count; column = None; alias }
+
+let sum ?alias col =
+  let alias = match alias with Some a -> a | None -> "sum_" ^ col in
+  { spec = Dqo_exec.Aggregate.Sum; column = Some col; alias }
+
+let relations t =
+  let rec go acc = function
+    | Scan n -> n :: acc
+    | Select (t, _, _) | Project (t, _) | Group_by (t, _, _) -> go acc t
+    | Join (l, r, _, _) -> go (go acc l) r
+  in
+  List.rev (go [] t)
+
+let rec output_columns ~catalog = function
+  | Scan n -> catalog n
+  | Select (t, _, _) -> output_columns ~catalog t
+  | Project (_, cols) -> cols
+  | Join (l, r, _, _) ->
+    let lc = output_columns ~catalog l in
+    let rc = output_columns ~catalog r in
+    let taken = Hashtbl.create 8 in
+    List.iter (fun n -> Hashtbl.add taken n ()) lc;
+    let rename n =
+      let rec fresh n = if Hashtbl.mem taken n then fresh (n ^ "'") else n in
+      let n' = fresh n in
+      Hashtbl.add taken n' ();
+      n'
+    in
+    lc @ List.map rename rc
+  | Group_by (_, key, aggs) -> key :: List.map (fun a -> a.alias) aggs
+
+let rec pp ppf = function
+  | Scan n -> Format.fprintf ppf "Scan(%s)" n
+  | Select (t, c, p) ->
+    Format.fprintf ppf "@[<v 2>Select(%s %a)@,%a@]" c Dqo_exec.Filter.pp p pp t
+  | Project (t, cols) ->
+    Format.fprintf ppf "@[<v 2>Project(%s)@,%a@]" (String.concat ", " cols)
+      pp t
+  | Join (l, r, lc, rc) ->
+    Format.fprintf ppf "@[<v 2>Join(%s = %s)@,%a@,%a@]" lc rc pp l pp r
+  | Group_by (t, key, aggs) ->
+    Format.fprintf ppf "@[<v 2>GroupBy(%s; %s)@,%a@]" key
+      (String.concat ", "
+         (List.map
+            (fun a ->
+              let arg = match a.column with Some c -> c | None -> "*" in
+              Printf.sprintf "%s(%s) AS %s"
+                (Dqo_exec.Aggregate.name a.spec)
+                arg a.alias)
+            aggs))
+      pp t

@@ -1,0 +1,40 @@
+(** Logical query plans — extended relational algebra DAGs.
+
+    The logical level is the "living cell" end of the paper's continuum:
+    no algorithmic commitments at all.  The optimisers in [Dqo_opt]
+    translate these trees into physical plans. *)
+
+type aggregate = {
+  spec : Dqo_exec.Aggregate.spec;
+  column : string option;
+      (** Aggregated column; [None] only for COUNT. *)
+  alias : string;  (** Output column name. *)
+}
+
+type t =
+  | Scan of string  (** Base relation by catalog name. *)
+  | Select of t * string * Dqo_exec.Filter.predicate
+  | Project of t * string list
+  | Join of t * t * string * string
+      (** [Join (l, r, lcol, rcol)] — inner equi-join. *)
+  | Group_by of t * string * aggregate list
+      (** [Group_by (input, key, aggs)]. *)
+
+val scan : string -> t
+val select : t -> string -> Dqo_exec.Filter.predicate -> t
+val project : t -> string list -> t
+val join : t -> t -> on:string * string -> t
+val group_by : t -> key:string -> aggregate list -> t
+
+val count_star : ?alias:string -> unit -> aggregate
+val sum : ?alias:string -> string -> aggregate
+
+val relations : t -> string list
+(** Base relations mentioned, in leaf order (duplicates preserved). *)
+
+val output_columns : catalog:(string -> string list) -> t -> string list
+(** Output column names, given a lookup for base-relation columns.
+    Join output renames right-side clashes with ["'"] suffixes, matching
+    the execution engine. *)
+
+val pp : Format.formatter -> t -> unit

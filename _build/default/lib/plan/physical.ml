@@ -1,0 +1,82 @@
+module Grouping = Dqo_exec.Grouping
+module Join = Dqo_exec.Join
+
+type grouping_impl = {
+  g_alg : Grouping.algorithm;
+  g_table : Grouping.table_kind;
+  g_hash : Dqo_hash.Hash_fn.t;
+}
+
+type join_impl = {
+  j_alg : Join.algorithm;
+  j_table : Grouping.table_kind;
+  j_hash : Dqo_hash.Hash_fn.t;
+}
+
+let default_grouping g_alg =
+  { g_alg; g_table = Grouping.Chaining; g_hash = Dqo_hash.Hash_fn.Murmur3 }
+
+let default_join j_alg =
+  { j_alg; j_table = Grouping.Chaining; j_hash = Dqo_hash.Hash_fn.Murmur3 }
+
+type t =
+  | Table_scan of string
+  | Filter_op of t * string * Dqo_exec.Filter.predicate
+  | Project_op of t * string list
+  | Sort_enforcer of t * string
+  | Join_op of t * t * string * string * join_impl
+  | Group_op of t * string * Logical.aggregate list * grouping_impl
+
+let table_name = function
+  | Grouping.Chaining -> "chaining"
+  | Grouping.Linear_probing -> "linear-probing"
+  | Grouping.Robin_hood -> "robin-hood"
+
+let grouping_name impl =
+  match impl.g_alg with
+  | Grouping.HG ->
+    Printf.sprintf "HG(%s, %s)" (table_name impl.g_table)
+      (Dqo_hash.Hash_fn.name impl.g_hash)
+  | alg -> Grouping.name alg
+
+let join_name impl =
+  match impl.j_alg with
+  | Join.HJ ->
+    Printf.sprintf "HJ(%s, %s)" (table_name impl.j_table)
+      (Dqo_hash.Hash_fn.name impl.j_hash)
+  | alg -> Join.name alg
+
+let rec pp ppf = function
+  | Table_scan n -> Format.fprintf ppf "TableScan(%s)" n
+  | Filter_op (t, c, p) ->
+    Format.fprintf ppf "@[<v 2>Filter(%s %a)@,%a@]" c Dqo_exec.Filter.pp p pp t
+  | Project_op (t, cols) ->
+    Format.fprintf ppf "@[<v 2>Project(%s)@,%a@]" (String.concat ", " cols)
+      pp t
+  | Sort_enforcer (t, c) -> Format.fprintf ppf "@[<v 2>Sort(%s)@,%a@]" c pp t
+  | Join_op (l, r, lc, rc, impl) ->
+    Format.fprintf ppf "@[<v 2>%s(%s = %s)@,%a@,%a@]" (join_name impl) lc rc
+      pp l pp r
+  | Group_op (t, key, _aggs, impl) ->
+    Format.fprintf ppf "@[<v 2>%s(key=%s)@,%a@]" (grouping_name impl) key pp t
+
+let operators t =
+  let rec go acc = function
+    | Table_scan n -> ("TableScan(" ^ n ^ ")") :: acc
+    | Filter_op (t, _, _) -> go ("Filter" :: acc) t
+    | Project_op (t, _) -> go ("Project" :: acc) t
+    | Sort_enforcer (t, c) -> go (("Sort(" ^ c ^ ")") :: acc) t
+    | Join_op (l, r, _, _, impl) ->
+      let acc = go (Join.name impl.j_alg :: acc) l in
+      go acc r
+    | Group_op (t, _, _, impl) -> go (Grouping.name impl.g_alg :: acc) t
+  in
+  List.rev (go [] t)
+
+let rec uses_sph = function
+  | Table_scan _ -> false
+  | Filter_op (t, _, _) | Project_op (t, _) | Sort_enforcer (t, _) ->
+    uses_sph t
+  | Join_op (l, r, _, _, impl) ->
+    impl.j_alg = Join.SPHJ || uses_sph l || uses_sph r
+  | Group_op (t, _, _, impl) -> impl.g_alg = Grouping.SPHG || uses_sph t

@@ -1,0 +1,48 @@
+(** Physical plans: operator trees with algorithmic decisions bound.
+
+    A physical plan fixes, for every operator, not only the organelle
+    ("hash join") but — when produced by the deep optimiser — also the
+    macro-molecule and molecule choices (which hash table, which hash
+    function, which loop schedule).  Shallow plans simply carry the
+    defaults, which is precisely the paper's point about what SQO cannot
+    express. *)
+
+type grouping_impl = {
+  g_alg : Dqo_exec.Grouping.algorithm;
+  g_table : Dqo_exec.Grouping.table_kind;  (** Used when [g_alg = HG]. *)
+  g_hash : Dqo_hash.Hash_fn.t;
+}
+
+type join_impl = {
+  j_alg : Dqo_exec.Join.algorithm;
+  j_table : Dqo_exec.Grouping.table_kind;  (** Used when [j_alg = HJ]. *)
+  j_hash : Dqo_hash.Hash_fn.t;
+}
+
+val default_grouping : Dqo_exec.Grouping.algorithm -> grouping_impl
+val default_join : Dqo_exec.Join.algorithm -> join_impl
+
+type t =
+  | Table_scan of string
+  | Filter_op of t * string * Dqo_exec.Filter.predicate
+  | Project_op of t * string list
+  | Sort_enforcer of t * string
+      (** Establishes [sorted_by] on the named column. *)
+  | Join_op of t * t * string * string * join_impl
+  | Group_op of t * string * Logical.aggregate list * grouping_impl
+
+val grouping_name : grouping_impl -> string
+(** E.g. ["HG(chaining, murmur3)"] — molecule choices shown only where
+    they matter. *)
+
+val join_name : join_impl -> string
+
+val pp : Format.formatter -> t -> unit
+
+val operators : t -> string list
+(** Pre-order list of operator names, for plan-shape assertions in
+    tests. *)
+
+val uses_sph : t -> bool
+(** True iff any operator in the tree is SPH-based — the signature of a
+    deep plan exploiting density. *)

@@ -1,0 +1,149 @@
+type column = { dense : bool; lo : int; hi : int; distinct : int }
+
+type t = {
+  sorted_by : string option;
+  clustered_by : string option;
+  columns : (string * column) list;
+  co_ordered : (string * string) list;
+}
+
+let none =
+  { sorted_by = None; clustered_by = None; columns = []; co_ordered = [] }
+
+let of_stats ?name ?(co_ordered = []) cols =
+  let columns =
+    List.map
+      (fun (n, (s : Dqo_data.Col_stats.t)) ->
+        (n, { dense = s.dense; lo = s.lo; hi = s.hi; distinct = s.distinct }))
+      cols
+  in
+  let sorted_names =
+    List.filter_map
+      (fun (n, (s : Dqo_data.Col_stats.t)) -> if s.sorted then Some n else None)
+      cols
+  in
+  let sorted_by =
+    match name with
+    | Some n when List.mem n sorted_names -> Some n
+    | Some _ | None ->
+      (match sorted_names with [] -> None | n :: _ -> Some n)
+  in
+  let clustered_by =
+    match sorted_by with
+    | Some _ -> sorted_by
+    | None ->
+      List.find_map
+        (fun (n, (s : Dqo_data.Col_stats.t)) ->
+          if s.clustered && s.distinct > 1 then Some n else None)
+        cols
+  in
+  { sorted_by; clustered_by; columns; co_ordered }
+
+let column t name = List.assoc_opt name t.columns
+
+let sorted_on t name =
+  match t.sorted_by with Some n -> String.equal n name | None -> false
+
+let clustered_on t name =
+  sorted_on t name
+  || (match t.clustered_by with Some n -> String.equal n name | None -> false)
+  ||
+  match t.sorted_by with
+  | Some s -> List.mem (s, name) t.co_ordered
+  | None -> false
+
+let dense_on t name =
+  match column t name with Some c -> c.dense | None -> false
+
+let distinct_of t name =
+  match column t name with Some c -> Some c.distinct | None -> None
+
+let with_sort t name =
+  { t with sorted_by = Some name; clustered_by = Some name }
+
+let without_order t = { t with sorted_by = None; clustered_by = None }
+
+let rename_columns t renaming =
+  let rename n =
+    match List.assoc_opt n renaming with Some n' -> n' | None -> n
+  in
+  {
+    sorted_by = Option.map rename t.sorted_by;
+    clustered_by = Option.map rename t.clustered_by;
+    columns = List.map (fun (n, c) -> (rename n, c)) t.columns;
+    co_ordered = List.map (fun (a, b) -> (rename a, rename b)) t.co_ordered;
+  }
+
+let restrict t names =
+  let keep field =
+    match field with
+    | Some n when List.mem n names -> Some n
+    | Some _ | None -> None
+  in
+  {
+    sorted_by = keep t.sorted_by;
+    clustered_by = keep t.clustered_by;
+    columns = List.filter (fun (n, _) -> List.mem n names) t.columns;
+    co_ordered =
+      List.filter
+        (fun (a, b) -> List.mem a names && List.mem b names)
+        t.co_ordered;
+  }
+
+let union_columns a b =
+  let merged =
+    a.columns
+    @ List.filter (fun (n, _) -> not (List.mem_assoc n a.columns)) b.columns
+  in
+  {
+    sorted_by = None;
+    clustered_by = None;
+    columns = merged;
+    co_ordered =
+      a.co_ordered
+      @ List.filter (fun p -> not (List.mem p a.co_ordered)) b.co_ordered;
+  }
+
+let shallow t =
+  {
+    t with
+    columns =
+      List.map
+        (fun (n, c) -> (n, { c with dense = false; lo = 0; hi = -1 }))
+        t.columns;
+  }
+
+let opt_sub a b =
+  (* Every guarantee of [b] is present in [a]. *)
+  match (b, a) with
+  | None, _ -> true
+  | Some bn, Some an -> String.equal an bn
+  | Some _, None -> false
+
+let column_dominates (a : column) (b : column) =
+  (b.dense <= a.dense) && (not b.dense || (a.lo = b.lo && a.hi = b.hi))
+
+let dominates a b =
+  opt_sub a.sorted_by b.sorted_by
+  && opt_sub a.clustered_by b.clustered_by
+  && List.for_all (fun p -> List.mem p a.co_ordered) b.co_ordered
+  && List.for_all
+       (fun (n, bc) ->
+         match List.assoc_opt n a.columns with
+         | Some ac -> column_dominates ac bc
+         | None -> not bc.dense)
+       b.columns
+
+let equal a b = dominates a b && dominates b a
+
+let pp ppf t =
+  let pp_opt ppf = function
+    | Some n -> Format.pp_print_string ppf n
+    | None -> Format.pp_print_string ppf "-"
+  in
+  Format.fprintf ppf "{sorted=%a; clustered=%a; dense=[%a]}" pp_opt
+    t.sorted_by pp_opt t.clustered_by
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_string)
+    (List.filter_map (fun (n, c) -> if c.dense then Some n else None) t.columns)

@@ -1,0 +1,1 @@
+lib/sql/ast.ml: Dqo_exec Format List

@@ -1,0 +1,1 @@
+lib/sql/binder.ml: Ast Dqo_exec Dqo_opt Dqo_plan Hashtbl List Parser Printf String

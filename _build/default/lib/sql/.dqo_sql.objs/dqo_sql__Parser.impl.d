@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Ast Dqo_exec Lexer List Printf Token

@@ -1,0 +1,45 @@
+type select_item =
+  | Col of string
+  | Agg of { fn : string; arg : string option; alias : string option }
+
+type join_clause = { table : string; left_col : string; right_col : string }
+
+type condition = { column : string; predicate : Dqo_exec.Filter.predicate }
+
+type query = {
+  select : select_item list;
+  from : string;
+  joins : join_clause list;
+  where : condition list;
+  group_by : string option;
+}
+
+let pp_item ppf = function
+  | Col c -> Format.pp_print_string ppf c
+  | Agg { fn; arg; alias } ->
+    Format.fprintf ppf "%s(%s)%s" fn
+      (match arg with Some a -> a | None -> "*")
+      (match alias with Some a -> " AS " ^ a | None -> "")
+
+let pp ppf q =
+  Format.fprintf ppf "SELECT %a FROM %s"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_item)
+    q.select q.from;
+  List.iter
+    (fun j ->
+      Format.fprintf ppf " JOIN %s ON %s = %s" j.table j.left_col j.right_col)
+    q.joins;
+  (match q.where with
+  | [] -> ()
+  | conds ->
+    Format.fprintf ppf " WHERE %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " AND ")
+         (fun ppf c ->
+           Format.fprintf ppf "%s %a" c.column Dqo_exec.Filter.pp c.predicate))
+      conds);
+  match q.group_by with
+  | Some g -> Format.fprintf ppf " GROUP BY %s" g
+  | None -> ()

@@ -1,0 +1,30 @@
+(** Abstract syntax of the supported SQL subset:
+
+    {v
+    SELECT item [, item]*
+    FROM table
+    [JOIN table ON col = col]*
+    [WHERE col predicate [AND col predicate]*]
+    [GROUP BY col]
+    v}
+
+    where [item] is a column, or [COUNT(STAR)], [SUM(col)], [MIN(col)],
+    [MAX(col)], [AVG(col)], each optionally with [AS alias]. *)
+
+type select_item =
+  | Col of string
+  | Agg of { fn : string; arg : string option; alias : string option }
+
+type join_clause = { table : string; left_col : string; right_col : string }
+
+type condition = { column : string; predicate : Dqo_exec.Filter.predicate }
+
+type query = {
+  select : select_item list;
+  from : string;
+  joins : join_clause list;
+  where : condition list;
+  group_by : string option;
+}
+
+val pp : Format.formatter -> query -> unit

@@ -1,0 +1,132 @@
+module Catalog = Dqo_opt.Catalog
+module Logical = Dqo_plan.Logical
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* Resolve a possibly-qualified column name against the tables in scope;
+   returns (table, column). *)
+let resolve catalog tables name =
+  match String.index_opt name '.' with
+  | Some i ->
+    let table = String.sub name 0 i in
+    let column = String.sub name (i + 1) (String.length name - i - 1) in
+    if not (List.mem table tables) then
+      err "table %s is not in the FROM clause" table;
+    if not (List.mem column (Catalog.columns_of catalog table)) then
+      err "column %s not found in table %s" column table;
+    (table, column)
+  | None ->
+    let owners =
+      List.filter
+        (fun t -> List.mem name (Catalog.columns_of catalog t))
+        tables
+    in
+    (match owners with
+    | [ t ] -> (t, name)
+    | [] -> err "column %s not found in any table in scope" name
+    | _ :: _ ->
+      err "column %s is ambiguous (qualify it as table.column)" name)
+
+let bind catalog (q : Ast.query) =
+  let tables = q.Ast.from :: List.map (fun j -> j.Ast.table) q.Ast.joins in
+  List.iter
+    (fun t -> if not (Catalog.mem catalog t) then err "unknown table %s" t)
+    tables;
+  (let seen = Hashtbl.create 4 in
+   List.iter
+     (fun t ->
+       if Hashtbl.mem seen t then err "table %s appears twice (no self-joins)" t;
+       Hashtbl.add seen t ())
+     tables);
+  (* Push each WHERE condition down to the relation owning its column. *)
+  let conditions =
+    List.map
+      (fun (c : Ast.condition) ->
+        let table, column = resolve catalog tables c.Ast.column in
+        (table, column, c.Ast.predicate))
+      q.Ast.where
+  in
+  let base table =
+    List.fold_left
+      (fun plan (t, column, p) ->
+        if String.equal t table then Logical.select plan column p else plan)
+      (Logical.scan table) conditions
+  in
+  (* Fold the join chain left-to-right; each ON predicate must connect
+     the accumulated plan with the newly-joined table. *)
+  let plan, _joined =
+    List.fold_left
+      (fun (plan, joined) (j : Ast.join_clause) ->
+        let lt, lc = resolve catalog tables j.Ast.left_col in
+        let rt, rc = resolve catalog tables j.Ast.right_col in
+        let new_table = j.Ast.table in
+        let lc, rc =
+          if String.equal rt new_table && List.mem lt joined then (lc, rc)
+          else if String.equal lt new_table && List.mem rt joined then (rc, lc)
+          else
+            err "join ON clause must connect %s with a previous table"
+              new_table
+        in
+        (Logical.join plan (base new_table) ~on:(lc, rc), new_table :: joined))
+      (base q.Ast.from, [ q.Ast.from ])
+      q.Ast.joins
+  in
+  let aggregates, plain_columns =
+    List.partition_map
+      (fun item ->
+        match item with
+        | Ast.Agg { fn; arg; alias } -> Left (fn, arg, alias)
+        | Ast.Col c -> Right c)
+      q.Ast.select
+  in
+  match (q.Ast.group_by, aggregates) with
+  | None, [] ->
+    let cols =
+      List.map (fun c -> snd (resolve catalog tables c)) plain_columns
+    in
+    if cols = [] then err "empty select list";
+    Logical.project plan cols
+  | None, _ :: _ -> err "aggregates require GROUP BY"
+  | Some key, _ ->
+    let _, key = resolve catalog tables key in
+    List.iter
+      (fun c ->
+        let _, c = resolve catalog tables c in
+        if not (String.equal c key) then
+          err "selected column %s is not the GROUP BY key" c)
+      plain_columns;
+    let to_aggregate (fn, arg, alias) =
+      let column =
+        match arg with
+        | Some a -> Some (snd (resolve catalog tables a))
+        | None -> None
+      in
+      let spec =
+        match fn with
+        | "COUNT" -> Dqo_exec.Aggregate.Count
+        | "SUM" -> Dqo_exec.Aggregate.Sum
+        | "MIN" -> Dqo_exec.Aggregate.Min
+        | "MAX" -> Dqo_exec.Aggregate.Max
+        | "AVG" -> Dqo_exec.Aggregate.Avg
+        | other -> err "unknown aggregate %s" other
+      in
+      (match (spec, column) with
+      | Dqo_exec.Aggregate.Count, _ -> ()
+      | _, None -> err "%s requires a column argument" fn
+      | _, Some _ -> ());
+      let alias =
+        match alias with
+        | Some a -> a
+        | None -> (
+          String.lowercase_ascii fn
+          ^ match column with Some c -> "_" ^ c | None -> "")
+      in
+      { Logical.spec; column; alias }
+    in
+    let aggs = List.map to_aggregate aggregates in
+    if aggs = [] then err "GROUP BY requires at least one aggregate";
+    Logical.group_by plan ~key aggs
+
+let plan_of_sql catalog sql = bind catalog (Parser.parse sql)

@@ -1,0 +1,19 @@
+(** Name resolution and translation of parsed SQL to logical plans.
+
+    The binder resolves (possibly qualified) column references against an
+    optimiser catalog, pushes WHERE conditions down to their base
+    relations, folds JOIN clauses into a join tree, and translates
+    GROUP BY with aggregates.  The produced {!Dqo_plan.Logical.t} is what
+    both optimisers consume. *)
+
+exception Error of string
+(** Semantic errors: unknown table/column, ambiguous reference,
+    aggregates without GROUP BY, a selected column that is not the
+    grouping key, ... *)
+
+val bind : Dqo_opt.Catalog.t -> Ast.query -> Dqo_plan.Logical.t
+(** @raise Error as described above. *)
+
+val plan_of_sql : Dqo_opt.Catalog.t -> string -> Dqo_plan.Logical.t
+(** [parse] + [bind].
+    @raise Error / Parser.Error / Lexer.Error accordingly. *)

@@ -1,0 +1,9 @@
+(** Hand-written SQL lexer. *)
+
+exception Error of string
+(** Raised on an unexpected character, with a position message. *)
+
+val tokenize : string -> Token.t list
+(** [tokenize s] lexes [s] into tokens ending with {!Token.Eof}.
+    Identifiers may be qualified ([r.a]); keywords are case-insensitive.
+    @raise Error on lexical errors. *)

@@ -1,0 +1,141 @@
+exception Error of string
+
+type state = { mutable tokens : Token.t list }
+
+let peek st = match st.tokens with [] -> Token.Eof | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let fail_at st expected =
+  raise
+    (Error
+       (Printf.sprintf "expected %s, found %s" expected
+          (Token.to_string (peek st))))
+
+let expect st t label =
+  if Token.equal (peek st) t then advance st else fail_at st label
+
+let ident st =
+  match peek st with
+  | Token.Ident s ->
+    advance st;
+    s
+  | _ -> fail_at st "identifier"
+
+let int_lit st =
+  match peek st with
+  | Token.Int_lit i ->
+    advance st;
+    i
+  | _ -> fail_at st "integer literal"
+
+let agg_keywords = [ "COUNT"; "SUM"; "MIN"; "MAX"; "AVG" ]
+
+let select_item st =
+  match peek st with
+  | Token.Kw fn when List.mem fn agg_keywords ->
+    advance st;
+    expect st Token.Lparen "'('";
+    let arg =
+      match peek st with
+      | Token.Star ->
+        advance st;
+        None
+      | _ -> Some (ident st)
+    in
+    expect st Token.Rparen "')'";
+    let alias =
+      match peek st with
+      | Token.Kw "AS" ->
+        advance st;
+        Some (ident st)
+      | _ -> None
+    in
+    Ast.Agg { fn; arg; alias }
+  | _ -> Ast.Col (ident st)
+
+let rec select_list st =
+  let item = select_item st in
+  match peek st with
+  | Token.Comma ->
+    advance st;
+    item :: select_list st
+  | _ -> [ item ]
+
+let condition st =
+  let column = ident st in
+  let predicate =
+    match peek st with
+    | Token.Eq ->
+      advance st;
+      Dqo_exec.Filter.Eq (int_lit st)
+    | Token.Neq ->
+      advance st;
+      Dqo_exec.Filter.Ne (int_lit st)
+    | Token.Lt ->
+      advance st;
+      Dqo_exec.Filter.Lt (int_lit st)
+    | Token.Le ->
+      advance st;
+      Dqo_exec.Filter.Le (int_lit st)
+    | Token.Gt ->
+      advance st;
+      Dqo_exec.Filter.Gt (int_lit st)
+    | Token.Ge ->
+      advance st;
+      Dqo_exec.Filter.Ge (int_lit st)
+    | Token.Kw "BETWEEN" ->
+      advance st;
+      let lo = int_lit st in
+      expect st (Token.Kw "AND") "AND";
+      let hi = int_lit st in
+      Dqo_exec.Filter.Between (lo, hi)
+    | _ -> fail_at st "comparison operator"
+  in
+  { Ast.column; predicate }
+
+let rec conditions st =
+  let c = condition st in
+  match peek st with
+  | Token.Kw "AND" ->
+    advance st;
+    c :: conditions st
+  | _ -> [ c ]
+
+let rec joins st =
+  match peek st with
+  | Token.Kw "JOIN" ->
+    advance st;
+    let table = ident st in
+    expect st (Token.Kw "ON") "ON";
+    let left_col = ident st in
+    expect st Token.Eq "'='";
+    let right_col = ident st in
+    { Ast.table; left_col; right_col } :: joins st
+  | _ -> []
+
+let parse sql =
+  let st = { tokens = Lexer.tokenize sql } in
+  expect st (Token.Kw "SELECT") "SELECT";
+  let select = select_list st in
+  expect st (Token.Kw "FROM") "FROM";
+  let from = ident st in
+  let js = joins st in
+  let where =
+    match peek st with
+    | Token.Kw "WHERE" ->
+      advance st;
+      conditions st
+    | _ -> []
+  in
+  let group_by =
+    match peek st with
+    | Token.Kw "GROUP" ->
+      advance st;
+      expect st (Token.Kw "BY") "BY";
+      Some (ident st)
+    | _ -> None
+  in
+  expect st Token.Eof "end of input";
+  { Ast.select; from; joins = js; where; group_by }

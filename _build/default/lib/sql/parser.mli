@@ -1,0 +1,9 @@
+(** Recursive-descent parser for the SQL subset of {!Ast}. *)
+
+exception Error of string
+(** Raised with a message naming the unexpected token. *)
+
+val parse : string -> Ast.query
+(** [parse sql] lexes and parses one statement.
+    @raise Error on syntax errors;
+    @raise Lexer.Error on lexical errors. *)

@@ -1,0 +1,50 @@
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Kw of string
+  | Star
+  | Comma
+  | Lparen
+  | Rparen
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eof
+
+let equal a b =
+  match (a, b) with
+  | Ident x, Ident y -> String.equal x y
+  | Int_lit x, Int_lit y -> Int.equal x y
+  | Kw x, Kw y -> String.equal x y
+  | Star, Star | Comma, Comma | Lparen, Lparen | Rparen, Rparen
+  | Eq, Eq | Neq, Neq | Lt, Lt | Le, Le | Gt, Gt | Ge, Ge | Eof, Eof ->
+    true
+  | ( ( Ident _ | Int_lit _ | Kw _ | Star | Comma | Lparen | Rparen | Eq
+      | Neq | Lt | Le | Gt | Ge | Eof ),
+      _ ) ->
+    false
+
+let to_string = function
+  | Ident s -> s
+  | Int_lit i -> string_of_int i
+  | Kw k -> k
+  | Star -> "*"
+  | Comma -> ","
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eof -> "<eof>"
+
+let keywords =
+  [
+    "SELECT"; "FROM"; "JOIN"; "ON"; "WHERE"; "GROUP"; "BY"; "AND"; "AS";
+    "COUNT"; "SUM"; "MIN"; "MAX"; "AVG"; "BETWEEN";
+  ]

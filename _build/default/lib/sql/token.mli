@@ -1,0 +1,23 @@
+(** SQL tokens. *)
+
+type t =
+  | Ident of string  (** Possibly qualified: [r.a] lexes as [Ident "r.a"]. *)
+  | Int_lit of int
+  | Kw of string  (** Upper-cased keyword: SELECT, FROM, ... *)
+  | Star
+  | Comma
+  | Lparen
+  | Rparen
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eof
+
+val equal : t -> t -> bool
+val to_string : t -> string
+
+val keywords : string list
+(** The recognised keyword set (upper case). *)

@@ -1,0 +1,59 @@
+type t = int
+
+let empty = 0
+let is_empty s = s = 0
+
+let check i =
+  if i < 0 || i > 62 then invalid_arg "Bitset: element out of [0, 62]"
+
+let singleton i =
+  check i;
+  1 lsl i
+
+let mem i s = (s lsr i) land 1 = 1
+let add i s = s lor singleton i
+let remove i s = s land lnot (singleton i)
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+let subset a b = a land b = a
+let disjoint a b = a land b = 0
+
+let cardinal s =
+  let rec loop s acc = if s = 0 then acc else loop (s land (s - 1)) (acc + 1) in
+  loop s 0
+
+let equal = Int.equal
+let compare = Int.compare
+let of_list l = List.fold_left (fun s i -> add i s) empty l
+
+let fold f s init =
+  let rec loop i s acc =
+    if s = 0 then acc
+    else if s land 1 = 1 then loop (i + 1) (s lsr 1) (f i acc)
+    else loop (i + 1) (s lsr 1) acc
+  in
+  loop 0 s init
+
+let to_list s = List.rev (fold (fun i acc -> i :: acc) s [])
+let iter f s = List.iter f (to_list s)
+
+let full n =
+  if n < 0 || n > 63 then invalid_arg "Bitset.full";
+  if n = 63 then -1 land max_int else (1 lsl n) - 1
+
+(* Enumerate non-empty proper subsets of [s] with the standard
+   [sub = (sub - 1) land s] trick. *)
+let subsets s =
+  let rec loop sub acc =
+    let acc = if sub <> s && sub <> 0 then sub :: acc else acc in
+    if sub = 0 then acc else loop ((sub - 1) land s) acc
+  in
+  if s = 0 then [] else loop s []
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (to_list s)

@@ -1,0 +1,43 @@
+(** Small immutable bitsets over [\[0, 62\]].
+
+    Used by the optimiser's dynamic programming to index plan classes
+    (subsets of base relations), exactly as in System-R style join
+    enumeration. *)
+
+type t
+(** A set of small non-negative integers, represented in one machine word. *)
+
+val empty : t
+val is_empty : t -> bool
+
+val singleton : int -> t
+(** @raise Invalid_argument if the element is outside [\[0, 62\]]. *)
+
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+
+val disjoint : t -> t -> bool
+val cardinal : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val of_list : int list -> t
+val to_list : t -> int list
+(** Elements in increasing order. *)
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val full : int -> t
+(** [full n] is [{0, ..., n-1}].
+    @raise Invalid_argument unless [0 <= n <= 63]. *)
+
+val subsets : t -> t list
+(** [subsets s] enumerates all non-empty proper subsets of [s]. *)
+
+val pp : Format.formatter -> t -> unit

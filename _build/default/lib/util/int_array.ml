@@ -1,0 +1,195 @@
+let is_sorted a =
+  let n = Array.length a in
+  let rec loop i = i >= n || (a.(i - 1) <= a.(i) && loop (i + 1)) in
+  loop 1
+
+let min_max a =
+  let n = Array.length a in
+  if n = 0 then None
+  else begin
+    let mn = ref a.(0) and mx = ref a.(0) in
+    for i = 1 to n - 1 do
+      if a.(i) < !mn then mn := a.(i);
+      if a.(i) > !mx then mx := a.(i)
+    done;
+    Some (!mn, !mx)
+  end
+
+let swap a i j =
+  let tmp = a.(i) in
+  a.(i) <- a.(j);
+  a.(j) <- tmp
+
+let reverse a =
+  let i = ref 0 and j = ref (Array.length a - 1) in
+  while !i < !j do
+    swap a !i !j;
+    incr i;
+    decr j
+  done
+
+(* Stable bottom-up merge sort; scratch buffer allocated once. *)
+let merge_sort a =
+  let n = Array.length a in
+  if n > 1 then begin
+    let buf = Array.make n 0 in
+    let src = ref a and dst = ref buf in
+    let width = ref 1 in
+    while !width < n do
+      let s = !src and d = !dst in
+      let lo = ref 0 in
+      while !lo < n do
+        let mid = min n (!lo + !width) in
+        let hi = min n (!lo + (2 * !width)) in
+        let i = ref !lo and j = ref mid and k = ref !lo in
+        while !i < mid && !j < hi do
+          if s.(!i) <= s.(!j) then begin
+            d.(!k) <- s.(!i);
+            incr i
+          end
+          else begin
+            d.(!k) <- s.(!j);
+            incr j
+          end;
+          incr k
+        done;
+        while !i < mid do
+          d.(!k) <- s.(!i);
+          incr i;
+          incr k
+        done;
+        while !j < hi do
+          d.(!k) <- s.(!j);
+          incr j;
+          incr k
+        done;
+        lo := hi
+      done;
+      let tmp = !src in
+      src := !dst;
+      dst := tmp;
+      width := 2 * !width
+    done;
+    if !src != a then Array.blit !src 0 a 0 n
+  end
+
+(* LSD radix sort on bytes; requires non-negative elements.  Two ping-pong
+   buffers; per-pass counting with exclusive prefix sums. *)
+let radix_sort a =
+  let n = Array.length a in
+  if n > 1 then begin
+    let mx =
+      match min_max a with
+      | None -> 0
+      | Some (mn, mx) ->
+        if mn < 0 then invalid_arg "Int_array.radix_sort: negative element";
+        mx
+    in
+    let buf = Array.make n 0 in
+    let counts = Array.make 256 0 in
+    let src = ref a and dst = ref buf in
+    let shift = ref 0 in
+    (* Guard the shift amount: [x lsr s] is unspecified for [s >= 63],
+       and a 63-bit value needs at most 8 byte passes anyway. *)
+    while !shift < 63 && mx lsr !shift > 0 do
+      Array.fill counts 0 256 0;
+      let s = !src and d = !dst in
+      for i = 0 to n - 1 do
+        let b = (s.(i) lsr !shift) land 0xFF in
+        counts.(b) <- counts.(b) + 1
+      done;
+      let acc = ref 0 in
+      for b = 0 to 255 do
+        let c = counts.(b) in
+        counts.(b) <- !acc;
+        acc := !acc + c
+      done;
+      for i = 0 to n - 1 do
+        let b = (s.(i) lsr !shift) land 0xFF in
+        d.(counts.(b)) <- s.(i);
+        counts.(b) <- counts.(b) + 1
+      done;
+      let tmp = !src in
+      src := !dst;
+      dst := tmp;
+      shift := !shift + 8
+    done;
+    if !src != a then Array.blit !src 0 a 0 n
+  end
+
+let sort a =
+  let n = Array.length a in
+  if n >= 4096 then
+    match min_max a with
+    | Some (mn, _) when mn >= 0 -> radix_sort a
+    | Some _ | None -> merge_sort a
+  else merge_sort a
+
+let sorted_copy a =
+  let b = Array.copy a in
+  sort b;
+  b
+
+let sort_pairs keys payload =
+  let n = Array.length keys in
+  if Array.length payload <> n then
+    invalid_arg "Int_array.sort_pairs: length mismatch";
+  (* Pack (key, index) pairs, sort, then apply the permutation.  Keys are
+     arbitrary ints so we sort an index permutation by key. *)
+  let idx = Array.init n (fun i -> i) in
+  let cmp i j = compare keys.(i) keys.(j) in
+  Array.sort cmp idx;
+  let k2 = Array.make n 0 and p2 = Array.make n 0 in
+  for i = 0 to n - 1 do
+    k2.(i) <- keys.(idx.(i));
+    p2.(i) <- payload.(idx.(i))
+  done;
+  Array.blit k2 0 keys 0 n;
+  Array.blit p2 0 payload 0 n
+
+let distinct_sorted a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let b = sorted_copy a in
+    let m = ref 1 in
+    for i = 1 to n - 1 do
+      if b.(i) <> b.(i - 1) then begin
+        b.(!m) <- b.(i);
+        incr m
+      end
+    done;
+    Array.sub b 0 !m
+  end
+
+let count_distinct a = Array.length (distinct_sorted a)
+
+let lower_bound a key =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < key then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let upper_bound a key =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) <= key then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let binary_search a key =
+  let i = lower_bound a key in
+  if i < Array.length a && a.(i) = key then Some i else None
+
+let prefix_sums a =
+  let n = Array.length a in
+  let p = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    p.(i + 1) <- p.(i) + a.(i)
+  done;
+  p
+
+let sum a = Array.fold_left ( + ) 0 a

@@ -1,0 +1,61 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan else Array.fold_left ( +. ) 0.0 xs /. Float.of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then nan
+  else begin
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) xs;
+    !acc /. Float.of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let median xs =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let s = Array.copy xs in
+    Array.sort Float.compare s;
+    if n land 1 = 1 then s.(n / 2) else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.0
+  end
+
+let percentile xs p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile";
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let s = Array.copy xs in
+    Array.sort Float.compare s;
+    let rank = int_of_float (ceil (p /. 100.0 *. Float.of_int n)) in
+    s.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let linear_fit points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let sx = ref 0.0 and sy = ref 0.0 and sxx = ref 0.0 and sxy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      sxy := !sxy +. (x *. y))
+    points;
+  let nf = Float.of_int n in
+  let denom = (nf *. !sxx) -. (!sx *. !sx) in
+  let slope = ((nf *. !sxy) -. (!sx *. !sy)) /. denom in
+  let intercept = (!sy -. (slope *. !sx)) /. nf in
+  (slope, intercept)
+
+let geometric_mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. log x) xs;
+    exp (!acc /. Float.of_int n)
+  end

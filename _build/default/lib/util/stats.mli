@@ -1,0 +1,29 @@
+(** Descriptive statistics over float samples, used by the benchmark
+    harness and the cost-model calibration. *)
+
+val mean : float array -> float
+(** [mean xs] is the arithmetic mean; [nan] on an empty array. *)
+
+val variance : float array -> float
+(** [variance xs] is the unbiased sample variance; [nan] if fewer than two
+    samples. *)
+
+val stddev : float array -> float
+(** [stddev xs] is [sqrt (variance xs)]. *)
+
+val median : float array -> float
+(** [median xs] is the median; [nan] on an empty array.  Does not modify
+    [xs]. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0, 100\]] via nearest-rank on a sorted
+    copy; [nan] on an empty array.
+    @raise Invalid_argument if [p] is outside [\[0, 100\]]. *)
+
+val linear_fit : (float * float) array -> float * float
+(** [linear_fit points] returns [(slope, intercept)] of the least-squares
+    line through [points].
+    @raise Invalid_argument on fewer than two points. *)
+
+val geometric_mean : float array -> float
+(** [geometric_mean xs] for positive samples; [nan] on an empty array. *)

@@ -1,0 +1,47 @@
+type t = { header : string list; mutable rows : string list list }
+
+let create ~header = { header; rows = [] }
+
+let add_row t cells =
+  let width = List.length t.header in
+  let n = List.length cells in
+  if n > width then invalid_arg "Table_printer.add_row: too many cells";
+  let padded =
+    if n = width then cells else cells @ List.init (width - n) (fun _ -> "")
+  in
+  t.rows <- padded :: t.rows
+
+let add_float_row t label xs =
+  add_row t (label :: List.map (Printf.sprintf "%.2f") xs)
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  let note_row cells =
+    List.iteri
+      (fun i c -> if i < ncols then widths.(i) <- max widths.(i) (String.length c))
+      cells
+  in
+  List.iter note_row all;
+  let buf = Buffer.create 256 in
+  let emit_row cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf c;
+        Buffer.add_string buf (String.make (widths.(i) - String.length c) ' '))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.header;
+  let total =
+    Array.fold_left ( + ) 0 widths + (2 * (ncols - 1))
+  in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print t = print_string (render t); print_newline ()

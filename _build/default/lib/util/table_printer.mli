@@ -1,0 +1,26 @@
+(** Fixed-width ASCII table rendering for benchmark output.
+
+    The benchmark harness prints each reproduced paper table / figure as a
+    plain-text table; this module keeps that formatting in one place. *)
+
+type t
+(** A table under construction. *)
+
+val create : header:string list -> t
+(** [create ~header] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row.  Rows shorter than the header are
+    right-padded with empty cells; longer rows raise.
+    @raise Invalid_argument if the row has more cells than the header. *)
+
+val add_float_row : t -> string -> float list -> unit
+(** [add_float_row t label xs] appends [label] followed by each float
+    rendered with two decimals. *)
+
+val render : t -> string
+(** [render t] returns the table as a string with aligned columns and a
+    separator line under the header. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout followed by a newline. *)

@@ -1,0 +1,42 @@
+(* The experiments are single-threaded, so CPU time ([Sys.time], the same
+   quantity the paper's harness reports) and wall time coincide up to GC
+   pauses, which we do want to include; [Sys.time] on Linux includes them. *)
+
+let now_ns () = int_of_float (Sys.time () *. 1e9)
+
+let time_ms f =
+  let t0 = now_ns () in
+  let r = f () in
+  let t1 = now_ns () in
+  (r, Float.of_int (t1 - t0) /. 1e6)
+
+let best_of ~repeats f =
+  if repeats < 1 then invalid_arg "Timer.best_of";
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to repeats do
+    let r, ms = time_ms f in
+    result := Some r;
+    if ms < !best then best := ms
+  done;
+  match !result with
+  | Some r -> (r, !best)
+  | None -> assert false
+
+let median_of ~repeats f =
+  if repeats < 1 then invalid_arg "Timer.median_of";
+  let times = Array.make repeats 0.0 in
+  let result = ref None in
+  for i = 0 to repeats - 1 do
+    let r, ms = time_ms f in
+    result := Some r;
+    times.(i) <- ms
+  done;
+  Array.sort Float.compare times;
+  let med =
+    if repeats land 1 = 1 then times.(repeats / 2)
+    else (times.((repeats / 2) - 1) +. times.(repeats / 2)) /. 2.0
+  in
+  match !result with
+  | Some r -> (r, med)
+  | None -> assert false

@@ -1,0 +1,19 @@
+(** Wall-clock measurement helpers for the benchmark harness. *)
+
+val now_ns : unit -> int
+(** [now_ns ()] is a monotonic-ish timestamp in nanoseconds (derived from
+    [Unix.gettimeofday] precision via [Sys.time]-independent clock). *)
+
+val time_ms : (unit -> 'a) -> 'a * float
+(** [time_ms f] runs [f ()] and returns its result together with the
+    elapsed wall-clock time in milliseconds. *)
+
+val best_of : repeats:int -> (unit -> 'a) -> 'a * float
+(** [best_of ~repeats f] runs [f] [repeats] times and returns the last
+    result and the minimum elapsed milliseconds.
+    @raise Invalid_argument if [repeats < 1]. *)
+
+val median_of : repeats:int -> (unit -> 'a) -> 'a * float
+(** [median_of ~repeats f] runs [f] [repeats] times and returns the last
+    result and the median elapsed milliseconds.
+    @raise Invalid_argument if [repeats < 1]. *)

@@ -1,0 +1,1 @@
+test/test_av.ml: Alcotest Astring Dqo_av Dqo_cost Dqo_data Dqo_exec Dqo_hash Dqo_opt Dqo_plan Dqo_util List Printf

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Dqo_cost Dqo_exec Dqo_hash Dqo_plan List

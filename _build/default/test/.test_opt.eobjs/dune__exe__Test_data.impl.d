@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Dqo_data Dqo_exec Dqo_util Hashtbl List QCheck QCheck_alcotest

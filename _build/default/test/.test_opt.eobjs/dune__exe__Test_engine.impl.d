@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Astring Dqo_av Dqo_data Dqo_engine Dqo_opt Dqo_plan Dqo_sql Dqo_util Hashtbl List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Dqo_data Dqo_exec Dqo_hash Dqo_util Float Hashtbl List Option QCheck QCheck_alcotest

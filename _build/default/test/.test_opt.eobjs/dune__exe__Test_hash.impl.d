@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Array Dqo_hash Dqo_util Hashtbl List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Dqo_index Dqo_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Astring Dqo_cost Dqo_data Dqo_exec Dqo_opt Dqo_plan Dqo_util Float List Printf String

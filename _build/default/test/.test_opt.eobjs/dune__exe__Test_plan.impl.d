@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Astring Dqo_data Dqo_exec Dqo_plan Format List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Astring Dqo_exec Dqo_opt Dqo_plan Dqo_sql Format List Printf

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Astring Dqo_util Float List QCheck QCheck_alcotest

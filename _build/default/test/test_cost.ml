@@ -1,0 +1,171 @@
+(* Tests for the cost layer: Table 2 formulas, cardinality estimation,
+   and calibration against the real execution engine. *)
+
+module Model = Dqo_cost.Model
+module Cardinality = Dqo_cost.Cardinality
+module Calibrate = Dqo_cost.Calibrate
+module Physical = Dqo_plan.Physical
+module Grouping = Dqo_exec.Grouping
+module Join = Dqo_exec.Join
+
+let g alg = Physical.default_grouping alg
+let j alg = Physical.default_join alg
+
+let gcost ?(model = Model.table2) alg ~rows ~groups =
+  Model.grouping_cost model ~impl:(g alg) ~rows ~groups
+
+let jcost ?(model = Model.table2) alg ~left ~right ~distinct =
+  Model.join_cost model ~impl:(j alg) ~left_rows:left ~right_rows:right
+    ~left_distinct:distinct
+
+(* --- Table 2 formulas, checked against the paper's own numbers -------- *)
+
+let test_table2_grouping_formulas () =
+  (* HG(R) = 4 |R| *)
+  Alcotest.(check (float 1e-6)) "HG" 400_000.0
+    (gcost Grouping.HG ~rows:100_000 ~groups:20_000);
+  (* OG(R) = |R| ; SPHG(R) = |R| *)
+  Alcotest.(check (float 1e-6)) "OG" 100_000.0
+    (gcost Grouping.OG ~rows:100_000 ~groups:20_000);
+  Alcotest.(check (float 1e-6)) "SPHG" 100_000.0
+    (gcost Grouping.SPHG ~rows:100_000 ~groups:20_000);
+  (* SOG(R) = |R| log2 |R| + |R| *)
+  Alcotest.(check (float 1.0)) "SOG" (1_024.0 *. 10.0 +. 1_024.0)
+    (gcost Grouping.SOG ~rows:1_024 ~groups:4);
+  (* BSG(R) = |R| log2 #groups *)
+  Alcotest.(check (float 1e-6)) "BSG" (1_000.0 *. 4.0)
+    (gcost Grouping.BSG ~rows:1_000 ~groups:16)
+
+let test_table2_join_formulas () =
+  (* HJ = 4 (|R| + |S|) *)
+  Alcotest.(check (float 1e-6)) "HJ" 460_000.0
+    (jcost Join.HJ ~left:25_000 ~right:90_000 ~distinct:25_000);
+  (* OJ = SPHJ = |R| + |S| *)
+  Alcotest.(check (float 1e-6)) "OJ" 115_000.0
+    (jcost Join.OJ ~left:25_000 ~right:90_000 ~distinct:25_000);
+  Alcotest.(check (float 1e-6)) "SPHJ" 115_000.0
+    (jcost Join.SPHJ ~left:25_000 ~right:90_000 ~distinct:25_000);
+  (* SOJ = |R| log2 |R| + |S| log2 |S| + |R| + |S| *)
+  let expected =
+    (1_024.0 *. 10.0) +. (4_096.0 *. 12.0) +. 1_024.0 +. 4_096.0
+  in
+  Alcotest.(check (float 1.0)) "SOJ" expected
+    (jcost Join.SOJ ~left:1_024 ~right:4_096 ~distinct:1_024);
+  (* BSJ = (|R| + |S|) log2 #groups *)
+  Alcotest.(check (float 1e-6)) "BSJ" (5_120.0 *. 4.0)
+    (jcost Join.BSJ ~left:1_024 ~right:4_096 ~distinct:16)
+
+let test_sort_and_log2 () =
+  Alcotest.(check (float 1e-6)) "sort" 10_240.0
+    (Model.sort_cost Model.table2 ~rows:1_024);
+  Alcotest.(check (float 1e-9)) "log2 1" 0.0 (Model.log2 1.0);
+  Alcotest.(check (float 1e-9)) "log2 0 clamps" 0.0 (Model.log2 0.0);
+  Alcotest.(check (float 1e-9)) "log2 8" 3.0 (Model.log2 8.0);
+  Alcotest.(check (float 1e-6)) "scan" 42.0 (Model.scan_cost Model.table2 ~rows:42)
+
+let test_tiny_inputs_nonnegative () =
+  List.iter
+    (fun alg ->
+      List.iter
+        (fun rows ->
+          let c = gcost alg ~rows ~groups:1 in
+          Alcotest.(check bool) "cost >= 0" true (c >= 0.0))
+        [ 0; 1; 2 ])
+    Grouping.all
+
+(* --- molecule modulation ------------------------------------------------ *)
+
+let test_molecule_multiplier () =
+  Alcotest.(check (float 1e-9)) "default is 1"
+    1.0
+    (Model.molecule_multiplier ~table:Grouping.Chaining
+       ~hash:Dqo_hash.Hash_fn.Murmur3);
+  Alcotest.(check bool) "linear probing cheaper" true
+    (Model.molecule_multiplier ~table:Grouping.Linear_probing
+       ~hash:Dqo_hash.Hash_fn.Murmur3
+    < 1.0)
+
+let test_deep_model_changes_hash_costs_only () =
+  let impl =
+    {
+      Physical.g_alg = Grouping.HG;
+      g_table = Grouping.Linear_probing;
+      g_hash = Dqo_hash.Hash_fn.Multiply_shift;
+    }
+  in
+  let plain = Model.grouping_cost Model.table2 ~impl ~rows:1_000 ~groups:10 in
+  let deep = Model.grouping_cost Model.deep ~impl ~rows:1_000 ~groups:10 in
+  Alcotest.(check (float 1e-6)) "table2 ignores molecules" 4_000.0 plain;
+  Alcotest.(check bool) "deep model discounts" true (deep < plain);
+  (* Non-hash algorithms are unaffected. *)
+  Alcotest.(check (float 1e-6)) "OG unaffected"
+    (gcost Grouping.OG ~rows:1_000 ~groups:10)
+    (gcost ~model:Model.deep Grouping.OG ~rows:1_000 ~groups:10)
+
+(* --- cardinality --------------------------------------------------------- *)
+
+let test_cardinality_fk_join () =
+  (* The paper's §4.3 numbers: FK join output = |S| = 90,000. *)
+  Alcotest.(check int) "fk join" 90_000
+    (Cardinality.equi_join ~left_rows:25_000 ~right_rows:90_000
+       ~left_distinct:25_000 ~right_distinct:24_000);
+  Alcotest.(check int) "group by" 20_000 (Cardinality.group_by ~key_distinct:20_000);
+  Alcotest.(check int) "filter" 50
+    (Cardinality.filter ~rows:100 ~selectivity:0.5);
+  Alcotest.(check int) "filter clamps" 100
+    (Cardinality.filter ~rows:100 ~selectivity:7.0);
+  Alcotest.(check int) "distinct after join" 500
+    (Cardinality.distinct_after_join ~side_distinct:20_000 ~output_rows:500)
+
+let test_cardinality_mn_join () =
+  (* Containment assumption: |R| * |S| / max(dR, dS). *)
+  Alcotest.(check int) "m:n join" 10_000
+    (Cardinality.equi_join ~left_rows:1_000 ~right_rows:1_000
+       ~left_distinct:100 ~right_distinct:50)
+
+(* --- calibration ----------------------------------------------------------- *)
+
+let test_calibration_sane () =
+  let ms = Calibrate.measure ~rows:200_000 ~groups:256 () in
+  Alcotest.(check int) "five measurements" 5 (List.length ms);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (m.Calibrate.algorithm ^ " positive")
+        true
+        (m.Calibrate.per_tuple_ns > 0.0))
+    ms;
+  let f = Calibrate.hash_factor ~rows:200_000 ~groups:256 () in
+  (* The measured HG/OG ratio is machine-dependent but must be a sane
+     multiple: HG does strictly more work per tuple than OG. *)
+  Alcotest.(check bool) "factor in (1, 100)" true (f > 1.0 && f < 100.0);
+  let m = Calibrate.calibrated_model ~rows:200_000 ~groups:256 () in
+  Alcotest.(check bool) "model carries factor" true
+    (m.Model.hash_factor = f || m.Model.hash_factor > 0.0)
+
+let () =
+  Alcotest.run "dqo_cost"
+    [
+      ( "table2",
+        [
+          Alcotest.test_case "grouping formulas" `Quick
+            test_table2_grouping_formulas;
+          Alcotest.test_case "join formulas" `Quick test_table2_join_formulas;
+          Alcotest.test_case "sort & log2" `Quick test_sort_and_log2;
+          Alcotest.test_case "tiny inputs" `Quick test_tiny_inputs_nonnegative;
+        ] );
+      ( "molecules",
+        [
+          Alcotest.test_case "multiplier" `Quick test_molecule_multiplier;
+          Alcotest.test_case "deep model" `Quick
+            test_deep_model_changes_hash_costs_only;
+        ] );
+      ( "cardinality",
+        [
+          Alcotest.test_case "fk join" `Quick test_cardinality_fk_join;
+          Alcotest.test_case "m:n join" `Quick test_cardinality_mn_join;
+        ] );
+      ( "calibration",
+        [ Alcotest.test_case "sane measurements" `Slow test_calibration_sane ]
+      );
+    ]

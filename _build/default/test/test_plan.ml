@@ -1,0 +1,310 @@
+(* Tests for the plan layer: the property lattice, the logical algebra,
+   the granule (physiological) algebra, and physical plan helpers. *)
+
+module Props = Dqo_plan.Props
+module Logical = Dqo_plan.Logical
+module Granule = Dqo_plan.Granule
+module Physical = Dqo_plan.Physical
+module Col_stats = Dqo_data.Col_stats
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- props ------------------------------------------------------------- *)
+
+let dense_col : Props.column = { dense = true; lo = 0; hi = 9; distinct = 10 }
+let sparse_col : Props.column =
+  { dense = false; lo = 0; hi = 1_000_000; distinct = 10 }
+
+let props ?sorted_by ?clustered_by ?(co_ordered = []) columns =
+  { Props.sorted_by; clustered_by; columns; co_ordered }
+
+let test_props_queries () =
+  let p = props ~sorted_by:"k" [ ("k", dense_col); ("v", sparse_col) ] in
+  Alcotest.(check bool) "sorted_on k" true (Props.sorted_on p "k");
+  Alcotest.(check bool) "sorted_on v" false (Props.sorted_on p "v");
+  Alcotest.(check bool) "clustered via sorted" true (Props.clustered_on p "k");
+  Alcotest.(check bool) "dense_on" true (Props.dense_on p "k");
+  Alcotest.(check bool) "dense_on sparse" false (Props.dense_on p "v");
+  Alcotest.(check bool) "distinct" true (Props.distinct_of p "k" = Some 10);
+  Alcotest.(check bool) "unknown column" true (Props.column p "zz" = None)
+
+let test_props_co_ordering () =
+  let p =
+    props ~sorted_by:"id" ~co_ordered:[ ("id", "a") ]
+      [ ("id", dense_col); ("a", dense_col) ]
+  in
+  Alcotest.(check bool) "clustered on co-ordered column" true
+    (Props.clustered_on p "a");
+  (* Without the sort the co-ordering grants nothing. *)
+  let q = Props.without_order p in
+  Alcotest.(check bool) "no order, no clustering" false (Props.clustered_on q "a")
+
+let test_props_shallow_erases_density () =
+  let p = props [ ("k", dense_col) ] in
+  let s = Props.shallow p in
+  Alcotest.(check bool) "density erased" false (Props.dense_on s "k");
+  Alcotest.(check bool) "distinct kept" true (Props.distinct_of s "k" = Some 10)
+
+let test_props_dominance () =
+  let base = props [ ("k", dense_col) ] in
+  let sorted = Props.with_sort base "k" in
+  Alcotest.(check bool) "sorted dominates unsorted" true
+    (Props.dominates sorted base);
+  Alcotest.(check bool) "unsorted does not dominate sorted" false
+    (Props.dominates base sorted);
+  Alcotest.(check bool) "reflexive" true (Props.dominates base base);
+  let shallow = Props.shallow base in
+  Alcotest.(check bool) "dense dominates shallow" true
+    (Props.dominates base shallow);
+  Alcotest.(check bool) "shallow lacks density" false
+    (Props.dominates shallow base)
+
+let test_props_rename_restrict_union () =
+  let p =
+    props ~sorted_by:"x" ~co_ordered:[ ("x", "y") ]
+      [ ("x", dense_col); ("y", sparse_col) ]
+  in
+  let r = Props.rename_columns p [ ("x", "xx") ] in
+  Alcotest.(check bool) "rename order" true (Props.sorted_on r "xx");
+  Alcotest.(check bool) "rename co_ordered" true
+    (List.mem ("xx", "y") r.Props.co_ordered);
+  let q = Props.restrict p [ "y" ] in
+  Alcotest.(check bool) "restricted drops order" false (Props.sorted_on q "x");
+  Alcotest.(check bool) "restricted keeps y" true (Props.column q "y" <> None);
+  Alcotest.(check bool) "restricted drops x" true (Props.column q "x" = None);
+  let u = Props.union_columns p (props [ ("z", dense_col) ]) in
+  Alcotest.(check bool) "union has all columns" true
+    (Props.column u "x" <> None && Props.column u "z" <> None);
+  Alcotest.(check bool) "union resets order" true (u.Props.sorted_by = None)
+
+(* Dominance must be transitive on arbitrary property triples. *)
+let props_gen =
+  let open QCheck.Gen in
+  let col_gen =
+    let* dense = bool in
+    return
+      (if dense then dense_col else sparse_col)
+  in
+  let* c1 = col_gen in
+  let* c2 = col_gen in
+  let* sorted = int_bound 2 in
+  let* co = bool in
+  let sorted_by =
+    match sorted with 0 -> None | 1 -> Some "k" | _ -> Some "v"
+  in
+  return
+    {
+      Props.sorted_by;
+      clustered_by = sorted_by;
+      columns = [ ("k", c1); ("v", c2) ];
+      co_ordered = (if co then [ ("k", "v") ] else []);
+    }
+
+let prop_dominance_transitive =
+  QCheck.Test.make ~name:"dominance is transitive" ~count:300
+    (QCheck.make QCheck.Gen.(triple props_gen props_gen props_gen))
+    (fun (a, b, c) ->
+      (not (Props.dominates a b && Props.dominates b c))
+      || Props.dominates a c)
+
+let prop_dominance_reflexive =
+  QCheck.Test.make ~name:"dominance is reflexive" ~count:100
+    (QCheck.make props_gen) (fun p -> Props.dominates p p)
+
+(* --- logical ------------------------------------------------------------ *)
+
+let test_logical_constructors_and_relations () =
+  let q =
+    Logical.group_by
+      (Logical.join
+         (Logical.select (Logical.scan "R") "a" (Dqo_exec.Filter.Lt 10))
+         (Logical.scan "S") ~on:("id", "r_id"))
+      ~key:"a"
+      [ Logical.count_star (); Logical.sum "b" ]
+  in
+  Alcotest.(check (list string)) "relations" [ "R"; "S" ] (Logical.relations q);
+  let catalog = function
+    | "R" -> [ "id"; "a" ]
+    | "S" -> [ "r_id"; "b" ]
+    | _ -> []
+  in
+  Alcotest.(check (list string)) "grouping output"
+    [ "a"; "count"; "sum_b" ]
+    (Logical.output_columns ~catalog q)
+
+let test_logical_join_output_renames () =
+  let q = Logical.join (Logical.scan "R") (Logical.scan "S") ~on:("x", "x") in
+  let catalog = function "R" -> [ "x"; "y" ] | "S" -> [ "x" ] | _ -> [] in
+  Alcotest.(check (list string)) "clash renamed" [ "x"; "y"; "x'" ]
+    (Logical.output_columns ~catalog q)
+
+let test_logical_pp () =
+  let q = Logical.group_by (Logical.scan "R") ~key:"a" [ Logical.count_star () ] in
+  let s = Format.asprintf "%a" Logical.pp q in
+  Alcotest.(check bool) "mentions GroupBy" true
+    (Astring.String.is_infix ~affix:"GroupBy" s)
+
+(* --- granule ------------------------------------------------------------- *)
+
+let test_granule_levels () =
+  Alcotest.(check int) "cell loc" 10_000 (Granule.typical_loc Granule.Cell);
+  Alcotest.(check int) "atom loc" 1 (Granule.typical_loc Granule.Atom);
+  Alcotest.(check bool) "deeper chain" true
+    (Granule.deeper Granule.Cell = Some Granule.Organelle);
+  Alcotest.(check bool) "atom is deepest" true (Granule.deeper Granule.Atom = None);
+  Alcotest.(check string) "biology" "organelle"
+    (Granule.biology_analogue Granule.Organelle)
+
+let all_requirements =
+  [
+    Granule.Requires_dense; Granule.Requires_clustered;
+    Granule.Requires_sorted; Granule.Requires_known_universe;
+  ]
+
+let test_granule_shallow_vs_deep_space () =
+  (* Shallow (organelle-level) enumeration sees exactly the five
+     algorithms; deep unnesting multiplies the space. *)
+  let shallow =
+    Granule.count ~available:all_requirements ~max_level:Granule.Organelle
+      Granule.grouping_cell
+  in
+  Alcotest.(check int) "five shallow grouping plans" 5 shallow;
+  let deep = Granule.count ~available:all_requirements Granule.grouping_cell in
+  Alcotest.(check bool) "deep space much larger" true (deep > 20);
+  (* Figure 3's point: each unnest step reveals more alternatives. *)
+  let mid =
+    Granule.count ~available:all_requirements ~max_level:Granule.Macro_molecule
+      Granule.grouping_cell
+  in
+  Alcotest.(check bool) "monotone growth" true (shallow <= mid && mid <= deep)
+
+let test_granule_requirements_gate_options () =
+  (* With no properties available, SPH / OG / BSG are unreachable. *)
+  let bindings = Granule.enumerate ~available:[] Granule.grouping_cell in
+  let algorithms =
+    List.sort_uniq compare
+      (List.filter_map (List.assoc_opt "grouping.algorithm") bindings)
+  in
+  Alcotest.(check (list string)) "only unconditional algorithms"
+    [ "hash-based"; "sort-order-based" ]
+    algorithms;
+  (* Adding density unlocks sph-based. *)
+  let bindings =
+    Granule.enumerate ~available:[ Granule.Requires_dense ]
+      Granule.grouping_cell
+  in
+  let algorithms =
+    List.sort_uniq compare
+      (List.filter_map (List.assoc_opt "grouping.algorithm") bindings)
+  in
+  Alcotest.(check bool) "sph unlocked" true (List.mem "sph-based" algorithms)
+
+let test_granule_bindings_are_complete () =
+  let bindings =
+    Granule.enumerate ~available:all_requirements Granule.grouping_cell
+  in
+  List.iter
+    (fun b ->
+      match List.assoc_opt "grouping.algorithm" b with
+      | Some "hash-based" ->
+        Alcotest.(check bool) "hash-based binds table layout" true
+          (List.mem_assoc "grouping.hash-table.layout" b);
+        Alcotest.(check bool) "hash-based binds mixer" true
+          (List.mem_assoc "grouping.hash-table.hash-function.mixer" b)
+      | Some _ -> ()
+      | None -> Alcotest.fail "binding without algorithm")
+    bindings
+
+let test_granule_depth_and_pp () =
+  Alcotest.(check bool) "grouping tree has >= 3 levels" true
+    (Granule.depth Granule.grouping_cell >= 3);
+  let s = Format.asprintf "%a" Granule.pp Granule.grouping_cell in
+  Alcotest.(check bool) "pp shows requirement" true
+    (Astring.String.is_infix ~affix:"dense key domain" s)
+
+let test_join_cell_space () =
+  let shallow =
+    Granule.count ~available:all_requirements ~max_level:Granule.Organelle
+      Granule.join_cell
+  in
+  Alcotest.(check int) "five shallow join plans" 5 shallow
+
+(* --- physical ------------------------------------------------------------- *)
+
+let test_physical_names_and_operators () =
+  let g = Physical.default_grouping Dqo_exec.Grouping.HG in
+  Alcotest.(check string) "HG shows molecules" "HG(chaining, murmur3)"
+    (Physical.grouping_name g);
+  let og = Physical.default_grouping Dqo_exec.Grouping.OG in
+  Alcotest.(check string) "OG plain" "OG" (Physical.grouping_name og);
+  let plan =
+    Physical.Group_op
+      ( Physical.Join_op
+          ( Physical.Sort_enforcer (Physical.Table_scan "R", "id"),
+            Physical.Table_scan "S",
+            "id", "r_id",
+            Physical.default_join Dqo_exec.Join.OJ ),
+        "a", [],
+        og )
+  in
+  Alcotest.(check (list string)) "pre-order operators"
+    [ "OG"; "OJ"; "Sort(id)"; "TableScan(R)"; "TableScan(S)" ]
+    (Physical.operators plan);
+  Alcotest.(check bool) "no sph" false (Physical.uses_sph plan);
+  let sph_plan =
+    Physical.Group_op
+      (Physical.Table_scan "R", "a", [],
+       Physical.default_grouping Dqo_exec.Grouping.SPHG)
+  in
+  Alcotest.(check bool) "sph detected" true (Physical.uses_sph sph_plan)
+
+let test_props_of_stats () =
+  let sorted = Col_stats.analyze [| 1; 2; 3 |] in
+  let unsorted = Col_stats.analyze [| 3; 1; 2 |] in
+  let p = Props.of_stats [ ("u", unsorted); ("s", sorted) ] in
+  Alcotest.(check bool) "first sorted column wins" true (Props.sorted_on p "s");
+  let p2 = Props.of_stats ~name:"s" [ ("s", sorted); ("u", unsorted) ] in
+  Alcotest.(check bool) "explicit name respected" true (Props.sorted_on p2 "s")
+
+let () =
+  Alcotest.run "dqo_plan"
+    [
+      ( "props",
+        [
+          Alcotest.test_case "queries" `Quick test_props_queries;
+          Alcotest.test_case "co-ordering" `Quick test_props_co_ordering;
+          Alcotest.test_case "shallow projection" `Quick
+            test_props_shallow_erases_density;
+          Alcotest.test_case "dominance" `Quick test_props_dominance;
+          Alcotest.test_case "rename/restrict/union" `Quick
+            test_props_rename_restrict_union;
+          qtest prop_dominance_transitive;
+          qtest prop_dominance_reflexive;
+          Alcotest.test_case "of_stats" `Quick test_props_of_stats;
+        ] );
+      ( "logical",
+        [
+          Alcotest.test_case "constructors & relations" `Quick
+            test_logical_constructors_and_relations;
+          Alcotest.test_case "join renames" `Quick
+            test_logical_join_output_renames;
+          Alcotest.test_case "pp" `Quick test_logical_pp;
+        ] );
+      ( "granule",
+        [
+          Alcotest.test_case "levels (Table 1)" `Quick test_granule_levels;
+          Alcotest.test_case "shallow vs deep space" `Quick
+            test_granule_shallow_vs_deep_space;
+          Alcotest.test_case "requirements gate options" `Quick
+            test_granule_requirements_gate_options;
+          Alcotest.test_case "bindings complete" `Quick
+            test_granule_bindings_are_complete;
+          Alcotest.test_case "depth & pp" `Quick test_granule_depth_and_pp;
+          Alcotest.test_case "join cell" `Quick test_join_cell_space;
+        ] );
+      ( "physical",
+        [
+          Alcotest.test_case "names & operators" `Quick
+            test_physical_names_and_operators;
+        ] );
+    ]

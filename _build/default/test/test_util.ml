@@ -1,0 +1,299 @@
+(* Unit and property tests for the dqo_util substrate. *)
+
+module Rng = Dqo_util.Rng
+module Int_array = Dqo_util.Int_array
+module Bitset = Dqo_util.Bitset
+module Stats = Dqo_util.Stats
+module Table_printer = Dqo_util.Table_printer
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- rng ------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.next a = Rng.next b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_rng_bounds () =
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    Alcotest.(check bool) "in [0,10)" true (v >= 0 && v < 10)
+  done;
+  for _ = 1 to 1000 do
+    let v = Rng.int_in_range rng ~lo:(-5) ~hi:5 in
+    Alcotest.(check bool) "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_invalid_args () =
+  let rng = Rng.create ~seed:1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0));
+  Alcotest.check_raises "hi < lo" (Invalid_argument "Rng.int_in_range: hi < lo")
+    (fun () -> ignore (Rng.int_in_range rng ~lo:3 ~hi:2))
+
+let test_rng_shuffle_is_permutation () =
+  let rng = Rng.create ~seed:11 in
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Int_array.sort sorted;
+  Alcotest.(check bool) "permutation" true (sorted = Array.init 100 (fun i -> i))
+
+let test_sample_distinct () =
+  let rng = Rng.create ~seed:13 in
+  (* Hash-set path (k small relative to bound). *)
+  let s = Rng.sample_distinct rng ~k:100 ~bound:1_000_000 in
+  Alcotest.(check int) "k values" 100 (Array.length s);
+  Alcotest.(check int) "distinct" 100 (Int_array.count_distinct s);
+  Array.iter
+    (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 1_000_000))
+    s;
+  (* Fisher-Yates path (k close to bound). *)
+  let s = Rng.sample_distinct rng ~k:90 ~bound:100 in
+  Alcotest.(check int) "distinct dense" 90 (Int_array.count_distinct s);
+  (* k = bound: the whole domain. *)
+  let s = Rng.sample_distinct rng ~k:16 ~bound:16 in
+  let sorted = Array.copy s in
+  Int_array.sort sorted;
+  Alcotest.(check bool) "whole domain" true
+    (sorted = Array.init 16 (fun i -> i))
+
+let test_split_independent () =
+  let rng = Rng.create ~seed:17 in
+  let child = Rng.split rng in
+  let v1 = Rng.next child in
+  (* Same construction must reproduce the child stream. *)
+  let rng' = Rng.create ~seed:17 in
+  let child' = Rng.split rng' in
+  Alcotest.(check int) "reproducible split" v1 (Rng.next child')
+
+(* --- int_array ------------------------------------------------------ *)
+
+let int_array_gen =
+  QCheck.Gen.(array_size (int_bound 200) (int_bound 10_000))
+
+let prop_merge_sort_sorts =
+  QCheck.Test.make ~name:"merge_sort sorts and permutes" ~count:200
+    (QCheck.make int_array_gen) (fun a ->
+      let b = Array.copy a in
+      Int_array.merge_sort b;
+      Int_array.is_sorted b
+      && List.sort compare (Array.to_list a) = Array.to_list b)
+
+let prop_radix_sort_matches_merge =
+  QCheck.Test.make ~name:"radix_sort = merge_sort on non-negatives" ~count:200
+    (QCheck.make int_array_gen) (fun a ->
+      let b = Array.copy a and c = Array.copy a in
+      Int_array.radix_sort b;
+      Int_array.merge_sort c;
+      b = c)
+
+let test_radix_large_values () =
+  (* Regression: values with bits at or above 2^56 once made the LSD loop
+     shift by >= 63, which is unspecified and looped forever. *)
+  let a = [| 1 lsl 60; 3; (1 lsl 60) + 1; 1 lsl 57; 0 |] in
+  let expected = Array.copy a in
+  Array.sort compare expected;
+  Int_array.radix_sort a;
+  Alcotest.(check bool) "sorted" true (a = expected)
+
+let test_radix_rejects_negative () =
+  Alcotest.check_raises "negative input"
+    (Invalid_argument "Int_array.radix_sort: negative element") (fun () ->
+      Int_array.radix_sort [| 3; -1; 2 |])
+
+let prop_binary_search_matches_linear =
+  QCheck.Test.make ~name:"binary_search = linear scan" ~count:300
+    QCheck.(pair (make int_array_gen) (int_bound 10_000))
+    (fun (a, key) ->
+      let b = Int_array.sorted_copy a in
+      let found = Int_array.binary_search b key in
+      let linear = Array.exists (fun v -> v = key) b in
+      match found with
+      | Some i -> b.(i) = key
+      | None -> not linear)
+
+let prop_bounds_bracket_key =
+  QCheck.Test.make ~name:"lower/upper bound bracket equal run" ~count:300
+    QCheck.(pair (make int_array_gen) (int_bound 10_000))
+    (fun (a, key) ->
+      let b = Int_array.sorted_copy a in
+      let lo = Int_array.lower_bound b key in
+      let hi = Int_array.upper_bound b key in
+      let count = Array.fold_left (fun acc v -> if v = key then acc + 1 else acc) 0 b in
+      hi - lo = count
+      && (lo = 0 || b.(lo - 1) < key)
+      && (hi >= Array.length b || b.(hi) > key))
+
+let test_sort_pairs_co_sorts () =
+  let keys = [| 5; 1; 3; 1 |] and payload = [| 50; 10; 30; 11 |] in
+  Int_array.sort_pairs keys payload;
+  Alcotest.(check bool) "keys sorted" true (Int_array.is_sorted keys);
+  (* Each payload must still travel with its key. *)
+  let pairs = Array.to_list (Array.map2 (fun k v -> (k, v)) keys payload) in
+  Alcotest.(check bool) "pairs preserved" true
+    (List.sort compare pairs = [ (1, 10); (1, 11); (3, 30); (5, 50) ])
+
+let test_distinct_sorted () =
+  Alcotest.(check bool) "dedup" true
+    (Int_array.distinct_sorted [| 3; 1; 3; 2; 1 |] = [| 1; 2; 3 |]);
+  Alcotest.(check bool) "empty" true (Int_array.distinct_sorted [||] = [||]);
+  Alcotest.(check int) "count" 3 (Int_array.count_distinct [| 3; 1; 3; 2; 1 |])
+
+let test_prefix_sums () =
+  Alcotest.(check bool) "sums" true
+    (Int_array.prefix_sums [| 1; 2; 3 |] = [| 0; 1; 3; 6 |]);
+  Alcotest.(check bool) "empty" true (Int_array.prefix_sums [||] = [| 0 |])
+
+let test_min_max_and_misc () =
+  Alcotest.(check bool) "min_max" true
+    (Int_array.min_max [| 3; -1; 7 |] = Some (-1, 7));
+  Alcotest.(check bool) "empty" true (Int_array.min_max [||] = None);
+  let a = [| 1; 2; 3 |] in
+  Int_array.reverse a;
+  Alcotest.(check bool) "reverse" true (a = [| 3; 2; 1 |]);
+  Alcotest.(check int) "sum" 6 (Int_array.sum a)
+
+(* --- bitset ---------------------------------------------------------- *)
+
+let test_bitset_algebra () =
+  let s = Bitset.of_list [ 1; 3; 5 ] in
+  Alcotest.(check bool) "mem 3" true (Bitset.mem 3 s);
+  Alcotest.(check bool) "mem 2" false (Bitset.mem 2 s);
+  Alcotest.(check int) "cardinal" 3 (Bitset.cardinal s);
+  Alcotest.(check (list int)) "to_list sorted" [ 1; 3; 5 ] (Bitset.to_list s);
+  let t = Bitset.of_list [ 3; 4 ] in
+  Alcotest.(check (list int)) "union" [ 1; 3; 4; 5 ]
+    (Bitset.to_list (Bitset.union s t));
+  Alcotest.(check (list int)) "inter" [ 3 ] (Bitset.to_list (Bitset.inter s t));
+  Alcotest.(check (list int)) "diff" [ 1; 5 ] (Bitset.to_list (Bitset.diff s t));
+  Alcotest.(check bool) "subset" true (Bitset.subset (Bitset.singleton 3) s);
+  Alcotest.(check bool) "disjoint" true
+    (Bitset.disjoint s (Bitset.of_list [ 0; 2 ]))
+
+let test_bitset_subsets () =
+  let s = Bitset.of_list [ 0; 1; 2 ] in
+  let subs = Bitset.subsets s in
+  (* Non-empty proper subsets of a 3-set: 2^3 - 2 = 6. *)
+  Alcotest.(check int) "count" 6 (List.length subs);
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) "proper subset" true
+        (Bitset.subset sub s && (not (Bitset.equal sub s))
+        && not (Bitset.is_empty sub)))
+    subs
+
+let test_bitset_full_and_bounds () =
+  Alcotest.(check int) "full 5" 5 (Bitset.cardinal (Bitset.full 5));
+  Alcotest.(check int) "full 0" 0 (Bitset.cardinal (Bitset.full 0));
+  Alcotest.check_raises "element 63"
+    (Invalid_argument "Bitset: element out of [0, 62]") (fun () ->
+      ignore (Bitset.singleton 63))
+
+(* --- stats ----------------------------------------------------------- *)
+
+let test_stats_basics () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "variance" 1.0 (Stats.variance [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "median odd" 2.0 (Stats.median [| 3.0; 1.0; 2.0 |]);
+  Alcotest.(check (float 1e-9)) "median even" 1.5
+    (Stats.median [| 2.0; 1.0 |]);
+  Alcotest.(check bool) "mean empty nan" true (Float.is_nan (Stats.mean [||]))
+
+let test_stats_linear_fit () =
+  let slope, intercept =
+    Stats.linear_fit [| (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) |]
+  in
+  Alcotest.(check (float 1e-9)) "slope" 2.0 slope;
+  Alcotest.(check (float 1e-9)) "intercept" 1.0 intercept
+
+let test_stats_percentile_and_geomean () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "p50" 2.0 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 4.0 (Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "geomean" 2.0
+    (Stats.geometric_mean [| 1.0; 2.0; 4.0 |])
+
+(* --- table printer ---------------------------------------------------- *)
+
+let test_table_printer () =
+  let t = Table_printer.create ~header:[ "algo"; "ms" ] in
+  Table_printer.add_row t [ "HG"; "123.40" ];
+  Table_printer.add_float_row t "OG" [ 45.6 ];
+  let s = Table_printer.render t in
+  Alcotest.(check bool) "has header" true (Astring.String.is_infix ~affix:"algo" s);
+  Alcotest.(check bool) "has row" true (Astring.String.is_infix ~affix:"45.60" s);
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Table_printer.add_row: too many cells") (fun () ->
+      Table_printer.add_row t [ "a"; "b"; "c" ])
+
+(* --- timer ------------------------------------------------------------ *)
+
+let test_timer () =
+  let r, ms = Dqo_util.Timer.time_ms (fun () -> 42) in
+  Alcotest.(check int) "result" 42 r;
+  Alcotest.(check bool) "non-negative" true (ms >= 0.0);
+  let r, _ = Dqo_util.Timer.best_of ~repeats:3 (fun () -> "x") in
+  Alcotest.(check string) "best_of result" "x" r;
+  let r, _ = Dqo_util.Timer.median_of ~repeats:4 (fun () -> 1) in
+  Alcotest.(check int) "median_of result" 1 r
+
+let () =
+  Alcotest.run "dqo_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "invalid args" `Quick test_rng_invalid_args;
+          Alcotest.test_case "shuffle permutes" `Quick
+            test_rng_shuffle_is_permutation;
+          Alcotest.test_case "sample distinct" `Quick test_sample_distinct;
+          Alcotest.test_case "split" `Quick test_split_independent;
+        ] );
+      ( "int_array",
+        [
+          qtest prop_merge_sort_sorts;
+          qtest prop_radix_sort_matches_merge;
+          Alcotest.test_case "radix large values" `Quick
+            test_radix_large_values;
+          Alcotest.test_case "radix rejects negatives" `Quick
+            test_radix_rejects_negative;
+          qtest prop_binary_search_matches_linear;
+          qtest prop_bounds_bracket_key;
+          Alcotest.test_case "sort_pairs" `Quick test_sort_pairs_co_sorts;
+          Alcotest.test_case "distinct_sorted" `Quick test_distinct_sorted;
+          Alcotest.test_case "prefix_sums" `Quick test_prefix_sums;
+          Alcotest.test_case "min_max & misc" `Quick test_min_max_and_misc;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "algebra" `Quick test_bitset_algebra;
+          Alcotest.test_case "subsets" `Quick test_bitset_subsets;
+          Alcotest.test_case "full & bounds" `Quick test_bitset_full_and_bounds;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats_basics;
+          Alcotest.test_case "linear fit" `Quick test_stats_linear_fit;
+          Alcotest.test_case "percentile & geomean" `Quick
+            test_stats_percentile_and_geomean;
+        ] );
+      ( "output",
+        [
+          Alcotest.test_case "table printer" `Quick test_table_printer;
+          Alcotest.test_case "timer" `Quick test_timer;
+        ] );
+    ]
