@@ -86,16 +86,49 @@ let run_cmd =
       $ sparse $ seed)
 
 let explain_cmd =
-  let action sql r_rows s_rows groups sorted sparse seed =
+  let action sql analyze mode json r_rows s_rows groups sorted sparse seed =
     let db = make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~seed in
-    print_endline (Dqo_engine.Engine.explain_sql db sql)
+    if analyze then begin
+      let a =
+        Dqo_engine.Engine.explain_analyze db ~mode
+          (Dqo_sql.Binder.plan_of_sql (Dqo_engine.Engine.catalog db) sql)
+      in
+      print_string
+        (Dqo_opt.Explain.render_analysis
+           ~cost:a.Dqo_engine.Engine.entry.Dqo_opt.Pareto.cost
+           ~stats:a.Dqo_engine.Engine.search_stats a.Dqo_engine.Engine.root);
+      match json with
+      | Some path ->
+        Dqo_obs.Json.to_file path (Dqo_engine.Engine.analysis_to_json a);
+        Printf.printf "analysis written to %s\n" path
+      | None -> ()
+    end
+    else print_endline (Dqo_engine.Engine.explain_sql db sql)
+  in
+  let analyze =
+    Arg.(
+      value & flag
+      & info [ "analyze" ]
+          ~doc:
+            "Execute the chosen plan and annotate every node with actual \
+             rows, q-error, and time (EXPLAIN ANALYZE).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"With $(b,--analyze): also write the full analysis as JSON.")
   in
   Cmd.v
     (Cmd.info "explain"
-       ~doc:"Show the shallow and deep plans side by side for a query.")
+       ~doc:
+         "Show the shallow and deep plans side by side for a query, or — \
+          with $(b,--analyze) — execute it and compare estimated against \
+          actual per-node cardinalities.")
     Term.(
-      const action $ sql_arg $ r_rows $ s_rows $ groups $ sorted $ sparse
-      $ seed)
+      const action $ sql_arg $ analyze $ mode_arg $ json $ r_rows $ s_rows
+      $ groups $ sorted $ sparse $ seed)
 
 let granules_cmd =
   let action operator =

@@ -1,0 +1,30 @@
+#!/bin/sh
+# CI entry point: build, run the full test matrix, then smoke-check the
+# bench harness's machine-readable output at a tiny scale.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench --json smoke =="
+out="$(mktemp -t bench_smoke_XXXXXX.json)"
+trap 'rm -f "$out"' EXIT
+dune exec bench/main.exe -- --rows 20000 --figure 4 --figure 5 --json "$out" \
+  > /dev/null
+
+test -s "$out" || { echo "ci: $out is empty" >&2; exit 1; }
+grep -q '"schema_version"' "$out" || { echo "ci: missing schema_version" >&2; exit 1; }
+grep -q '"figure4"' "$out" || { echo "ci: missing figure4" >&2; exit 1; }
+grep -q '"figure5"' "$out" || { echo "ci: missing figure5" >&2; exit 1; }
+grep -q '"median_ms"' "$out" || { echo "ci: figure4 has no measurements" >&2; exit 1; }
+grep -q '"factor_dense"' "$out" || { echo "ci: figure5 has no factors" >&2; exit 1; }
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$out" > /dev/null || { echo "ci: invalid JSON" >&2; exit 1; }
+fi
+
+echo "ci: OK"

@@ -368,6 +368,100 @@ let run t ?(mode = DQO) l =
   execute t chosen.Dqo_opt.Pareto.plan
 
 (* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE: execute a plan node by node, annotating each with
+   actual rows and cumulative wall time, and recording per-operator
+   metrics into an observability registry.                             *)
+
+let execute_analyzed t ?metrics (p : Physical.t) =
+  let m =
+    match metrics with Some m -> m | None -> Dqo_obs.Metrics.create ()
+  in
+  let rec go p =
+    let t0 = Dqo_obs.Metrics.now_ns () in
+    let rel, children =
+      match p with
+      | Physical.Table_scan name -> (relation t name, [])
+      | Physical.Filter_op (sub, col, pred) ->
+        let r, c = go sub in
+        (Dqo_exec.Filter.select_relation r ~column:col pred, [ c ])
+      | Physical.Project_op (sub, cols) ->
+        let r, c = go sub in
+        (Relation.project r cols, [ c ])
+      | Physical.Sort_enforcer (sub, col) ->
+        let r, c = go sub in
+        (Dqo_exec.Sort_op.by_column r col, [ c ])
+      | Physical.Join_op (l, r, lc, rc, impl) ->
+        let lr, lc' = go l in
+        let rr, rc' = go r in
+        (exec_join t lr rr lc rc impl, [ lc'; rc' ])
+      | Physical.Group_op (sub, key, aggs, impl) ->
+        let rel, c = go sub in
+        let grouped =
+          match fast_path_payload aggs with
+          | Some payload -> group_fast t rel key aggs payload impl
+          | None -> group_generic rel key aggs
+        in
+        (grouped, [ c ])
+    in
+    let wall_ns = Dqo_obs.Metrics.now_ns () - t0 in
+    let actual_rows = Relation.cardinality rel in
+    let rows_in =
+      List.fold_left
+        (fun acc (c : Dqo_opt.Explain.analyzed) ->
+          acc + c.Dqo_opt.Explain.actual_rows)
+        0 children
+    in
+    Dqo_obs.Metrics.record m ~op:(Physical.op_label p) ~rows_in
+      ~rows_out:actual_rows ~wall_ns;
+    ( rel,
+      {
+        Dqo_opt.Explain.op = Physical.op_label p;
+        est_rows = Dqo_opt.Explain.estimated_rows t.catalog p;
+        actual_rows;
+        wall_ns;
+        children;
+      } )
+  in
+  go p
+
+type analysis = {
+  entry : Dqo_opt.Pareto.entry;
+  root : Dqo_opt.Explain.analyzed;
+  result : Relation.t;
+  search_stats : Dqo_opt.Search.stats;
+  metrics : Dqo_obs.Metrics.t;
+}
+
+let explain_analyze t ?(mode = DQO) l =
+  let search_mode =
+    match mode with SQO -> Dqo_opt.Search.Shallow | DQO -> Dqo_opt.Search.Deep
+  in
+  let entries, search_stats =
+    Dqo_opt.Search.optimize_entries ~model:t.model search_mode t.catalog l
+  in
+  let entry = Dqo_opt.Pareto.cheapest entries in
+  let metrics = Dqo_obs.Metrics.create () in
+  let result, root =
+    Dqo_obs.Metrics.span metrics "execute" (fun () ->
+        execute_analyzed t ~metrics entry.Dqo_opt.Pareto.plan)
+  in
+  { entry; root; result; search_stats; metrics }
+
+let explain_analyze_sql t ?mode sql =
+  let a = explain_analyze t ?mode (Dqo_sql.Binder.plan_of_sql t.catalog sql) in
+  Dqo_opt.Explain.render_analysis ~cost:a.entry.Dqo_opt.Pareto.cost
+    ~stats:a.search_stats a.root
+
+let analysis_to_json (a : analysis) =
+  Dqo_obs.Json.Obj
+    [
+      ("estimated_cost", Dqo_obs.Json.Float a.entry.Dqo_opt.Pareto.cost);
+      ("plan", Dqo_opt.Explain.analyzed_to_json a.root);
+      ("optimizer", Dqo_opt.Search.stats_to_json a.search_stats);
+      ("metrics", Dqo_obs.Metrics.to_json a.metrics);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Runtime re-optimisation.                                            *)
 
 type adaptive_report = {

@@ -52,6 +52,37 @@ val run_sql : t -> ?mode:mode -> string -> Dqo_data.Relation.t
 val explain_sql : t -> string -> string
 (** SQO-vs-DQO comparison report for the query. *)
 
+val execute_analyzed :
+  t ->
+  ?metrics:Dqo_obs.Metrics.t ->
+  Dqo_plan.Physical.t ->
+  Dqo_data.Relation.t * Dqo_opt.Explain.analyzed
+(** Like {!execute}, but annotates every plan node with its actual row
+    count and cumulative wall time, and records per-operator metrics
+    into [metrics] (a private registry when omitted). *)
+
+type analysis = {
+  entry : Dqo_opt.Pareto.entry;  (** The chosen plan with its cost. *)
+  root : Dqo_opt.Explain.analyzed;  (** The executed, annotated tree. *)
+  result : Dqo_data.Relation.t;
+  search_stats : Dqo_opt.Search.stats;
+  metrics : Dqo_obs.Metrics.t;
+}
+(** Everything EXPLAIN ANALYZE observed about one query. *)
+
+val explain_analyze : t -> ?mode:mode -> Dqo_plan.Logical.t -> analysis
+(** Optimise (default [DQO]), execute with {!execute_analyzed}, and
+    return the full analysis. *)
+
+val explain_analyze_sql : t -> ?mode:mode -> string -> string
+(** {!explain_analyze} on parsed SQL, rendered with
+    {!Dqo_opt.Explain.render_analysis}: per-node estimated vs. actual
+    rows, q-error, time, and the optimiser statistics. *)
+
+val analysis_to_json : analysis -> Dqo_obs.Json.t
+(** The analysis as a JSON document: estimated cost, annotated plan,
+    optimiser trace, and the executor's metrics registry. *)
+
 type adaptive_report = {
   static_grouping : string;
       (** Grouping implementation the static deep optimiser chose. *)

@@ -86,3 +86,13 @@ val run :
     supplying SPHG's domain bounds / BSG's universe from the dataset.
     @raise Invalid_argument if [alg] is inapplicable to the dataset
     (e.g. SPHG on a sparse universe, OG on unsorted keys). *)
+
+val run_observed :
+  ?obs:Dqo_obs.Metrics.t ->
+  algorithm ->
+  dataset:Dqo_data.Datagen.grouping_dataset ->
+  values:int array ->
+  Group_result.t
+(** {!run} with per-algorithm timing recorded into [obs] under the
+    operator name ["grouping/<ALG>"] (input rows, output groups, wall
+    time).  Without [obs] it is exactly {!run}. *)

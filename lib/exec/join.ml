@@ -203,6 +203,18 @@ let run alg ~left ~right =
   | SOJ -> sort_merge_join ~left ~right
   | BSJ -> binary_search_join ~left ~right
 
+(* [run] with per-algorithm timing recorded into an observability
+   registry: one operator entry per join algorithm. *)
+let run_observed ?obs alg ~left ~right =
+  match obs with
+  | None -> run alg ~left ~right
+  | Some m ->
+    Dqo_obs.Metrics.timed m
+      ~op:("join/" ^ name alg)
+      ~rows_in:(Array.length left + Array.length right)
+      ~rows_out:cardinality
+      (fun () -> run alg ~left ~right)
+
 let materialize l r pairs =
   let lt = Dqo_data.Relation.take l pairs.left in
   let rt = Dqo_data.Relation.take r pairs.right in

@@ -50,6 +50,16 @@ val run : algorithm -> left:int array -> right:int array -> result
     @raise Invalid_argument when the algorithm's precondition fails
     (OJ on unsorted inputs). *)
 
+val run_observed :
+  ?obs:Dqo_obs.Metrics.t ->
+  algorithm ->
+  left:int array ->
+  right:int array ->
+  result
+(** {!run} with per-algorithm timing recorded into [obs] under the
+    operator name ["join/<ALG>"] (input rows of both sides, output
+    pairs, wall time).  Without [obs] it is exactly {!run}. *)
+
 val materialize :
   Dqo_data.Relation.t -> Dqo_data.Relation.t -> result -> Dqo_data.Relation.t
 (** [materialize l r pairs] gathers both sides; the output schema is the

@@ -19,6 +19,20 @@ let of_arrays ?(chunk_size = 4096) ~keys ~values () =
       pos := !pos + len
     done
 
+(* Wrap a producer so that every chunk flowing out of it is counted in
+   [metrics] under operator [op]: chunks, rows produced, and the wall
+   time of driving the producer (including downstream consumption —
+   push-based pipelines cannot separate the two without buffering). *)
+let observe metrics ~op prod : producer =
+ fun consume ->
+  let om = Dqo_obs.Metrics.op metrics op in
+  Dqo_obs.Metrics.add_invocation om;
+  let t0 = Dqo_obs.Metrics.now_ns () in
+  prod (fun c ->
+      Dqo_obs.Metrics.add_chunk om ~rows:(Array.length c.keys);
+      consume c);
+  Dqo_obs.Metrics.add_time om (Dqo_obs.Metrics.now_ns () - t0)
+
 let filter p prod consume =
   prod (fun c ->
       let n = Array.length c.keys in

@@ -29,6 +29,13 @@ val of_arrays : ?chunk_size:int -> keys:int array -> values:int array
 val filter : (int -> int -> bool) -> producer -> producer
 (** [filter p prod] keeps rows with [p key value]; chunks are compacted. *)
 
+val observe : Dqo_obs.Metrics.t -> op:string -> producer -> producer
+(** [observe metrics ~op prod] forwards [prod] unchanged while recording
+    an invocation, per-chunk row counts, and the wall time of driving the
+    producer under operator [op] in [metrics].  The time includes
+    downstream consumption — push-based pipelines cannot separate the
+    two without buffering. *)
+
 val map_values : (int -> int) -> producer -> producer
 
 val collect : producer -> int array * int array

@@ -1,0 +1,91 @@
+(* Minimal JSON tree and emitter.  No external dependency: the bench
+   harness and the CLI must be able to write machine-readable output
+   with nothing but the stdlib, so results stay consumable by any
+   tooling (jq, python, spreadsheets) without linking a JSON library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+(* Floats must stay valid JSON: nan/inf have no JSON spelling and are
+   emitted as null; whole floats keep a trailing ".0" so they read back
+   as floats. *)
+let float_repr f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+let rec emit buf ~indent ~level j =
+  let pad n = Buffer.add_string buf (String.make (n * indent) ' ') in
+  let emit_seq opening closing items emit_item =
+    match items with
+    | [] ->
+      Buffer.add_char buf opening;
+      Buffer.add_char buf closing
+    | _ :: _ ->
+      Buffer.add_char buf opening;
+      Buffer.add_char buf '\n';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (level + 1);
+          emit_item item)
+        items;
+      Buffer.add_char buf '\n';
+      pad level;
+      Buffer.add_char buf closing
+  in
+  match j with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s ->
+    Buffer.add_char buf '"';
+    escape buf s;
+    Buffer.add_char buf '"'
+  | List items ->
+    emit_seq '[' ']' items (emit buf ~indent ~level:(level + 1))
+  | Obj fields ->
+    emit_seq '{' '}' fields (fun (k, v) ->
+        Buffer.add_char buf '"';
+        escape buf k;
+        Buffer.add_string buf "\": ";
+        emit buf ~indent ~level:(level + 1) v)
+
+let to_string ?(indent = 2) j =
+  let buf = Buffer.create 256 in
+  emit buf ~indent ~level:0 j;
+  Buffer.contents buf
+
+let to_channel ?indent oc j =
+  output_string oc (to_string ?indent j);
+  output_char oc '\n'
+
+let to_file ?indent path j =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      to_channel ?indent oc j)
+
+(* Convenience: the shape every per-measurement record shares. *)
+let of_float_opt = function Some f -> Float f | None -> Null

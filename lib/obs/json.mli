@@ -1,0 +1,30 @@
+(** Minimal JSON tree and emitter.
+
+    No external dependency: the bench harness and the CLI must be able
+    to write machine-readable output with nothing but the stdlib, so
+    results stay consumable by any tooling (jq, python, spreadsheets)
+    without linking a JSON library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Indented rendering (default indent 2).  Always valid JSON:
+    strings are escaped; [nan] / [infinity] — which have no JSON
+    spelling — are emitted as [null]; whole floats keep a trailing
+    [".0"] so they read back as floats. *)
+
+val to_channel : ?indent:int -> out_channel -> t -> unit
+(** {!to_string} plus a trailing newline. *)
+
+val to_file : ?indent:int -> string -> t -> unit
+(** Write to a fresh file (truncating), closing it even on exceptions. *)
+
+val of_float_opt : float option -> t
+(** [Float f] or [Null]. *)

@@ -1,0 +1,116 @@
+(* Runtime observability: named counters, span timers, and per-operator
+   metrics (rows in/out, chunks, wall time).  A registry is a cheap
+   mutable sink threaded through the executor and the bench harness;
+   everything it records can be exported as JSON via [to_json].
+
+   Times use the same clock as [Dqo_util.Timer]: the experiments are
+   single-threaded, so CPU time and wall time coincide up to GC pauses,
+   which we do want to include. *)
+
+let now_ns () = int_of_float (Sys.time () *. 1e9)
+
+type op = {
+  op_name : string;
+  mutable invocations : int;
+  mutable rows_in : int;
+  mutable rows_out : int;
+  mutable chunks : int;
+  mutable wall_ns : int;
+}
+
+type t = {
+  mutable counters : (string * int ref) list; (* insertion order *)
+  mutable spans : (string * int ref) list; (* accumulated ns *)
+  mutable ops : op list;
+}
+
+let create () = { counters = []; spans = []; ops = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Counters.                                                           *)
+
+let incr ?(by = 1) t name =
+  match List.assoc_opt name t.counters with
+  | Some r -> r := !r + by
+  | None -> t.counters <- t.counters @ [ (name, ref by) ]
+
+let counter t name =
+  match List.assoc_opt name t.counters with Some r -> !r | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Span timers.                                                        *)
+
+let add_span_ns t name ns =
+  match List.assoc_opt name t.spans with
+  | Some r -> r := !r + ns
+  | None -> t.spans <- t.spans @ [ (name, ref ns) ]
+
+let span t name f =
+  let t0 = now_ns () in
+  Fun.protect ~finally:(fun () -> add_span_ns t name (now_ns () - t0)) f
+
+let span_ns t name =
+  match List.assoc_opt name t.spans with Some r -> !r | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Per-operator metrics.                                               *)
+
+let op t name =
+  match List.find_opt (fun o -> String.equal o.op_name name) t.ops with
+  | Some o -> o
+  | None ->
+    let o =
+      { op_name = name; invocations = 0; rows_in = 0; rows_out = 0;
+        chunks = 0; wall_ns = 0 }
+    in
+    t.ops <- t.ops @ [ o ];
+    o
+
+let add_chunk o ~rows =
+  o.chunks <- o.chunks + 1;
+  o.rows_out <- o.rows_out + rows
+
+let add_time o ns = o.wall_ns <- o.wall_ns + ns
+let add_invocation o = o.invocations <- o.invocations + 1
+
+let record t ~op:name ~rows_in ~rows_out ~wall_ns =
+  let o = op t name in
+  o.invocations <- o.invocations + 1;
+  o.rows_in <- o.rows_in + rows_in;
+  o.rows_out <- o.rows_out + rows_out;
+  o.wall_ns <- o.wall_ns + wall_ns
+
+(* Time [f], then record one invocation of [name]; [rows_out] extracts
+   the output cardinality from the result. *)
+let timed t ~op:name ~rows_in ~rows_out f =
+  let t0 = now_ns () in
+  let r = f () in
+  record t ~op:name ~rows_in ~rows_out:(rows_out r) ~wall_ns:(now_ns () - t0);
+  r
+
+let find_op t name = List.find_opt (fun o -> String.equal o.op_name name) t.ops
+let ops t = t.ops
+
+(* ------------------------------------------------------------------ *)
+(* Export.                                                             *)
+
+let op_to_json o =
+  Json.Obj
+    [
+      ("op", Json.String o.op_name);
+      ("invocations", Json.Int o.invocations);
+      ("rows_in", Json.Int o.rows_in);
+      ("rows_out", Json.Int o.rows_out);
+      ("chunks", Json.Int o.chunks);
+      ("wall_ns", Json.Int o.wall_ns);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (n, r) -> (n, Json.Int !r)) t.counters) );
+      ( "spans_ns",
+        Json.Obj (List.map (fun (n, r) -> (n, Json.Int !r)) t.spans) );
+      ("operators", Json.List (List.map op_to_json t.ops));
+    ]

@@ -1,0 +1,78 @@
+(** Runtime observability: named counters, span timers, and
+    per-operator metrics (rows in/out, chunks, wall time).
+
+    A registry is a cheap mutable sink threaded through the executor
+    and the bench harness; everything it records can be exported as
+    JSON via {!to_json}.  Times use the same clock as
+    [Dqo_util.Timer]: the experiments are single-threaded, so CPU time
+    and wall time coincide up to GC pauses, which we do want to
+    include. *)
+
+type t
+(** A metrics registry.  Not thread-safe (nothing here is). *)
+
+val create : unit -> t
+
+val now_ns : unit -> int
+(** The registry clock, exposed so callers can time code regions
+    consistently with {!span}. *)
+
+(** {2 Counters} *)
+
+val incr : ?by:int -> t -> string -> unit
+(** Increment a named counter (created at zero on first use). *)
+
+val counter : t -> string -> int
+(** Current value; [0] for never-incremented names. *)
+
+(** {2 Span timers} *)
+
+val add_span_ns : t -> string -> int -> unit
+(** Add elapsed nanoseconds to a named span. *)
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f ()], accumulating its elapsed time under
+    [name] — also on exception. *)
+
+val span_ns : t -> string -> int
+(** Accumulated nanoseconds; [0] for unknown names. *)
+
+(** {2 Per-operator metrics} *)
+
+type op = {
+  op_name : string;
+  mutable invocations : int;
+  mutable rows_in : int;
+  mutable rows_out : int;
+  mutable chunks : int;
+  mutable wall_ns : int;
+}
+
+val op : t -> string -> op
+(** Find-or-create the operator entry named [name]; entries keep
+    insertion order. *)
+
+val add_chunk : op -> rows:int -> unit
+(** One pushed chunk: [chunks + 1], [rows_out + rows]. *)
+
+val add_time : op -> int -> unit
+val add_invocation : op -> unit
+
+val record :
+  t -> op:string -> rows_in:int -> rows_out:int -> wall_ns:int -> unit
+(** Record one complete invocation of the named operator. *)
+
+val timed :
+  t -> op:string -> rows_in:int -> rows_out:('a -> int) -> (unit -> 'a) -> 'a
+(** [timed t ~op ~rows_in ~rows_out f] times [f ()] and records one
+    invocation; [rows_out] extracts the output cardinality from the
+    result. *)
+
+val find_op : t -> string -> op option
+val ops : t -> op list
+
+(** {2 Export} *)
+
+val op_to_json : op -> Json.t
+val to_json : t -> Json.t
+(** [{"counters": {...}, "spans_ns": {...}, "operators": [...]}]. *)

@@ -1,8 +1,119 @@
+module Props = Dqo_plan.Props
+module Physical = Dqo_plan.Physical
+module Cardinality = Dqo_cost.Cardinality
+module Json = Dqo_obs.Json
+
 let entry ppf (e : Pareto.entry) =
   Format.fprintf ppf
     "@[<v>cost      %.0f@,rows      %d@,props     %a@,plan:@,%a@]"
     e.Pareto.cost e.Pareto.rows Dqo_plan.Props.pp e.Pareto.props
     Dqo_plan.Physical.pp e.Pareto.plan
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE: per-node cardinality estimates for a fixed physical
+   plan, using the same formulas the search used to choose it, so the
+   executor can annotate each node with estimated vs. actual rows.     *)
+
+(* Derived properties and estimated output rows of every operator,
+   bottom-up. *)
+let rec estimate_props catalog (p : Physical.t) : Props.t * int =
+  match p with
+  | Physical.Table_scan name ->
+    let ti = Catalog.find catalog name in
+    (ti.Catalog.props, ti.Catalog.rows)
+  | Physical.Filter_op (sub, col, pred) ->
+    let props, rows = estimate_props catalog sub in
+    let sel = Search.default_selectivity props col pred rows in
+    let out = Cardinality.filter ~rows ~selectivity:sel in
+    (Search.scale_columns (Search.narrow_column props col pred) out, out)
+  | Physical.Project_op (sub, cols) ->
+    let props, rows = estimate_props catalog sub in
+    (Props.restrict props cols, rows)
+  | Physical.Sort_enforcer (sub, col) ->
+    let props, rows = estimate_props catalog sub in
+    (Props.with_sort props col, rows)
+  | Physical.Join_op (l, r, lc, rc, _) ->
+    let lp, lrows = estimate_props catalog l in
+    let rp, rrows = estimate_props catalog r in
+    let d1 = Search.distinct_or lp lc lrows in
+    let d2 = Search.distinct_or rp rc rrows in
+    let out =
+      Cardinality.equi_join ~left_rows:lrows ~right_rows:rrows
+        ~left_distinct:d1 ~right_distinct:d2
+    in
+    (Search.scale_columns (Props.union_columns lp rp) out, out)
+  | Physical.Group_op (sub, key, _, _) ->
+    let props, rows = estimate_props catalog sub in
+    let groups =
+      min (max 1 (Search.distinct_or props key rows)) (max 1 rows)
+    in
+    let out = Cardinality.group_by ~key_distinct:groups in
+    let columns =
+      match Props.column props key with
+      | Some c -> [ (key, { c with Props.distinct = groups }) ]
+      | None -> []
+    in
+    ( { Props.sorted_by = None; clustered_by = Some key; columns;
+        co_ordered = [] },
+      out )
+
+let estimated_rows catalog p = snd (estimate_props catalog p)
+
+(* An executed plan node annotated with observed behaviour.  [wall_ns]
+   is cumulative: it includes the node's inputs, like the actual-time
+   column of a conventional EXPLAIN ANALYZE. *)
+type analyzed = {
+  op : string;
+  est_rows : int;
+  actual_rows : int;
+  wall_ns : int;
+  children : analyzed list;
+}
+
+(* Q-error: the standard estimation-quality metric — the factor by which
+   the estimate is off, in whichever direction. *)
+let q_error ~est ~actual =
+  let e = Float.of_int (max 1 est) and a = Float.of_int (max 1 actual) in
+  Float.max (e /. a) (a /. e)
+
+let rec render_analyzed buf depth node =
+  let label = String.make (2 * depth) ' ' ^ node.op in
+  Buffer.add_string buf
+    (Printf.sprintf "%-36s est=%-9d actual=%-9d q=%-7.2f time=%.3fms\n"
+       label node.est_rows node.actual_rows
+       (q_error ~est:node.est_rows ~actual:node.actual_rows)
+       (Float.of_int node.wall_ns /. 1e6));
+  List.iter (render_analyzed buf (depth + 1)) node.children
+
+let render_analysis ?cost ?stats root =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "=== EXPLAIN ANALYZE ===\n";
+  render_analyzed buf 0 root;
+  (match cost with
+  | Some c -> Buffer.add_string buf (Printf.sprintf "estimated cost: %.0f\n" c)
+  | None -> ());
+  (match stats with
+  | Some (s : Search.stats) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "optimiser: %d plans considered, %d kept on the Pareto frontier, \
+          %d enforcers added, %d pruned\n"
+         s.Search.plans_considered s.Search.pareto_kept
+         s.Search.enforcers_added s.Search.candidates_pruned)
+  | None -> ());
+  Buffer.contents buf
+
+let rec analyzed_to_json node =
+  Json.Obj
+    [
+      ("op", Json.String node.op);
+      ("est_rows", Json.Int node.est_rows);
+      ("actual_rows", Json.Int node.actual_rows);
+      ( "q_error",
+        Json.Float (q_error ~est:node.est_rows ~actual:node.actual_rows) );
+      ("wall_ns", Json.Int node.wall_ns);
+      ("children", Json.List (List.map analyzed_to_json node.children));
+    ]
 
 let comparison ?model catalog l =
   let shallow = Search.optimize ?model Search.Shallow catalog l in

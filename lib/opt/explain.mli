@@ -10,3 +10,43 @@ val comparison :
   string
 (** Side-by-side SQO vs DQO report for a query: both chosen plans, both
     costs, and the improvement factor. *)
+
+(** {2 EXPLAIN ANALYZE}
+
+    Per-node cardinality estimation for a fixed physical plan — using
+    the same formulas the search used to choose it — plus rendering of
+    the executed, annotated tree.  Execution itself lives in the engine
+    layer; this module only estimates and renders. *)
+
+val estimate_props : Catalog.t -> Dqo_plan.Physical.t
+  -> Dqo_plan.Props.t * int
+(** Derived properties and estimated output rows of a plan node,
+    computed bottom-up.
+    @raise Not_found if the plan scans a relation absent from the
+    catalog. *)
+
+val estimated_rows : Catalog.t -> Dqo_plan.Physical.t -> int
+(** [snd (estimate_props catalog p)]. *)
+
+type analyzed = {
+  op : string;  (** One-line node label ({!Dqo_plan.Physical.op_label}). *)
+  est_rows : int;  (** The optimiser's cardinality estimate. *)
+  actual_rows : int;  (** Rows the node actually produced. *)
+  wall_ns : int;
+      (** Cumulative wall time: includes the node's inputs, like the
+          actual-time column of a conventional EXPLAIN ANALYZE. *)
+  children : analyzed list;
+}
+(** An executed plan node annotated with observed behaviour. *)
+
+val q_error : est:int -> actual:int -> float
+(** [max (est / actual) (actual / est)], both clamped to at least 1 —
+    the standard estimation-quality metric. *)
+
+val render_analysis : ?cost:float -> ?stats:Search.stats
+  -> analyzed -> string
+(** Human-readable EXPLAIN ANALYZE report: one row per node with
+    estimated vs. actual rows, q-error, and cumulative time, plus the
+    plan's estimated cost and the optimiser statistics when given. *)
+
+val analyzed_to_json : analyzed -> Dqo_obs.Json.t

@@ -10,7 +10,24 @@ module Bitset = Dqo_util.Bitset
 
 type mode = Shallow | Deep
 
-type stats = { plans_considered : int; pareto_kept : int }
+(* One entry per DP step (base scan, select, project, group-by, or join
+   subset): how many candidate plans the step generated, how many sort
+   enforcers it added, and what survived Pareto pruning. *)
+type trace_step = {
+  step : string;
+  generated : int;
+  enforcers : int;
+  kept : int;
+  pruned : int;
+}
+
+type stats = {
+  plans_considered : int;
+  pareto_kept : int;
+  enforcers_added : int;
+  candidates_pruned : int;
+  trace : trace_step list; (* in evaluation order *)
+}
 
 type ctx = {
   mode : mode;
@@ -18,6 +35,9 @@ type ctx = {
   catalog : Catalog.t;
   interesting : string list;
   mutable considered : int;
+  mutable enforced : int;
+  mutable pruned : int;
+  mutable steps : trace_step list; (* reverse evaluation order *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -36,6 +56,14 @@ let interesting_columns l =
 (* Entry helpers.                                                      *)
 
 let count ctx n = ctx.considered <- ctx.considered + n
+
+let record_step ctx step ~generated ~enforcers kept_entries =
+  let kept = List.length kept_entries in
+  let pruned = max 0 (generated + enforcers - kept) in
+  ctx.enforced <- ctx.enforced + enforcers;
+  ctx.pruned <- ctx.pruned + pruned;
+  ctx.steps <- { step; generated; enforcers; kept; pruned } :: ctx.steps;
+  kept_entries
 
 let distinct_or props col default =
   match Props.distinct_of props col with Some d -> d | None -> default
@@ -68,31 +96,36 @@ let base_entry ctx name =
 
 (* Sort enforcers: for every interesting column the entry knows about
    and is not already sorted on, offer a sorted variant. *)
-let with_enforcers ctx entries =
-  let enforced =
-    List.concat_map
-      (fun (e : Pareto.entry) ->
-        List.filter_map
-          (fun col ->
-            match Props.column e.Pareto.props col with
-            | None -> None
-            | Some _ ->
-              if Props.sorted_on e.Pareto.props col then None
-              else
-                Some
-                  {
-                    Pareto.plan = Physical.Sort_enforcer (e.Pareto.plan, col);
-                    cost =
-                      e.Pareto.cost
-                      +. Model.sort_cost ctx.model ~rows:e.Pareto.rows;
-                    props = Props.with_sort e.Pareto.props col;
-                    rows = e.Pareto.rows;
-                  })
-          ctx.interesting)
-      entries
-  in
+let enforcer_variants ctx entries =
+  List.concat_map
+    (fun (e : Pareto.entry) ->
+      List.filter_map
+        (fun col ->
+          match Props.column e.Pareto.props col with
+          | None -> None
+          | Some _ ->
+            if Props.sorted_on e.Pareto.props col then None
+            else
+              Some
+                {
+                  Pareto.plan = Physical.Sort_enforcer (e.Pareto.plan, col);
+                  cost =
+                    e.Pareto.cost
+                    +. Model.sort_cost ctx.model ~rows:e.Pareto.rows;
+                  props = Props.with_sort e.Pareto.props col;
+                  rows = e.Pareto.rows;
+                })
+        ctx.interesting)
+    entries
+
+(* Prune [entries], add sort enforcers on the survivors, prune again,
+   and record the whole step in the DP trace. *)
+let with_enforcers ctx step ~generated entries =
+  let survivors = Pareto.add_all [] entries in
+  let enforced = enforcer_variants ctx survivors in
   count ctx (List.length enforced);
-  Pareto.add_all (Pareto.add_all [] entries) enforced
+  let merged = Pareto.add_all survivors enforced in
+  record_step ctx step ~generated ~enforcers:(List.length enforced) merged
 
 (* ------------------------------------------------------------------ *)
 (* Molecule enumeration: which (table, hash) pairs to consider for the
@@ -123,7 +156,16 @@ let default_selectivity props col p rows =
   | Some _ | None -> (
     match p with
     | Filter.Eq _ -> 1.0 /. Float.of_int (max 1 rows)
-    | Filter.Ne _ -> 1.0
+    | Filter.Ne _ ->
+      (* <> excludes one of the [distinct] values, not nothing: a
+         selectivity of 1.0 would leave inequality filters free and
+         mis-rank plans built on top of them. *)
+      let d =
+        match Props.distinct_of props col with
+        | Some d -> max 1 d
+        | None -> max 1 rows
+      in
+      1.0 -. (1.0 /. Float.of_int d)
     | Filter.Lt _ | Filter.Le _ | Filter.Gt _ | Filter.Ge _ -> 0.33
     | Filter.Between _ -> 0.25)
 
@@ -135,8 +177,10 @@ let narrow_column props col p =
       let lo = max c.Props.lo a and hi = min c.Props.hi b in
       let span = max 0 (hi - lo + 1) in
       { c with Props.lo; hi; distinct = min c.Props.distinct span }
-    | Filter.Ne _ | Filter.Lt _ | Filter.Le _ | Filter.Gt _ | Filter.Ge _ ->
-      c
+    | Filter.Ne _ ->
+      (* Exactly one distinct value is filtered out. *)
+      { c with Props.distinct = max 1 (c.Props.distinct - 1) }
+    | Filter.Lt _ | Filter.Le _ | Filter.Gt _ | Filter.Ge _ -> c
   in
   {
     props with
@@ -238,23 +282,46 @@ let rec flatten_joins l =
   | Logical.Group_by _ ->
     ([ l ], [])
 
+(* A printable name for a join leaf: the base table it scans. *)
+let rec leaf_label (l : Logical.t) =
+  match l with
+  | Logical.Scan name -> name
+  | Logical.Select (t, _, _) | Logical.Project (t, _)
+  | Logical.Group_by (t, _, _) ->
+    leaf_label t
+  | Logical.Join _ -> "join"
+
 let rec plan_node ctx (l : Logical.t) : Pareto.entry list =
   match l with
-  | Logical.Scan name -> with_enforcers ctx [ base_entry ctx name ]
+  | Logical.Scan name ->
+    count ctx 1;
+    with_enforcers ctx ("scan(" ^ name ^ ")") ~generated:1
+      [ base_entry ctx name ]
   | Logical.Select (t, col, p) ->
     let inputs = plan_node ctx t in
+    let candidates = List.map (select_entry ctx col p) inputs in
+    count ctx (List.length candidates);
     with_enforcers ctx
-      (Pareto.add_all [] (List.map (select_entry ctx col p) inputs))
+      (Format.asprintf "select(%s %a)" col Filter.pp p)
+      ~generated:(List.length candidates) candidates
   | Logical.Project (t, cols) ->
     let inputs = plan_node ctx t in
-    Pareto.add_all [] (List.map (project_entry cols) inputs)
+    let candidates = List.map (project_entry cols) inputs in
+    count ctx (List.length candidates);
+    record_step ctx
+      ("project(" ^ String.concat ", " cols ^ ")")
+      ~generated:(List.length candidates) ~enforcers:0
+      (Pareto.add_all [] candidates)
   | Logical.Join _ -> join_dp ctx l
   | Logical.Group_by (t, key, aggs) ->
     let inputs = plan_node ctx t in
     let candidates =
       List.concat_map (fun e -> group_candidates ctx e key aggs) inputs
     in
-    Pareto.add_all [] candidates
+    record_step ctx
+      ("group_by(" ^ key ^ ")")
+      ~generated:(List.length candidates) ~enforcers:0
+      (Pareto.add_all [] candidates)
 
 and join_dp ctx l =
   let leaves, predicates = flatten_joins l in
@@ -303,6 +370,13 @@ and join_dp ctx l =
          (fun s -> Bitset.cardinal s >= 2)
          (full :: Bitset.subsets full))
   in
+  let leaf_names = Array.of_list (List.map leaf_label leaves) in
+  let subset_label s =
+    "subset{"
+    ^ String.concat ","
+        (List.map (fun i -> leaf_names.(i)) (Bitset.to_list s))
+    ^ "}"
+  in
   List.iter
     (fun s ->
       let candidates = ref [] in
@@ -324,7 +398,9 @@ and join_dp ctx l =
               p1)
         (Bitset.subsets s);
       Hashtbl.replace memo s
-        (with_enforcers ctx (Pareto.add_all [] !candidates)))
+        (with_enforcers ctx (subset_label s)
+           ~generated:(List.length !candidates)
+           !candidates))
     all_subsets;
   match Hashtbl.find_opt memo full with
   | Some [] | None ->
@@ -392,10 +468,46 @@ and group_candidates ctx (e : Pareto.entry) key aggs =
 
 let optimize_entries ?(model = Model.table2) mode catalog l =
   let ctx =
-    { mode; model; catalog; interesting = interesting_columns l; considered = 0 }
+    {
+      mode;
+      model;
+      catalog;
+      interesting = interesting_columns l;
+      considered = 0;
+      enforced = 0;
+      pruned = 0;
+      steps = [];
+    }
   in
   let entries = plan_node ctx l in
-  (entries, { plans_considered = ctx.considered; pareto_kept = List.length entries })
+  ( entries,
+    {
+      plans_considered = ctx.considered;
+      pareto_kept = List.length entries;
+      enforcers_added = ctx.enforced;
+      candidates_pruned = ctx.pruned;
+      trace = List.rev ctx.steps;
+    } )
+
+let step_to_json (s : trace_step) =
+  Dqo_obs.Json.Obj
+    [
+      ("step", Dqo_obs.Json.String s.step);
+      ("candidates_generated", Dqo_obs.Json.Int s.generated);
+      ("enforcers_added", Dqo_obs.Json.Int s.enforcers);
+      ("pareto_kept", Dqo_obs.Json.Int s.kept);
+      ("pruned", Dqo_obs.Json.Int s.pruned);
+    ]
+
+let stats_to_json (s : stats) =
+  Dqo_obs.Json.Obj
+    [
+      ("plans_considered", Dqo_obs.Json.Int s.plans_considered);
+      ("pareto_kept", Dqo_obs.Json.Int s.pareto_kept);
+      ("enforcers_added", Dqo_obs.Json.Int s.enforcers_added);
+      ("candidates_pruned", Dqo_obs.Json.Int s.candidates_pruned);
+      ("trace", Dqo_obs.Json.List (List.map step_to_json s.trace));
+    ]
 
 let optimize ?model mode catalog l =
   let entries, _ = optimize_entries ?model mode catalog l in

@@ -18,10 +18,26 @@
 
 type mode = Shallow | Deep
 
-type stats = {
-  plans_considered : int;  (** Candidate entries generated. *)
-  pareto_kept : int;  (** Entries surviving in the root Pareto set. *)
+type trace_step = {
+  step : string;
+      (** DP step label: ["scan(R)"], ["select(a = 7)"],
+          ["subset{R,S}"], ["group_by(key)"], ... *)
+  generated : int;  (** Candidate plans the step generated. *)
+  enforcers : int;  (** Sort enforcers added on the step's survivors. *)
+  kept : int;  (** Entries surviving in the step's Pareto set. *)
+  pruned : int;  (** Candidates dominated away, [generated + enforcers - kept]. *)
 }
+
+type stats = {
+  plans_considered : int;  (** Candidate entries generated overall. *)
+  pareto_kept : int;  (** Entries surviving in the root Pareto set. *)
+  enforcers_added : int;  (** Sort enforcers generated overall. *)
+  candidates_pruned : int;  (** Entries dominated away overall. *)
+  trace : trace_step list;  (** Per-DP-step breakdown, in evaluation order. *)
+}
+
+val stats_to_json : stats -> Dqo_obs.Json.t
+(** Stats (including the full trace) as a JSON document. *)
 
 val optimize_entries :
   ?model:Dqo_cost.Model.t ->
@@ -50,3 +66,28 @@ val improvement_factor :
   float
 (** [SQO best cost / DQO best cost] — the quantity of the paper's
     Figure 5 ([1.0] means DQO found nothing better). *)
+
+(** {2 Estimation primitives}
+
+    The formulas the search applies per operator, exported so EXPLAIN
+    ANALYZE can recompute per-node estimates of a {e chosen} physical
+    plan with exactly the arithmetic that ranked it. *)
+
+val default_selectivity :
+  Dqo_plan.Props.t -> string -> Dqo_exec.Filter.predicate -> int -> float
+(** [default_selectivity props col p rows] — range-based when [col]'s
+    bounds are known, magic constants (plus distinct-count arithmetic
+    for [=] / [<>]) otherwise. *)
+
+val narrow_column :
+  Dqo_plan.Props.t -> string -> Dqo_exec.Filter.predicate ->
+  Dqo_plan.Props.t
+(** Restrict [col]'s value bounds / distinct count to what survives the
+    predicate. *)
+
+val scale_columns : Dqo_plan.Props.t -> int -> Dqo_plan.Props.t
+(** Cap every column's distinct count at the operator's output rows. *)
+
+val distinct_or : Dqo_plan.Props.t -> string -> int -> int
+(** [distinct_or props col default] — the column's distinct count, or
+    [default] when unknown. *)

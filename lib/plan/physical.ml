@@ -60,6 +60,19 @@ let rec pp ppf = function
   | Group_op (t, key, _aggs, impl) ->
     Format.fprintf ppf "@[<v 2>%s(key=%s)@,%a@]" (grouping_name impl) key pp t
 
+(* One-line label for a node, ignoring its inputs — what EXPLAIN
+   ANALYZE prints per tree row. *)
+let op_label = function
+  | Table_scan n -> "TableScan(" ^ n ^ ")"
+  | Filter_op (_, c, p) ->
+    Format.asprintf "Filter(%s %a)" c Dqo_exec.Filter.pp p
+  | Project_op (_, cols) -> "Project(" ^ String.concat ", " cols ^ ")"
+  | Sort_enforcer (_, c) -> "Sort(" ^ c ^ ")"
+  | Join_op (_, _, lc, rc, impl) ->
+    Printf.sprintf "%s(%s = %s)" (join_name impl) lc rc
+  | Group_op (_, key, _, impl) ->
+    Printf.sprintf "%s(key=%s)" (grouping_name impl) key
+
 let operators t =
   let rec go acc = function
     | Table_scan n -> ("TableScan(" ^ n ^ ")") :: acc

@@ -39,6 +39,11 @@ val join_name : join_impl -> string
 
 val pp : Format.formatter -> t -> unit
 
+val op_label : t -> string
+(** One-line label of a node, ignoring its inputs — e.g.
+    ["HJ(chaining, murmur3)(id = r_id)"]; what EXPLAIN ANALYZE prints
+    per tree row. *)
+
 val operators : t -> string list
 (** Pre-order list of operator names, for plan-shape assertions in
     tests. *)

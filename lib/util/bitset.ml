@@ -38,9 +38,14 @@ let fold f s init =
 let to_list s = List.rev (fold (fun i acc -> i :: acc) s [])
 let iter f s = List.iter f (to_list s)
 
+(* [check] admits elements 0..62, so [full 63] must cover all 63 of
+   them: that is every bit of the 63-bit int set, i.e. -1.  The old
+   [-1 land max_int] silently dropped element 62 (the sign bit), which
+   [singleton 62] does use — all set operations here are bitwise, so a
+   negative representation is harmless. *)
 let full n =
   if n < 0 || n > 63 then invalid_arg "Bitset.full";
-  if n = 63 then -1 land max_int else (1 lsl n) - 1
+  if n = 63 then -1 else (1 lsl n) - 1
 
 (* Enumerate non-empty proper subsets of [s] with the standard
    [sub = (sub - 1) land s] trick. *)

@@ -47,6 +47,10 @@ let linear_fit points =
     points;
   let nf = Float.of_int n in
   let denom = (nf *. !sxx) -. (!sx *. !sx) in
+  (* Constant-x input makes the denominator (numerically) zero and the
+     slope undefined; refuse instead of returning nan/inf silently. *)
+  if Float.abs denom <= 1e-12 *. Float.max 1.0 (Float.abs (nf *. !sxx)) then
+    invalid_arg "Stats.linear_fit: x values are constant";
   let slope = ((nf *. !sxy) -. (!sx *. !sy)) /. denom in
   let intercept = (!sy -. (slope *. !sx)) /. nf in
   (slope, intercept)

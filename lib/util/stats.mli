@@ -23,7 +23,10 @@ val percentile : float array -> float -> float
 val linear_fit : (float * float) array -> float * float
 (** [linear_fit points] returns [(slope, intercept)] of the least-squares
     line through [points].
-    @raise Invalid_argument on fewer than two points. *)
+    @raise Invalid_argument on fewer than two points, or when all x
+    values are (numerically) equal — the slope would be undefined and
+    silently returning [nan]/[infinity] poisons downstream
+    calibration. *)
 
 val geometric_mean : float array -> float
 (** [geometric_mean xs] for positive samples; [nan] on an empty array. *)

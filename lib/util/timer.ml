@@ -23,6 +23,21 @@ let best_of ~repeats f =
   | Some r -> (r, !best)
   | None -> assert false
 
+(* All individual measurements, for callers that want to aggregate
+   themselves (e.g. report the best in a table and the median in JSON). *)
+let times ~repeats f =
+  if repeats < 1 then invalid_arg "Timer.times";
+  let ts = Array.make repeats 0.0 in
+  let result = ref None in
+  for i = 0 to repeats - 1 do
+    let r, ms = time_ms f in
+    result := Some r;
+    ts.(i) <- ms
+  done;
+  match !result with
+  | Some r -> (r, ts)
+  | None -> assert false
+
 let median_of ~repeats f =
   if repeats < 1 then invalid_arg "Timer.median_of";
   let times = Array.make repeats 0.0 in

@@ -17,3 +17,9 @@ val median_of : repeats:int -> (unit -> 'a) -> 'a * float
 (** [median_of ~repeats f] runs [f] [repeats] times and returns the last
     result and the median elapsed milliseconds.
     @raise Invalid_argument if [repeats < 1]. *)
+
+val times : repeats:int -> (unit -> 'a) -> 'a * float array
+(** [times ~repeats f] runs [f] [repeats] times and returns the last
+    result together with every elapsed-milliseconds sample, in run
+    order — for callers that want their own summary statistics.
+    @raise Invalid_argument if [repeats < 1]. *)

@@ -207,6 +207,79 @@ let test_pareto_rejects_dominated () =
   let set = Pareto.add set (entry 15.0 sorted) in
   Alcotest.(check int) "dominated entry rejected" 1 (Pareto.size set)
 
+(* Pareto-set invariants: the frontier is what the DP's correctness
+   rests on, so pin its three edge behaviours explicitly. *)
+
+let test_pareto_dominated_add_is_noop () =
+  let sorted = Props.with_sort Props.none "x" in
+  let set = Pareto.add [] (entry 10.0 sorted) in
+  let set' = Pareto.add set (entry 99.0 Props.none) in
+  Alcotest.(check int) "size unchanged" 1 (Pareto.size set');
+  Alcotest.(check (float 1e-9))
+    "survivor is the original" 10.0 (Pareto.cheapest set').Pareto.cost
+
+let test_pareto_dominating_add_evicts_all () =
+  let sorted = Props.with_sort Props.none "x" in
+  let x_col = [ ("x", col ~dense:true ~lo:0 ~hi:9 ~distinct:10) ] in
+  let with_col = { Props.none with Props.columns = x_col } in
+  (* Three mutually incomparable entries... *)
+  let set =
+    Pareto.add_all []
+      [ entry 10.0 Props.none; entry 20.0 sorted; entry 20.0 with_col ]
+  in
+  Alcotest.(check int) "incomparable all kept" 3 (Pareto.size set);
+  (* ...then one entry that dominates every one of them. *)
+  let all_props = { sorted with Props.columns = x_col } in
+  let set = Pareto.add set (entry 5.0 all_props) in
+  Alcotest.(check int) "all dominated evicted" 1 (Pareto.size set);
+  Alcotest.(check (float 1e-9)) "dominator" 5.0 (Pareto.cheapest set).Pareto.cost
+
+let test_pareto_equal_duplicates_dont_accumulate () =
+  let sorted = Props.with_sort Props.none "x" in
+  let e = entry 10.0 sorted in
+  let set = Pareto.add_all [] [ e; e; e ] in
+  Alcotest.(check int) "one survivor" 1 (Pareto.size set)
+
+(* --- Ne selectivity regression --------------------------------------- *)
+
+(* [a <> const] used to be estimated at selectivity 1.0 when the
+   column's value bounds were unknown (the shallow optimiser's normal
+   state, since Props.shallow erases lo/hi) — leaving inequality
+   filters free and mis-ranking every plan above them. *)
+
+let test_ne_selectivity_without_bounds () =
+  let catalog = figure5_catalog ~r_sorted:false ~s_sorted:false ~dense:true in
+  let r = (Catalog.find catalog "R").Catalog.props in
+  let blind = Props.shallow r in
+  let sel = Search.default_selectivity blind "a" (Dqo_exec.Filter.Ne 7) 25_000 in
+  Alcotest.(check bool) "strictly below 1" true (sel < 1.0);
+  (* R.a has 20,000 distinct values: <> excludes exactly one of them. *)
+  Alcotest.(check (float 1e-9)) "1 - 1/distinct" (1.0 -. (1.0 /. 20_000.0)) sel
+
+let test_ne_filter_reduces_shallow_estimate () =
+  let catalog = figure5_catalog ~r_sorted:false ~s_sorted:false ~dense:true in
+  let q =
+    Logical.project
+      (Logical.select (Logical.scan "R") "a" (Dqo_exec.Filter.Ne 7))
+      [ "a" ]
+  in
+  let e = Search.optimize Search.Shallow catalog q in
+  Alcotest.(check bool) "fewer rows than the scan" true (e.Pareto.rows < 25_000);
+  Alcotest.(check int) "25000 * (1 - 1/20000), rounded" 24_999 e.Pareto.rows
+
+let test_ne_narrows_distinct_for_grouping () =
+  (* Downstream effect: grouping above [a <> const] must expect one
+     group fewer than the column's distinct count. *)
+  let catalog = figure5_catalog ~r_sorted:false ~s_sorted:false ~dense:true in
+  let q =
+    Logical.group_by
+      (Logical.select (Logical.scan "R") "a" (Dqo_exec.Filter.Ne 7))
+      ~key:"a"
+      [ Logical.count_star () ]
+  in
+  let e = Search.optimize Search.Deep catalog q in
+  Alcotest.(check int) "19999 estimated groups" 19_999 e.Pareto.rows
+
 (* --- search stats ---------------------------------------------------- *)
 
 let test_deep_searches_more_plans () =
@@ -221,6 +294,40 @@ let test_deep_searches_more_plans () =
     "deep explores at least as many candidates" true
     (deep_stats.Search.plans_considered
     >= shallow_stats.Search.plans_considered)
+
+let test_trace_is_consistent () =
+  let catalog = figure5_catalog ~r_sorted:false ~s_sorted:false ~dense:true in
+  let entries, stats =
+    Search.optimize_entries Search.Deep catalog figure5_query
+  in
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats.Search.trace in
+  Alcotest.(check bool) "trace non-empty" true (stats.Search.trace <> []);
+  (* Every DP step shows up: two scans, the three join subsets, and the
+     final grouping. *)
+  let steps = List.map (fun (s : Search.trace_step) -> s.Search.step)
+      stats.Search.trace
+  in
+  Alcotest.(check bool) "has scan(R)" true (List.mem "scan(R)" steps);
+  Alcotest.(check bool) "has subset{R,S}" true (List.mem "subset{R,S}" steps);
+  Alcotest.(check bool) "has group_by(a)" true (List.mem "group_by(a)" steps);
+  (* Totals are the trace's totals. *)
+  Alcotest.(check int) "enforcers add up" stats.Search.enforcers_added
+    (sum (fun s -> s.Search.enforcers));
+  Alcotest.(check int) "pruned adds up" stats.Search.candidates_pruned
+    (sum (fun s -> s.Search.pruned));
+  (* Per step, kept = generated + enforcers - pruned. *)
+  List.iter
+    (fun (s : Search.trace_step) ->
+      Alcotest.(check int)
+        (Printf.sprintf "balance at %s" s.Search.step)
+        (s.Search.generated + s.Search.enforcers - s.Search.pruned)
+        s.Search.kept)
+    stats.Search.trace;
+  (* The last step is the root: its kept equals pareto_kept. *)
+  (match List.rev stats.Search.trace with
+  | last :: _ ->
+    Alcotest.(check int) "root kept" (List.length entries) last.Search.kept
+  | [] -> Alcotest.fail "empty trace")
 
 let test_molecule_model_expands_space () =
   let catalog = figure5_catalog ~r_sorted:false ~s_sorted:false ~dense:true in
@@ -396,11 +503,28 @@ let () =
           Alcotest.test_case "dominance" `Quick test_pareto_dominance;
           Alcotest.test_case "rejects dominated" `Quick
             test_pareto_rejects_dominated;
+          Alcotest.test_case "dominated add is no-op" `Quick
+            test_pareto_dominated_add_is_noop;
+          Alcotest.test_case "dominating add evicts all" `Quick
+            test_pareto_dominating_add_evicts_all;
+          Alcotest.test_case "duplicates don't accumulate" `Quick
+            test_pareto_equal_duplicates_dont_accumulate;
+        ] );
+      ( "selectivity",
+        [
+          Alcotest.test_case "Ne without bounds < 1" `Quick
+            test_ne_selectivity_without_bounds;
+          Alcotest.test_case "Ne reduces shallow estimate" `Quick
+            test_ne_filter_reduces_shallow_estimate;
+          Alcotest.test_case "Ne narrows grouping estimate" `Quick
+            test_ne_narrows_distinct_for_grouping;
         ] );
       ( "search",
         [
           Alcotest.test_case "deep explores more" `Quick
             test_deep_searches_more_plans;
+          Alcotest.test_case "trace is consistent" `Quick
+            test_trace_is_consistent;
           Alcotest.test_case "molecules expand space" `Quick
             test_molecule_model_expands_space;
           Alcotest.test_case "three-way join" `Quick test_three_way_join;

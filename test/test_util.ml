@@ -201,6 +201,24 @@ let test_bitset_full_and_bounds () =
     (Invalid_argument "Bitset: element out of [0, 62]") (fun () ->
       ignore (Bitset.singleton 63))
 
+(* Element 62 lives in the sign bit of the 63-bit OCaml int; [full 63]
+   used to drop it. *)
+let test_bitset_sign_bit_boundary () =
+  let top = Bitset.full 63 in
+  Alcotest.(check int) "full 63 has 63 elements" 63 (Bitset.cardinal top);
+  Alcotest.(check bool) "62 in full 63" true (Bitset.mem 62 top);
+  Alcotest.(check bool) "62 not in full 62" false
+    (Bitset.mem 62 (Bitset.full 62));
+  Alcotest.(check int) "full 62 has 62 elements" 62
+    (Bitset.cardinal (Bitset.full 62));
+  let s = Bitset.singleton 62 in
+  Alcotest.(check bool) "mem singleton 62" true (Bitset.mem 62 s);
+  Alcotest.(check (list int)) "to_list keeps 62" [ 0; 62 ]
+    (Bitset.to_list (Bitset.add 0 s));
+  Alcotest.(check bool) "subset of full" true (Bitset.subset s top);
+  Alcotest.(check int) "remove 62" 62
+    (Bitset.cardinal (Bitset.remove 62 top))
+
 (* --- stats ----------------------------------------------------------- *)
 
 let test_stats_basics () =
@@ -217,6 +235,13 @@ let test_stats_linear_fit () =
   in
   Alcotest.(check (float 1e-9)) "slope" 2.0 slope;
   Alcotest.(check (float 1e-9)) "intercept" 1.0 intercept
+
+let test_stats_linear_fit_constant_x () =
+  (* A vertical point cloud has no least-squares line; returning
+     nan/inf silently used to poison calibration downstream. *)
+  Alcotest.check_raises "constant x"
+    (Invalid_argument "Stats.linear_fit: x values are constant") (fun () ->
+      ignore (Stats.linear_fit [| (2.0, 1.0); (2.0, 3.0); (2.0, 5.0) |]))
 
 let test_stats_percentile_and_geomean () =
   let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
@@ -283,11 +308,15 @@ let () =
           Alcotest.test_case "algebra" `Quick test_bitset_algebra;
           Alcotest.test_case "subsets" `Quick test_bitset_subsets;
           Alcotest.test_case "full & bounds" `Quick test_bitset_full_and_bounds;
+          Alcotest.test_case "sign-bit boundary" `Quick
+            test_bitset_sign_bit_boundary;
         ] );
       ( "stats",
         [
           Alcotest.test_case "basics" `Quick test_stats_basics;
           Alcotest.test_case "linear fit" `Quick test_stats_linear_fit;
+          Alcotest.test_case "linear fit constant x" `Quick
+            test_stats_linear_fit_constant_x;
           Alcotest.test_case "percentile & geomean" `Quick
             test_stats_percentile_and_geomean;
         ] );
