@@ -35,6 +35,7 @@ module Stats = Dqo_util.Stats
    and written out by --json PATH. *)
 let fig4_records : Json.t list ref = ref []
 let fig5_records : Json.t list ref = ref []
+let scaling_records : Json.t list ref = ref []
 
 (* ------------------------------------------------------------------ *)
 (* Figure 4: grouping performance on four dataset shapes.             *)
@@ -557,6 +558,56 @@ let ablation_layout ~rows =
      row-major only competes when every column is consumed.\n"
 
 (* ------------------------------------------------------------------ *)
+(* Parallel scaling: partition-based grouping, speedup vs domains.     *)
+
+let parallel_scaling ~rows ~threads =
+  Printf.printf
+    "-- Parallel scaling: partition-based HG, %d rows, 20k groups --\n" rows;
+  let groups = 20_000 in
+  let rng = Rng.create ~seed:41 in
+  let dataset =
+    Datagen.grouping ~rng ~n:rows ~groups ~sorted:false ~dense:true
+  in
+  let keys = dataset.Datagen.keys in
+  let values = Array.make rows 1 in
+  let table =
+    Table_printer.create ~header:[ "domains"; "median ms"; "speedup vs 1" ]
+  in
+  let base = ref Float.nan in
+  List.iter
+    (fun domains ->
+      Dqo_par.Pool.with_pool ~domains (fun pool ->
+          let _, samples =
+            Timer.times ~repeats:5 (fun () ->
+                Dqo_par.Par_group.partition_based pool ~keys ~values ())
+          in
+          let median_ms = Stats.median samples in
+          if domains = 1 then base := median_ms;
+          let speedup = !base /. median_ms in
+          scaling_records :=
+            Json.Obj
+              [
+                ("rows", Json.Int rows);
+                ("groups", Json.Int groups);
+                ("domains", Json.Int domains);
+                ("median_ms", Json.Float median_ms);
+                ("speedup_vs_1", Json.Float speedup);
+              ]
+            :: !scaling_records;
+          Table_printer.add_row table
+            [
+              string_of_int domains;
+              Printf.sprintf "%.1f" median_ms;
+              Printf.sprintf "%.2fx" speedup;
+            ]))
+    (List.filter (fun d -> d <= threads) [ 1; 2; 4; 8 ]);
+  Table_printer.print table;
+  Printf.printf
+    "Results are byte-identical across domain counts; speedup needs as\n\
+     many online CPUs as domains (this host reports %d).\n\n"
+    (Domain.recommended_domain_count ())
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per reproduced table.      *)
 
 let bechamel ~rows =
@@ -630,11 +681,22 @@ let () =
   let table = ref None in
   let abl = ref None in
   let run_bechamel = ref false in
+  let run_scaling = ref false in
+  let threads = ref 1 in
   let all = ref true in
   let json_path = ref None in
   let spec =
     [
       ("--rows", Arg.Set_int rows, "N  dataset size for Figure 4 (default 2M)");
+      ( "--threads",
+        Arg.Set_int threads,
+        "N  max domains for the parallel-scaling sweep (default 1)" );
+      ( "--scaling",
+        Arg.Unit
+          (fun () ->
+            run_scaling := true;
+            all := false),
+        "  run the parallel-scaling sweep (domains 1,2,4,8 up to --threads)" );
       ( "--figure",
         Arg.Int
           (fun i ->
@@ -690,6 +752,7 @@ let () =
   | Some "layout" -> ablation_layout ~rows:(min rows 4_000_000)
   | Some other -> Printf.printf "unknown ablation %s\n" other
   | None -> ());
+  if !run_scaling then parallel_scaling ~rows:(min rows 4_000_000) ~threads:!threads;
   if !run_bechamel then bechamel ~rows:(min rows 200_000);
   if !all then begin
     figure4 ~rows;
@@ -703,17 +766,21 @@ let () =
     ablation_skew ~rows:(min rows 4_000_000);
     ablation_online ~rows:(min rows 4_000_000);
     ablation_layout ~rows:(min rows 4_000_000);
+    parallel_scaling ~rows:(min rows 4_000_000) ~threads:!threads;
     bechamel ~rows:(min rows 200_000)
   end;
   match !json_path with
   | None -> ()
   | Some path ->
+    (* schema_version 2: adds "threads" and "parallel_scaling". *)
     Json.to_file path
       (Json.Obj
          [
-           ("schema_version", Json.Int 1);
+           ("schema_version", Json.Int 2);
            ("rows", Json.Int rows);
+           ("threads", Json.Int !threads);
            ("figure4", Json.List (List.rev !fig4_records));
            ("figure5", Json.List (List.rev !fig5_records));
+           ("parallel_scaling", Json.List (List.rev !scaling_records));
          ]);
     Printf.printf "measurements written to %s\n" path

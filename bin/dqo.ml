@@ -65,32 +65,43 @@ let mode_arg =
         Dqo_engine.Engine.DQO
     & info [ "mode" ] ~docv:"MODE" ~doc:"Optimiser: $(b,sqo) or $(b,dqo).")
 
+let threads_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "threads" ] ~docv:"N"
+        ~doc:
+          "Execute hot operators (hash join, hash / SPH grouping) on $(docv) \
+           domains.  Results are identical to $(docv)=1; speedup needs \
+           multicore hardware.")
+
 (* ------------------------------------------------------------------ *)
 
 let run_cmd =
-  let action sql mode r_rows s_rows groups sorted sparse seed =
+  let action sql mode threads r_rows s_rows groups sorted sparse seed =
     let db = make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~seed in
     let result, ms =
       Dqo_util.Timer.time_ms (fun () ->
-          Dqo_engine.Engine.run_sql db ~mode sql)
+          Dqo_engine.Engine.run_sql db ~mode ~threads sql)
     in
     Format.printf "%a@." Dqo_data.Relation.pp result;
-    Printf.printf "(%d rows in %.1f ms)\n"
+    Printf.printf "(%d rows in %.1f ms%s)\n"
       (Dqo_data.Relation.cardinality result)
       ms
+      (if threads > 1 then Printf.sprintf ", %d domains" threads else "")
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Optimise and execute a SQL query.")
     Term.(
-      const action $ sql_arg $ mode_arg $ r_rows $ s_rows $ groups $ sorted
-      $ sparse $ seed)
+      const action $ sql_arg $ mode_arg $ threads_arg $ r_rows $ s_rows
+      $ groups $ sorted $ sparse $ seed)
 
 let explain_cmd =
-  let action sql analyze mode json r_rows s_rows groups sorted sparse seed =
+  let action sql analyze mode threads json r_rows s_rows groups sorted sparse
+      seed =
     let db = make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~seed in
     if analyze then begin
       let a =
-        Dqo_engine.Engine.explain_analyze db ~mode
+        Dqo_engine.Engine.explain_analyze db ~mode ~threads
           (Dqo_sql.Binder.plan_of_sql (Dqo_engine.Engine.catalog db) sql)
       in
       print_string
@@ -127,8 +138,8 @@ let explain_cmd =
           with $(b,--analyze) — execute it and compare estimated against \
           actual per-node cardinalities.")
     Term.(
-      const action $ sql_arg $ analyze $ mode_arg $ json $ r_rows $ s_rows
-      $ groups $ sorted $ sparse $ seed)
+      const action $ sql_arg $ analyze $ mode_arg $ threads_arg $ json
+      $ r_rows $ s_rows $ groups $ sorted $ sparse $ seed)
 
 let granules_cmd =
   let action operator =

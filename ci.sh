@@ -14,17 +14,24 @@ dune runtest
 echo "== bench --json smoke =="
 out="$(mktemp -t bench_smoke_XXXXXX.json)"
 trap 'rm -f "$out"' EXIT
-dune exec bench/main.exe -- --rows 20000 --figure 4 --figure 5 --json "$out" \
-  > /dev/null
+dune exec bench/main.exe -- --rows 20000 --figure 4 --figure 5 --scaling \
+  --threads 2 --json "$out" > /dev/null
 
 test -s "$out" || { echo "ci: $out is empty" >&2; exit 1; }
-grep -q '"schema_version"' "$out" || { echo "ci: missing schema_version" >&2; exit 1; }
+grep -q '"schema_version": 2' "$out" || { echo "ci: missing schema_version 2" >&2; exit 1; }
+grep -q '"threads": 2' "$out" || { echo "ci: missing threads" >&2; exit 1; }
 grep -q '"figure4"' "$out" || { echo "ci: missing figure4" >&2; exit 1; }
 grep -q '"figure5"' "$out" || { echo "ci: missing figure5" >&2; exit 1; }
 grep -q '"median_ms"' "$out" || { echo "ci: figure4 has no measurements" >&2; exit 1; }
 grep -q '"factor_dense"' "$out" || { echo "ci: figure5 has no factors" >&2; exit 1; }
+grep -q '"parallel_scaling"' "$out" || { echo "ci: missing parallel_scaling" >&2; exit 1; }
+grep -q '"speedup_vs_1"' "$out" || { echo "ci: scaling sweep has no speedups" >&2; exit 1; }
 if command -v python3 > /dev/null 2>&1; then
   python3 -m json.tool "$out" > /dev/null || { echo "ci: invalid JSON" >&2; exit 1; }
 fi
+
+echo "== dqo run --threads 2 smoke =="
+dune exec bin/dqo.exe -- run --threads 2 --r-rows 2000 --s-rows 6000 \
+  --groups 1500 > /dev/null
 
 echo "ci: OK"

@@ -150,14 +150,25 @@ let fks_join fks ~left ~right =
     !lbuf !rbuf;
   { Join.left = l; right = r }
 
-let exec_join t left_rel right_rel lc rc (impl : Physical.join_impl) =
+(* [pool]/[metrics] thread the parallel runtime through the executor:
+   when a pool with more than one domain is present, the hot operators
+   run their [Dqo_par] counterparts (per-domain metrics registries merge
+   into [metrics] after each barrier). *)
+let exec_join t ?pool ?metrics left_rel right_rel lc rc
+    (impl : Physical.join_impl) =
   let lk = Relation.int_column left_rel lc in
   let rk = Relation.int_column right_rel rc in
   let pairs =
     match impl.Physical.j_alg with
-    | Join.HJ ->
-      Join.hash_join ~hash:impl.Physical.j_hash ~table:impl.Physical.j_table
-        ~left:lk ~right:rk ()
+    | Join.HJ -> (
+      match pool with
+      | Some pool when Dqo_par.Pool.size pool > 1 ->
+        Dqo_par.Par_join.partitioned_hash_join pool ?metrics
+          ~hash:impl.Physical.j_hash ~table:impl.Physical.j_table ~left:lk
+          ~right:rk ()
+      | Some _ | None ->
+        Join.hash_join ~hash:impl.Physical.j_hash
+          ~table:impl.Physical.j_table ~left:lk ~right:rk ())
     | Join.OJ -> Join.merge_join ~left:lk ~right:rk
     | Join.SOJ -> Join.sort_merge_join ~left:lk ~right:rk
     | Join.BSJ -> Join.binary_search_join ~left:lk ~right:rk
@@ -213,18 +224,32 @@ let fast_path_payload aggs =
     | _ :: _ :: _ -> None
   end
 
-let group_fast t rel key aggs payload_col (impl : Physical.grouping_impl) =
+let group_fast t ?pool ?metrics rel key aggs payload_col
+    (impl : Physical.grouping_impl) =
   let keys = Relation.int_column rel key in
   let values =
     match payload_col with
     | Some c -> Relation.int_column rel c
     | None -> Array.make (Array.length keys) 0
   in
+  let parallel =
+    match pool with
+    | Some pool when Dqo_par.Pool.size pool > 1 -> Some pool
+    | Some _ | None -> None
+  in
   let result =
     match impl.Physical.g_alg with
-    | Grouping.HG ->
-      Grouping.hash_based ~hash:impl.Physical.g_hash
-        ~table:impl.Physical.g_table ~keys ~values ()
+    | Grouping.HG -> (
+      match parallel with
+      | Some pool ->
+        (* Figure 2's partitionBy rewrite, run for real: key-disjoint
+           partitions aggregated by private per-domain hash tables. *)
+        Dqo_par.Par_group.partition_based pool ?metrics
+          ~hash:impl.Physical.g_hash ~table:impl.Physical.g_table ~keys
+          ~values ()
+      | None ->
+        Grouping.hash_based ~hash:impl.Physical.g_hash
+          ~table:impl.Physical.g_table ~keys ~values ())
     | Grouping.OG -> Grouping.order_based ~keys ~values ()
     | Grouping.SOG -> Grouping.sort_order_based ~keys ~values
     | Grouping.BSG ->
@@ -238,8 +263,13 @@ let group_fast t rel key aggs payload_col (impl : Physical.grouping_impl) =
       let stats = Col_stats.analyze keys in
       let range = stats.Col_stats.hi - stats.Col_stats.lo + 1 in
       if range > 0 && range <= 4 * (Array.length keys + 1024) then
-        Grouping.sph_based ~lo:stats.Col_stats.lo ~hi:stats.Col_stats.hi
-          ~keys ~values
+        match parallel with
+        | Some pool ->
+          Dqo_par.Par_group.sph pool ?metrics ~lo:stats.Col_stats.lo
+            ~hi:stats.Col_stats.hi ~keys ~values ()
+        | None ->
+          Grouping.sph_based ~lo:stats.Col_stats.lo ~hi:stats.Col_stats.hi
+            ~keys ~values
       else
         match Hashtbl.find_opt t.fks_index key with
         | Some fks -> fks_grouping fks ~keys ~values
@@ -347,35 +377,48 @@ let group_generic rel key aggs =
   in
   Relation.create schema (Column.Ints key_arr :: List.map snd typed)
 
-let rec execute t (p : Physical.t) =
+let rec execute_in t ?pool (p : Physical.t) =
   match p with
   | Physical.Table_scan name -> relation t name
   | Physical.Filter_op (sub, col, pred) ->
-    Dqo_exec.Filter.select_relation (execute t sub) ~column:col pred
-  | Physical.Project_op (sub, cols) -> Relation.project (execute t sub) cols
+    Dqo_exec.Filter.select_relation (execute_in t ?pool sub) ~column:col pred
+  | Physical.Project_op (sub, cols) ->
+    Relation.project (execute_in t ?pool sub) cols
   | Physical.Sort_enforcer (sub, col) ->
-    Dqo_exec.Sort_op.by_column (execute t sub) col
+    Dqo_exec.Sort_op.by_column (execute_in t ?pool sub) col
   | Physical.Join_op (l, r, lc, rc, impl) ->
-    exec_join t (execute t l) (execute t r) lc rc impl
+    exec_join t ?pool (execute_in t ?pool l) (execute_in t ?pool r) lc rc impl
   | Physical.Group_op (sub, key, aggs, impl) -> (
-    let rel = execute t sub in
+    let rel = execute_in t ?pool sub in
     match fast_path_payload aggs with
-    | Some payload -> group_fast t rel key aggs payload impl
+    | Some payload -> group_fast t ?pool rel key aggs payload impl
     | None -> group_generic rel key aggs)
 
-let run t ?(mode = DQO) l =
+let execute t ?(threads = 1) p =
+  if threads < 1 then invalid_arg "Engine.execute: threads < 1";
+  if threads = 1 then execute_in t p
+  else
+    Dqo_par.Pool.with_pool ~domains:threads (fun pool ->
+        execute_in t ~pool p)
+
+let run t ?(mode = DQO) ?threads l =
   let chosen = plan t mode l in
-  execute t chosen.Dqo_opt.Pareto.plan
+  execute t ?threads chosen.Dqo_opt.Pareto.plan
 
 (* ------------------------------------------------------------------ *)
 (* EXPLAIN ANALYZE: execute a plan node by node, annotating each with
    actual rows and cumulative wall time, and recording per-operator
    metrics into an observability registry.                             *)
 
-let execute_analyzed t ?metrics (p : Physical.t) =
+let execute_analyzed t ?metrics ?(threads = 1) (p : Physical.t) =
+  if threads < 1 then invalid_arg "Engine.execute_analyzed: threads < 1";
   let m =
     match metrics with Some m -> m | None -> Dqo_obs.Metrics.create ()
   in
+  (* Stamp the degree of parallelism into the tree so every rendered
+     node label carries its [dop] annotation. *)
+  let p = if threads > 1 then Physical.with_dop threads p else p in
+  let analyze ?pool () =
   let rec go p =
     let t0 = Dqo_obs.Metrics.now_ns () in
     let rel, children =
@@ -393,12 +436,12 @@ let execute_analyzed t ?metrics (p : Physical.t) =
       | Physical.Join_op (l, r, lc, rc, impl) ->
         let lr, lc' = go l in
         let rr, rc' = go r in
-        (exec_join t lr rr lc rc impl, [ lc'; rc' ])
+        (exec_join t ?pool ~metrics:m lr rr lc rc impl, [ lc'; rc' ])
       | Physical.Group_op (sub, key, aggs, impl) ->
         let rel, c = go sub in
         let grouped =
           match fast_path_payload aggs with
-          | Some payload -> group_fast t rel key aggs payload impl
+          | Some payload -> group_fast t ?pool ~metrics:m rel key aggs payload impl
           | None -> group_generic rel key aggs
         in
         (grouped, [ c ])
@@ -423,6 +466,10 @@ let execute_analyzed t ?metrics (p : Physical.t) =
       } )
   in
   go p
+  in
+  if threads = 1 then analyze ()
+  else
+    Dqo_par.Pool.with_pool ~domains:threads (fun pool -> analyze ~pool ())
 
 type analysis = {
   entry : Dqo_opt.Pareto.entry;
@@ -432,7 +479,7 @@ type analysis = {
   metrics : Dqo_obs.Metrics.t;
 }
 
-let explain_analyze t ?(mode = DQO) l =
+let explain_analyze t ?(mode = DQO) ?threads l =
   let search_mode =
     match mode with SQO -> Dqo_opt.Search.Shallow | DQO -> Dqo_opt.Search.Deep
   in
@@ -443,12 +490,14 @@ let explain_analyze t ?(mode = DQO) l =
   let metrics = Dqo_obs.Metrics.create () in
   let result, root =
     Dqo_obs.Metrics.span metrics "execute" (fun () ->
-        execute_analyzed t ~metrics entry.Dqo_opt.Pareto.plan)
+        execute_analyzed t ~metrics ?threads entry.Dqo_opt.Pareto.plan)
   in
   { entry; root; result; search_stats; metrics }
 
-let explain_analyze_sql t ?mode sql =
-  let a = explain_analyze t ?mode (Dqo_sql.Binder.plan_of_sql t.catalog sql) in
+let explain_analyze_sql t ?mode ?threads sql =
+  let a =
+    explain_analyze t ?mode ?threads (Dqo_sql.Binder.plan_of_sql t.catalog sql)
+  in
   Dqo_opt.Explain.render_analysis ~cost:a.entry.Dqo_opt.Pareto.cost
     ~stats:a.search_stats a.root
 
@@ -508,8 +557,8 @@ let run_adaptive t l =
     let result = run t l in
     (result, { static_grouping = "-"; adaptive_grouping = "-"; replanned = false })
 
-let run_sql t ?mode sql =
-  run t ?mode (Dqo_sql.Binder.plan_of_sql t.catalog sql)
+let run_sql t ?mode ?threads sql =
+  run t ?mode ?threads (Dqo_sql.Binder.plan_of_sql t.catalog sql)
 
 (* ------------------------------------------------------------------ *)
 (* Prepared statements.                                                *)

@@ -39,15 +39,20 @@ val plan : t -> mode -> Dqo_plan.Logical.t -> Dqo_opt.Pareto.entry
 
 val plan_sql : t -> mode -> string -> Dqo_opt.Pareto.entry
 
-val execute : t -> Dqo_plan.Physical.t -> Dqo_data.Relation.t
-(** Run a physical plan against the stored relations.
+val execute : t -> ?threads:int -> Dqo_plan.Physical.t -> Dqo_data.Relation.t
+(** Run a physical plan against the stored relations.  With
+    [~threads:n] ([n > 1]) the hot operators — hash joins, hash
+    grouping, dense SPH grouping — run on an [n]-domain
+    {!Dqo_par.Pool}; results are identical to the sequential path
+    (the parallel operators are deterministic by construction).
+    [threads:1] (the default) takes the pure sequential code path.
     @raise Not_found / Invalid_argument on plans referencing unknown
-    relations or columns. *)
+    relations or columns, or if [threads < 1]. *)
 
-val run : t -> ?mode:mode -> Dqo_plan.Logical.t -> Dqo_data.Relation.t
+val run : t -> ?mode:mode -> ?threads:int -> Dqo_plan.Logical.t -> Dqo_data.Relation.t
 (** Optimise (default [DQO]) and execute. *)
 
-val run_sql : t -> ?mode:mode -> string -> Dqo_data.Relation.t
+val run_sql : t -> ?mode:mode -> ?threads:int -> string -> Dqo_data.Relation.t
 
 val explain_sql : t -> string -> string
 (** SQO-vs-DQO comparison report for the query. *)
@@ -55,11 +60,17 @@ val explain_sql : t -> string -> string
 val execute_analyzed :
   t ->
   ?metrics:Dqo_obs.Metrics.t ->
+  ?threads:int ->
   Dqo_plan.Physical.t ->
   Dqo_data.Relation.t * Dqo_opt.Explain.analyzed
 (** Like {!execute}, but annotates every plan node with its actual row
     count and cumulative wall time, and records per-operator metrics
-    into [metrics] (a private registry when omitted). *)
+    into [metrics] (a private registry when omitted).  With
+    [~threads:n > 1] the plan is stamped with [Physical.with_dop n]
+    (so node labels carry [[dop=n]]) and executed over an [n]-domain
+    pool; each domain records into a private registry merged into
+    [metrics] after the barrier, keeping the numbers correct under
+    parallelism. *)
 
 type analysis = {
   entry : Dqo_opt.Pareto.entry;  (** The chosen plan with its cost. *)
@@ -70,11 +81,12 @@ type analysis = {
 }
 (** Everything EXPLAIN ANALYZE observed about one query. *)
 
-val explain_analyze : t -> ?mode:mode -> Dqo_plan.Logical.t -> analysis
+val explain_analyze :
+  t -> ?mode:mode -> ?threads:int -> Dqo_plan.Logical.t -> analysis
 (** Optimise (default [DQO]), execute with {!execute_analyzed}, and
     return the full analysis. *)
 
-val explain_analyze_sql : t -> ?mode:mode -> string -> string
+val explain_analyze_sql : t -> ?mode:mode -> ?threads:int -> string -> string
 (** {!explain_analyze} on parsed SQL, rendered with
     {!Dqo_opt.Explain.render_analysis}: per-node estimated vs. actual
     rows, q-error, time, and the optimiser statistics. *)

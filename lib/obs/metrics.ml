@@ -3,11 +3,18 @@
    mutable sink threaded through the executor and the bench harness;
    everything it records can be exported as JSON via [to_json].
 
-   Times use the same clock as [Dqo_util.Timer]: the experiments are
-   single-threaded, so CPU time and wall time coincide up to GC pauses,
-   which we do want to include. *)
+   Times use the shared monotonic wall clock ([Dqo_util.Clock]), the
+   same clock as [Dqo_util.Timer], so span timings and bench
+   measurements are directly comparable and stay correct when work runs
+   on several domains at once.
 
-let now_ns () = int_of_float (Sys.time () *. 1e9)
+   Lookups are hash-table backed; [order] remembers first-insertion
+   order so [to_json] output is stable and human-diffable.  A registry
+   is still single-domain mutable state: under parallelism each domain
+   records into its own registry and the runtime folds them together
+   with [merge] after the barrier. *)
+
+let now_ns () = Dqo_util.Clock.now_ns ()
 
 type op = {
   op_name : string;
@@ -18,53 +25,69 @@ type op = {
   mutable wall_ns : int;
 }
 
-type t = {
-  mutable counters : (string * int ref) list; (* insertion order *)
-  mutable spans : (string * int ref) list; (* accumulated ns *)
-  mutable ops : op list;
+(* One ordered name table per kind of record. *)
+type 'a table = {
+  entries : (string, 'a) Hashtbl.t;
+  mutable order : string list; (* reversed insertion order *)
 }
 
-let create () = { counters = []; spans = []; ops = [] }
+let table_create () = { entries = Hashtbl.create 16; order = [] }
+
+let table_find_or_add tbl name create =
+  match Hashtbl.find_opt tbl.entries name with
+  | Some v -> v
+  | None ->
+    let v = create () in
+    Hashtbl.add tbl.entries name v;
+    tbl.order <- name :: tbl.order;
+    v
+
+let table_to_list tbl =
+  List.rev_map (fun name -> (name, Hashtbl.find tbl.entries name)) tbl.order
+
+type t = {
+  counters : int ref table;
+  spans : int ref table; (* accumulated ns *)
+  op_table : op table;
+}
+
+let create () =
+  { counters = table_create (); spans = table_create ();
+    op_table = table_create () }
 
 (* ------------------------------------------------------------------ *)
 (* Counters.                                                           *)
 
 let incr ?(by = 1) t name =
-  match List.assoc_opt name t.counters with
-  | Some r -> r := !r + by
-  | None -> t.counters <- t.counters @ [ (name, ref by) ]
+  let r = table_find_or_add t.counters name (fun () -> ref 0) in
+  r := !r + by
 
 let counter t name =
-  match List.assoc_opt name t.counters with Some r -> !r | None -> 0
+  match Hashtbl.find_opt t.counters.entries name with
+  | Some r -> !r
+  | None -> 0
 
 (* ------------------------------------------------------------------ *)
 (* Span timers.                                                        *)
 
 let add_span_ns t name ns =
-  match List.assoc_opt name t.spans with
-  | Some r -> r := !r + ns
-  | None -> t.spans <- t.spans @ [ (name, ref ns) ]
+  let r = table_find_or_add t.spans name (fun () -> ref 0) in
+  r := !r + ns
 
 let span t name f =
   let t0 = now_ns () in
   Fun.protect ~finally:(fun () -> add_span_ns t name (now_ns () - t0)) f
 
 let span_ns t name =
-  match List.assoc_opt name t.spans with Some r -> !r | None -> 0
+  match Hashtbl.find_opt t.spans.entries name with Some r -> !r | None -> 0
 
 (* ------------------------------------------------------------------ *)
 (* Per-operator metrics.                                               *)
 
 let op t name =
-  match List.find_opt (fun o -> String.equal o.op_name name) t.ops with
-  | Some o -> o
-  | None ->
-    let o =
+  table_find_or_add t.op_table name (fun () ->
       { op_name = name; invocations = 0; rows_in = 0; rows_out = 0;
-        chunks = 0; wall_ns = 0 }
-    in
-    t.ops <- t.ops @ [ o ];
-    o
+        chunks = 0; wall_ns = 0 })
 
 let add_chunk o ~rows =
   o.chunks <- o.chunks + 1;
@@ -88,8 +111,31 @@ let timed t ~op:name ~rows_in ~rows_out f =
   record t ~op:name ~rows_in ~rows_out:(rows_out r) ~wall_ns:(now_ns () - t0);
   r
 
-let find_op t name = List.find_opt (fun o -> String.equal o.op_name name) t.ops
-let ops t = t.ops
+let find_op t name = Hashtbl.find_opt t.op_table.entries name
+let ops t = List.map snd (table_to_list t.op_table)
+
+(* ------------------------------------------------------------------ *)
+(* Merging.                                                            *)
+
+(* Fold [src] into [into], accumulating matching names and appending
+   unseen ones in [src]'s insertion order — per-domain registries merge
+   after the barrier without losing ordering stability. *)
+let merge ~into src =
+  List.iter
+    (fun (name, r) -> incr ~by:!r into name)
+    (table_to_list src.counters);
+  List.iter
+    (fun (name, r) -> add_span_ns into name !r)
+    (table_to_list src.spans);
+  List.iter
+    (fun (name, (s : op)) ->
+      let o = op into name in
+      o.invocations <- o.invocations + s.invocations;
+      o.rows_in <- o.rows_in + s.rows_in;
+      o.rows_out <- o.rows_out + s.rows_out;
+      o.chunks <- o.chunks + s.chunks;
+      o.wall_ns <- o.wall_ns + s.wall_ns)
+    (table_to_list src.op_table)
 
 (* ------------------------------------------------------------------ *)
 (* Export.                                                             *)
@@ -109,8 +155,12 @@ let to_json t =
   Json.Obj
     [
       ( "counters",
-        Json.Obj (List.map (fun (n, r) -> (n, Json.Int !r)) t.counters) );
+        Json.Obj
+          (List.map (fun (n, r) -> (n, Json.Int !r))
+             (table_to_list t.counters)) );
       ( "spans_ns",
-        Json.Obj (List.map (fun (n, r) -> (n, Json.Int !r)) t.spans) );
-      ("operators", Json.List (List.map op_to_json t.ops));
+        Json.Obj
+          (List.map (fun (n, r) -> (n, Json.Int !r)) (table_to_list t.spans))
+      );
+      ("operators", Json.List (List.map op_to_json (ops t)));
     ]

@@ -3,19 +3,22 @@
 
     A registry is a cheap mutable sink threaded through the executor
     and the bench harness; everything it records can be exported as
-    JSON via {!to_json}.  Times use the same clock as
-    [Dqo_util.Timer]: the experiments are single-threaded, so CPU time
-    and wall time coincide up to GC pauses, which we do want to
-    include. *)
+    JSON via {!to_json}.  Times use the shared monotonic wall clock
+    ([Dqo_util.Clock]), the same clock as [Dqo_util.Timer], so they
+    stay correct when work runs on several domains at once.  Name
+    lookups are hash-table backed; {!to_json} preserves first-insertion
+    order. *)
 
 type t
-(** A metrics registry.  Not thread-safe (nothing here is). *)
+(** A metrics registry.  Single-domain mutable state: under parallel
+    execution, give each domain its own registry and fold them together
+    with {!merge} after the barrier. *)
 
 val create : unit -> t
 
 val now_ns : unit -> int
-(** The registry clock, exposed so callers can time code regions
-    consistently with {!span}. *)
+(** The registry clock ([Dqo_util.Clock.now_ns]), exposed so callers
+    can time code regions consistently with {!span}. *)
 
 (** {2 Counters} *)
 
@@ -70,6 +73,14 @@ val timed :
 
 val find_op : t -> string -> op option
 val ops : t -> op list
+
+(** {2 Merging} *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds every record of [src] into [into]:
+    counters, spans, and operator fields accumulate; names unseen by
+    [into] are appended in [src]'s insertion order.  This is how
+    per-domain registries combine after a parallel region. *)
 
 (** {2 Export} *)
 

@@ -238,7 +238,8 @@ let join_candidates ctx (e1 : Pareto.entry) (e2 : Pareto.entry) c1 c2 =
     List.map
       (fun (table, hash) ->
         let impl =
-          { Physical.j_alg = Join.HJ; j_table = table; j_hash = hash }
+          { (Physical.default_join Join.HJ) with
+            Physical.j_table = table; j_hash = hash }
         in
         (* A black-box hash table's output order is unknown — the paper's
            "assume unordered to be on the safe side". *)
@@ -442,7 +443,8 @@ and group_candidates ctx (e : Pareto.entry) key aggs =
     List.map
       (fun (table, hash) ->
         mk
-          { Physical.g_alg = Grouping.HG; g_table = table; g_hash = hash }
+          { (Physical.default_grouping Grouping.HG) with
+            Physical.g_table = table; g_hash = hash }
           (key_props false))
       (hash_molecules ctx)
   in

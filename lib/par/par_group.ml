@@ -1,0 +1,143 @@
+module Grouping = Dqo_exec.Grouping
+module Group_result = Dqo_exec.Group_result
+module Partition = Dqo_exec.Partition
+module Pipeline = Dqo_exec.Pipeline
+module Metrics = Dqo_obs.Metrics
+
+(* Fixed so that results (and partition layouts) never depend on how
+   many domains happen to execute them. *)
+let default_partitions = 64
+
+(* Per-domain registries, folded into [metrics] in worker order after
+   the parallel region — the merge discipline every operator here
+   shares. *)
+let with_worker_metrics pool metrics f =
+  match metrics with
+  | None -> f (fun _w -> None)
+  | Some m ->
+    let regs = Array.init (Pool.size pool) (fun _ -> Metrics.create ()) in
+    let r = f (fun w -> Some regs.(w)) in
+    Array.iter (fun reg -> Metrics.merge ~into:m reg) regs;
+    Metrics.incr m ~by:(Pool.size pool) "par.domains";
+    r
+
+let record reg ~op ~rows_in ~rows_out ~wall_ns =
+  match reg with
+  | None -> ()
+  | Some m -> Metrics.record m ~op ~rows_in ~rows_out ~wall_ns
+
+let concat_results (results : Group_result.t array) : Group_result.t =
+  let total =
+    Array.fold_left (fun acc r -> acc + Group_result.groups r) 0 results
+  in
+  let keys = Array.make total 0
+  and counts = Array.make total 0
+  and sums = Array.make total 0 in
+  let pos = ref 0 in
+  Array.iter
+    (fun (r : Group_result.t) ->
+      let g = Group_result.groups r in
+      Array.blit r.Group_result.keys 0 keys !pos g;
+      Array.blit r.Group_result.counts 0 counts !pos g;
+      Array.blit r.Group_result.sums 0 sums !pos g;
+      pos := !pos + g)
+    results;
+  { Group_result.keys; counts; sums }
+
+let aggregate_bundle pool ?metrics (b : Pipeline.bundle) =
+  let n = Array.length b in
+  let out =
+    Array.make n { Group_result.keys = [||]; counts = [||]; sums = [||] }
+  in
+  with_worker_metrics pool metrics (fun reg_of ->
+      Pool.parallel_for pool ~chunk:1 ~n (fun ~w ~lo ~hi ->
+          for i = lo to hi do
+            let t0 = Metrics.now_ns () in
+            let keys, values = Pipeline.collect b.(i) in
+            let r = Grouping.hash_based ~keys ~values () in
+            out.(i) <- r;
+            record (reg_of w) ~op:"par/bundle-member"
+              ~rows_in:(Array.length keys)
+              ~rows_out:(Group_result.groups r)
+              ~wall_ns:(Metrics.now_ns () - t0)
+          done);
+      out)
+
+let partition_based pool ?metrics ?(hash = Dqo_hash.Hash_fn.Murmur3)
+    ?(table = Grouping.Chaining) ?(partitions = default_partitions) ~keys
+    ~values () =
+  if partitions < 1 then
+    invalid_arg "Par_group.partition_based: partitions < 1";
+  let parts = Partition.by_hash ~hash ~partitions ~keys ~values () in
+  let locals =
+    Array.make partitions
+      { Group_result.keys = [||]; counts = [||]; sums = [||] }
+  in
+  with_worker_metrics pool metrics (fun reg_of ->
+      Pool.parallel_for pool ~chunk:1 ~n:partitions (fun ~w ~lo ~hi ->
+          for p = lo to hi do
+            let t0 = Metrics.now_ns () in
+            let r =
+              Grouping.hash_based ~hash ~table
+                ~keys:parts.Partition.keys.(p)
+                ~values:parts.Partition.values.(p) ()
+            in
+            locals.(p) <- r;
+            record (reg_of w) ~op:"par/grouping-partition"
+              ~rows_in:(Array.length parts.Partition.keys.(p))
+              ~rows_out:(Group_result.groups r)
+              ~wall_ns:(Metrics.now_ns () - t0)
+          done);
+      (* Partitions are key-disjoint: concatenation is the union. *)
+      concat_results locals)
+
+let sph pool ?metrics ~lo ~hi ~keys ~values () =
+  if hi < lo then invalid_arg "Par_group.sph: hi < lo";
+  let n = Array.length keys in
+  if Array.length values <> n then
+    invalid_arg "Par_group.sph: keys/values length mismatch";
+  let domain = hi - lo + 1 in
+  let workers = Pool.size pool in
+  let counts_w = Array.init workers (fun _ -> Array.make domain 0) in
+  let sums_w = Array.init workers (fun _ -> Array.make domain 0) in
+  with_worker_metrics pool metrics (fun reg_of ->
+      Pool.parallel_for pool ~n (fun ~w ~lo:clo ~hi:chi ->
+          let t0 = Metrics.now_ns () in
+          let counts = counts_w.(w) and sums = sums_w.(w) in
+          for i = clo to chi do
+            let k = keys.(i) in
+            if k < lo || k > hi then
+              invalid_arg "Par_group.sph: key outside dense domain";
+            let slot = k - lo in
+            counts.(slot) <- counts.(slot) + 1;
+            sums.(slot) <- sums.(slot) + values.(i)
+          done;
+          record (reg_of w) ~op:"par/sph-chunk" ~rows_in:(chi - clo + 1)
+            ~rows_out:0
+            ~wall_ns:(Metrics.now_ns () - t0));
+      (* Sum the private slot arrays; + commutes, so worker order is
+         irrelevant and the totals equal the sequential single-pass. *)
+      let counts = counts_w.(0) and sums = sums_w.(0) in
+      for w = 1 to workers - 1 do
+        let cw = counts_w.(w) and sw = sums_w.(w) in
+        for s = 0 to domain - 1 do
+          counts.(s) <- counts.(s) + cw.(s);
+          sums.(s) <- sums.(s) + sw.(s)
+        done
+      done;
+      (* Same compaction as [Grouping.sph_based]: drop never-hit slots. *)
+      let hit = ref 0 in
+      Array.iter (fun c -> if c > 0 then incr hit) counts;
+      let out_k = Array.make !hit 0
+      and out_c = Array.make !hit 0
+      and out_s = Array.make !hit 0 in
+      let j = ref 0 in
+      for s = 0 to domain - 1 do
+        if counts.(s) > 0 then begin
+          out_k.(!j) <- lo + s;
+          out_c.(!j) <- counts.(s);
+          out_s.(!j) <- sums.(s);
+          incr j
+        end
+      done;
+      { Group_result.keys = out_k; counts = out_c; sums = out_s })

@@ -1,0 +1,89 @@
+(** Parallel grouping: the paper's Figure 2 rewrite, actually run in
+    parallel.
+
+    [partitionBy(key) ⇒ bundle of independent producers] is exactly a
+    parallelisation hook — bundle members share no keys, so each domain
+    can aggregate its members with a {e private} hash table and the
+    per-partition results concatenate into the final answer with no
+    locking anywhere.
+
+    Determinism: every function here returns results that are
+    byte-identical for any pool size (including 1), because work is
+    keyed by partition / bundle index and combined in index order.
+    {!partition_based} with a fixed [partitions] is byte-identical to
+    [Dqo_exec.Pipeline.partition_based_grouping] with the same
+    arguments; {!sph} is byte-identical to
+    [Dqo_exec.Grouping.sph_based].
+
+    Observability: pass [?metrics] and each domain records into a
+    private registry; the registries are folded into [metrics] with
+    [Dqo_obs.Metrics.merge] after the barrier, so EXPLAIN ANALYZE
+    numbers stay correct under parallelism. *)
+
+val aggregate_bundle :
+  Pool.t ->
+  ?metrics:Dqo_obs.Metrics.t ->
+  Dqo_exec.Pipeline.bundle ->
+  Dqo_exec.Group_result.t array
+(** One task per bundle member, each aggregated with a private hash
+    table.  Byte-identical to [Pipeline.aggregate_bundle]. *)
+
+val partition_based :
+  Pool.t ->
+  ?metrics:Dqo_obs.Metrics.t ->
+  ?hash:Dqo_hash.Hash_fn.t ->
+  ?table:Dqo_exec.Grouping.table_kind ->
+  ?partitions:int ->
+  keys:int array ->
+  values:int array ->
+  unit ->
+  Dqo_exec.Group_result.t
+(** Hash-partition the input into [partitions] key-disjoint buckets
+    (default {!default_partitions}, fixed so results do not depend on
+    the pool size), aggregate each bucket privately in parallel, and
+    concatenate in bucket order.
+    @raise Invalid_argument on length mismatch or [partitions < 1]. *)
+
+val sph :
+  Pool.t ->
+  ?metrics:Dqo_obs.Metrics.t ->
+  lo:int ->
+  hi:int ->
+  keys:int array ->
+  values:int array ->
+  unit ->
+  Dqo_exec.Group_result.t
+(** Parallel single-pass perfect-hash grouping over the dense domain
+    [lo, hi]: each domain accumulates counts and sums into private slot
+    arrays over row chunks; the private arrays are summed (addition
+    commutes, so worker order cannot matter) and compacted exactly like
+    the sequential [Grouping.sph_based].
+    @raise Invalid_argument if [hi < lo] or a key falls outside the
+    domain. *)
+
+val default_partitions : int
+(** Bucket count used when [?partitions] is omitted: enough to
+    load-balance any sane domain count, small enough that per-bucket
+    hash tables stay warm.  Deliberately {e not} derived from the pool
+    size — see the determinism note above. *)
+
+(**/**)
+
+(* Shared by the other parallel operators (Par_join): the per-domain
+   registry discipline and its recording helper. *)
+
+val with_worker_metrics :
+  Pool.t ->
+  Dqo_obs.Metrics.t option ->
+  ((int -> Dqo_obs.Metrics.t option) -> 'a) ->
+  'a
+
+val record :
+  Dqo_obs.Metrics.t option ->
+  op:string ->
+  rows_in:int ->
+  rows_out:int ->
+  wall_ns:int ->
+  unit
+
+(**/**)

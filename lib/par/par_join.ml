@@ -1,0 +1,58 @@
+module Join = Dqo_exec.Join
+module Grouping = Dqo_exec.Grouping
+module Partition = Dqo_exec.Partition
+module Metrics = Dqo_obs.Metrics
+
+let partitioned_hash_join pool ?metrics ?(hash = Dqo_hash.Hash_fn.Murmur3)
+    ?(table = Grouping.Chaining)
+    ?(partitions = Par_group.default_partitions) ~left ~right () =
+  if partitions < 1 then
+    invalid_arg "Par_join.partitioned_hash_join: partitions < 1";
+  (* Carry original row ids through the scatter as the payload, so the
+     per-bucket joins can be remapped to input coordinates. *)
+  let ids n = Array.init n (fun i -> i) in
+  let lparts =
+    Partition.by_hash ~hash ~partitions ~keys:left
+      ~values:(ids (Array.length left)) ()
+  in
+  let rparts =
+    Partition.by_hash ~hash ~partitions ~keys:right
+      ~values:(ids (Array.length right)) ()
+  in
+  let locals =
+    Array.make partitions { Join.left = [||]; Join.right = [||] }
+  in
+  Par_group.with_worker_metrics pool metrics (fun reg_of ->
+      Pool.parallel_for pool ~chunk:1 ~n:partitions (fun ~w ~lo ~hi ->
+          for p = lo to hi do
+            let t0 = Metrics.now_ns () in
+            let lk = lparts.Partition.keys.(p)
+            and rk = rparts.Partition.keys.(p) in
+            let pairs = Join.hash_join ~hash ~table ~left:lk ~right:rk () in
+            let lid = lparts.Partition.values.(p)
+            and rid = rparts.Partition.values.(p) in
+            locals.(p) <-
+              {
+                Join.left = Array.map (fun i -> lid.(i)) pairs.Join.left;
+                Join.right = Array.map (fun j -> rid.(j)) pairs.Join.right;
+              };
+            Par_group.record (reg_of w) ~op:"par/join-partition"
+              ~rows_in:(Array.length lk + Array.length rk)
+              ~rows_out:(Join.cardinality pairs)
+              ~wall_ns:(Metrics.now_ns () - t0)
+          done);
+      (* Buckets are key-disjoint: concatenation in bucket order is the
+         full pair set, independent of which domain ran which bucket. *)
+      let total =
+        Array.fold_left (fun acc r -> acc + Join.cardinality r) 0 locals
+      in
+      let l = Array.make total 0 and r = Array.make total 0 in
+      let pos = ref 0 in
+      Array.iter
+        (fun (pr : Join.result) ->
+          let c = Join.cardinality pr in
+          Array.blit pr.Join.left 0 l !pos c;
+          Array.blit pr.Join.right 0 r !pos c;
+          pos := !pos + c)
+        locals;
+      { Join.left = l; Join.right = r })

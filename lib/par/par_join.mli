@@ -1,0 +1,28 @@
+(** Parallel partitioned hash join.
+
+    Both sides are hash-partitioned on the join key into the same
+    key-disjoint buckets; each bucket is then an independent build +
+    probe that a domain runs with a private hash table, and the
+    per-bucket pair lists concatenate in bucket order.
+
+    Determinism: with a fixed [partitions], the result is
+    byte-identical for any pool size (including 1); it equals the plain
+    [Join.hash_join] result up to pair order (same pair {e set} —
+    verified by the determinism suite). *)
+
+val partitioned_hash_join :
+  Pool.t ->
+  ?metrics:Dqo_obs.Metrics.t ->
+  ?hash:Dqo_hash.Hash_fn.t ->
+  ?table:Dqo_exec.Grouping.table_kind ->
+  ?partitions:int ->
+  left:int array ->
+  right:int array ->
+  unit ->
+  Dqo_exec.Join.result
+(** [partitioned_hash_join pool ~left ~right ()] joins on equality of
+    the two key columns and returns matching (left, right) row-id
+    pairs, exactly like [Join.hash_join].  [partitions] defaults to
+    {!Par_group.default_partitions}; per-domain metrics merge into
+    [metrics] after the barrier.
+    @raise Invalid_argument if [partitions < 1]. *)

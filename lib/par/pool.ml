@@ -1,0 +1,165 @@
+(* Fixed-size domain pool.  Workers park on a condition variable between
+   jobs; a job is broadcast by bumping [generation], and the caller
+   participates as worker 0 so a size-1 pool runs inline with no
+   domains, no locks taken on the job path.  See pool.mli for the
+   determinism contract parallel operators rely on. *)
+
+type t = {
+  domains : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t; (* generation bumped, or quit *)
+  work_done : Condition.t; (* pending reached 0 *)
+  mutable job : (int -> unit) option;
+  mutable generation : int;
+  mutable pending : int; (* workers still inside the current job *)
+  mutable quit : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let size t = t.domains
+
+let worker_loop t w =
+  let last_gen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while (not t.quit) && t.generation = !last_gen do
+      Condition.wait t.work_ready t.mutex
+    done;
+    if t.quit then begin
+      Mutex.unlock t.mutex;
+      running := false
+    end
+    else begin
+      last_gen := t.generation;
+      let job = match t.job with Some j -> j | None -> assert false in
+      Mutex.unlock t.mutex;
+      job w;
+      (* [job] never raises: [run] wraps it. *)
+      Mutex.lock t.mutex;
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.work_done;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create ?domains () =
+  let domains =
+    match domains with
+    | None -> max 1 (min 64 (Domain.recommended_domain_count ()))
+    | Some d ->
+      if d < 1 then invalid_arg "Pool.create: domains < 1";
+      min d 64
+  in
+  let t =
+    {
+      domains;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      generation = 0;
+      pending = 0;
+      quit = false;
+      workers = [||];
+    }
+  in
+  if domains > 1 then
+    t.workers <-
+      Array.init (domains - 1) (fun i ->
+          Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let was_quit = t.quit in
+  t.quit <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  if not was_quit then begin
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run t job =
+  if t.domains = 1 then job 0
+  else begin
+    let first_exn = Atomic.make None in
+    let guarded w =
+      try job w
+      with e -> ignore (Atomic.compare_and_set first_exn None (Some e))
+    in
+    Mutex.lock t.mutex;
+    if t.quit then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run: pool is shut down"
+    end;
+    t.job <- Some guarded;
+    t.pending <- t.domains - 1;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    guarded 0;
+    Mutex.lock t.mutex;
+    while t.pending > 0 do
+      Condition.wait t.work_done t.mutex
+    done;
+    t.job <- None;
+    Mutex.unlock t.mutex;
+    match Atomic.get first_exn with None -> () | Some e -> raise e
+  end
+
+let resolve_chunk t ~n chunk =
+  match chunk with
+  | Some c ->
+    if c < 1 then invalid_arg "Pool: chunk < 1";
+    c
+  | None -> max 1 (n / (4 * t.domains))
+
+let parallel_for t ?chunk ~n body =
+  if n < 0 then invalid_arg "Pool.parallel_for: n < 0";
+  if n > 0 then begin
+    let chunk = resolve_chunk t ~n chunk in
+    let cursor = Atomic.make 0 in
+    run t (fun w ->
+        let continue_ = ref true in
+        while !continue_ do
+          let lo = Atomic.fetch_and_add cursor chunk in
+          if lo >= n then continue_ := false
+          else body ~w ~lo ~hi:(min n (lo + chunk) - 1)
+        done)
+  end
+
+let map_tasks t tasks =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for t ~chunk:1 ~n (fun ~w:_ ~lo ~hi ->
+        for i = lo to hi do
+          out.(i) <- Some (tasks.(i) ())
+        done);
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let map_reduce t ?chunk ~n ~map ~reduce ~init =
+  if n < 0 then invalid_arg "Pool.map_reduce: n < 0";
+  if n = 0 then init
+  else begin
+    let chunk = resolve_chunk t ~n chunk in
+    let nchunks = (n + chunk - 1) / chunk in
+    let parts = Array.make nchunks None in
+    parallel_for t ~chunk:1 ~n:nchunks (fun ~w:_ ~lo ~hi ->
+        for c = lo to hi do
+          let clo = c * chunk and chi = min n ((c + 1) * chunk) - 1 in
+          parts.(c) <- Some (map ~lo:clo ~hi:chi)
+        done);
+    Array.fold_left
+      (fun acc p ->
+        match p with Some v -> reduce acc v | None -> assert false)
+      init parts
+  end

@@ -1,0 +1,71 @@
+(** A fixed-size domain pool with a chunked work queue.
+
+    OCaml 5 [Domain]s are true OS-level cores, but spawning one costs
+    tens of microseconds — far too much per operator invocation.  A
+    pool amortises that: [create ~domains:n] spawns [n - 1] worker
+    domains once; every parallel region then reuses them.  The calling
+    domain always participates as worker [0], so a pool of size 1
+    spawns nothing and runs everything inline — the sequential and
+    parallel code paths are literally the same code.
+
+    Work distribution is a chunked atomic cursor: {!parallel_for}
+    splits [0, n) into fixed-size chunks and workers race to claim the
+    next chunk, which load-balances skewed per-chunk costs without any
+    per-item synchronisation.  Determinism note: {e which} worker runs
+    a chunk is scheduling-dependent, so parallel operators built on the
+    pool must write results into per-chunk (or per-partition) slots and
+    combine them in index order — every operator in [Dqo_par] does.
+
+    A pool is not re-entrant: calling {!run} (or anything built on it)
+    from inside a job deadlocks.  One pool per parallel region of the
+    engine is the intended shape. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] workers (default
+    [Domain.recommended_domain_count ()], clamped to [[1, 64]]).
+    @raise Invalid_argument if [domains < 1]. *)
+
+val size : t -> int
+(** Total workers, including the calling domain. *)
+
+val shutdown : t -> unit
+(** Join all workers.  Idempotent; using the pool afterwards raises. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] over a fresh pool and shuts it down
+    afterwards, also on exception. *)
+
+val run : t -> (int -> unit) -> unit
+(** [run t job] executes [job w] once on every worker
+    [w ∈ \[0, size t)] concurrently (the caller is worker [0]) and
+    returns after all have finished.  The first exception raised by any
+    worker is re-raised after the barrier. *)
+
+val parallel_for :
+  t -> ?chunk:int -> n:int -> (w:int -> lo:int -> hi:int -> unit) -> unit
+(** [parallel_for t ~chunk ~n body] covers [0, n) with chunks of
+    [chunk] indices (default: [n / (4 * size)], at least 1); workers
+    claim chunks from an atomic cursor and call
+    [body ~w ~lo ~hi] for each (inclusive bounds, [w] the worker id —
+    index per-worker scratch with it).  Chunk boundaries depend only on
+    [chunk] and [n], never on the worker count. *)
+
+val map_tasks : t -> (unit -> 'a) array -> 'a array
+(** [map_tasks t tasks] runs every task (each claimed by exactly one
+    worker) and returns their results in task order — one task per
+    bundle member is the paper's Figure 2 parallelisation. *)
+
+val map_reduce :
+  t ->
+  ?chunk:int ->
+  n:int ->
+  map:(lo:int -> hi:int -> 'a) ->
+  reduce:('a -> 'a -> 'a) ->
+  init:'a ->
+  'a
+(** [map_reduce t ~n ~map ~reduce ~init] maps inclusive chunk ranges of
+    [0, n) in parallel, then folds the chunk results {e sequentially in
+    chunk order}: [reduce (... (reduce init r0) ...) rk].  The result is
+    deterministic whenever [map] is, regardless of worker count. *)

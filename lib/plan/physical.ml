@@ -5,19 +5,23 @@ type grouping_impl = {
   g_alg : Grouping.algorithm;
   g_table : Grouping.table_kind;
   g_hash : Dqo_hash.Hash_fn.t;
+  g_dop : int;
 }
 
 type join_impl = {
   j_alg : Join.algorithm;
   j_table : Grouping.table_kind;
   j_hash : Dqo_hash.Hash_fn.t;
+  j_dop : int;
 }
 
 let default_grouping g_alg =
-  { g_alg; g_table = Grouping.Chaining; g_hash = Dqo_hash.Hash_fn.Murmur3 }
+  { g_alg; g_table = Grouping.Chaining; g_hash = Dqo_hash.Hash_fn.Murmur3;
+    g_dop = 1 }
 
 let default_join j_alg =
-  { j_alg; j_table = Grouping.Chaining; j_hash = Dqo_hash.Hash_fn.Murmur3 }
+  { j_alg; j_table = Grouping.Chaining; j_hash = Dqo_hash.Hash_fn.Murmur3;
+    j_dop = 1 }
 
 type t =
   | Table_scan of string
@@ -46,6 +50,10 @@ let join_name impl =
       (Dqo_hash.Hash_fn.name impl.j_hash)
   | alg -> Join.name alg
 
+(* The [dop] annotation renders as a suffix so the algorithm name stays
+   greppable in plans and tests. *)
+let dop_suffix dop = if dop > 1 then Printf.sprintf " [dop=%d]" dop else ""
+
 let rec pp ppf = function
   | Table_scan n -> Format.fprintf ppf "TableScan(%s)" n
   | Filter_op (t, c, p) ->
@@ -55,10 +63,11 @@ let rec pp ppf = function
       pp t
   | Sort_enforcer (t, c) -> Format.fprintf ppf "@[<v 2>Sort(%s)@,%a@]" c pp t
   | Join_op (l, r, lc, rc, impl) ->
-    Format.fprintf ppf "@[<v 2>%s(%s = %s)@,%a@,%a@]" (join_name impl) lc rc
-      pp l pp r
+    Format.fprintf ppf "@[<v 2>%s(%s = %s)%s@,%a@,%a@]" (join_name impl) lc rc
+      (dop_suffix impl.j_dop) pp l pp r
   | Group_op (t, key, _aggs, impl) ->
-    Format.fprintf ppf "@[<v 2>%s(key=%s)@,%a@]" (grouping_name impl) key pp t
+    Format.fprintf ppf "@[<v 2>%s(key=%s)%s@,%a@]" (grouping_name impl) key
+      (dop_suffix impl.g_dop) pp t
 
 (* One-line label for a node, ignoring its inputs — what EXPLAIN
    ANALYZE prints per tree row. *)
@@ -69,9 +78,23 @@ let op_label = function
   | Project_op (_, cols) -> "Project(" ^ String.concat ", " cols ^ ")"
   | Sort_enforcer (_, c) -> "Sort(" ^ c ^ ")"
   | Join_op (_, _, lc, rc, impl) ->
-    Printf.sprintf "%s(%s = %s)" (join_name impl) lc rc
+    Printf.sprintf "%s(%s = %s)%s" (join_name impl) lc rc
+      (dop_suffix impl.j_dop)
   | Group_op (_, key, _, impl) ->
-    Printf.sprintf "%s(key=%s)" (grouping_name impl) key
+    Printf.sprintf "%s(key=%s)%s" (grouping_name impl) key
+      (dop_suffix impl.g_dop)
+
+let rec with_dop dop p =
+  if dop < 1 then invalid_arg "Physical.with_dop: dop < 1";
+  match p with
+  | Table_scan _ -> p
+  | Filter_op (t, c, pred) -> Filter_op (with_dop dop t, c, pred)
+  | Project_op (t, cols) -> Project_op (with_dop dop t, cols)
+  | Sort_enforcer (t, c) -> Sort_enforcer (with_dop dop t, c)
+  | Join_op (l, r, lc, rc, impl) ->
+    Join_op (with_dop dop l, with_dop dop r, lc, rc, { impl with j_dop = dop })
+  | Group_op (t, key, aggs, impl) ->
+    Group_op (with_dop dop t, key, aggs, { impl with g_dop = dop })
 
 let operators t =
   let rec go acc = function

@@ -1,0 +1,6 @@
+(* CLOCK_MONOTONIC via bechamel's dependency-free C stub.  Int64
+   nanoseconds since an unspecified epoch fit comfortably in an OCaml
+   int (63 bits = ~292 years), so the conversion below cannot wrap. *)
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+let since_ms t0 = Float.of_int (now_ns () - t0) /. 1e6

@@ -1,0 +1,17 @@
+(** The one wall clock every timing facility shares.
+
+    [CLOCK_MONOTONIC] nanoseconds via the (zero-dependency) C stub that
+    ships with bechamel.  Both {!Timer} and [Dqo_obs.Metrics] read this
+    clock, so span timings, EXPLAIN ANALYZE node times, and bench
+    measurements are directly comparable — and, unlike the previous
+    [Sys.time]-based clock, they measure {e wall} time: under parallel
+    execution [Sys.time] sums CPU time across domains and over-counts by
+    roughly the degree of parallelism. *)
+
+val now_ns : unit -> int
+(** Monotonic timestamp in nanoseconds.  Only differences are
+    meaningful; the epoch is unspecified (typically boot time). *)
+
+val since_ms : int -> float
+(** [since_ms t0] is the wall milliseconds elapsed since the
+    {!now_ns}-timestamp [t0]. *)

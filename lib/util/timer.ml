@@ -1,8 +1,9 @@
-(* The experiments are single-threaded, so CPU time ([Sys.time], the same
-   quantity the paper's harness reports) and wall time coincide up to GC
-   pauses, which we do want to include; [Sys.time] on Linux includes them. *)
+(* All timing reads the shared monotonic wall clock ([Clock.now_ns]).
+   The earlier [Sys.time]-based clock reported process CPU time, which
+   coincides with wall time only while execution is single-threaded;
+   under domains it sums across cores and over-counts by ~Nx. *)
 
-let now_ns () = int_of_float (Sys.time () *. 1e9)
+let now_ns () = Clock.now_ns ()
 
 let time_ms f =
   let t0 = now_ns () in

@@ -1,8 +1,9 @@
 (** Wall-clock measurement helpers for the benchmark harness. *)
 
 val now_ns : unit -> int
-(** [now_ns ()] is a monotonic-ish timestamp in nanoseconds (derived from
-    [Unix.gettimeofday] precision via [Sys.time]-independent clock). *)
+(** [now_ns ()] is {!Clock.now_ns}: the shared monotonic wall clock, in
+    nanoseconds.  Safe under parallel execution (unlike CPU-time clocks,
+    which sum across domains). *)
 
 val time_ms : (unit -> 'a) -> 'a * float
 (** [time_ms f] runs [f ()] and returns its result together with the

@@ -88,8 +88,8 @@ let test_molecule_multiplier () =
 let test_deep_model_changes_hash_costs_only () =
   let impl =
     {
-      Physical.g_alg = Grouping.HG;
-      g_table = Grouping.Linear_probing;
+      (Physical.default_grouping Grouping.HG) with
+      Physical.g_table = Grouping.Linear_probing;
       g_hash = Dqo_hash.Hash_fn.Multiply_shift;
     }
   in

@@ -105,6 +105,41 @@ let test_metrics_to_json () =
         (Astring.String.is_infix ~affix s))
     [ "\"counters\""; "\"plans\": 1"; "\"operators\""; "\"rows_out\": 9" ]
 
+let test_metrics_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr a ~by:2 "shared";
+  Metrics.incr a "only_a";
+  Metrics.incr b ~by:5 "shared";
+  Metrics.incr b "only_b";
+  Metrics.add_span_ns a "s" 10;
+  Metrics.add_span_ns b "s" 32;
+  Metrics.record a ~op:"scan" ~rows_in:0 ~rows_out:10 ~wall_ns:3;
+  Metrics.record b ~op:"scan" ~rows_in:0 ~rows_out:20 ~wall_ns:4;
+  Metrics.record b ~op:"join" ~rows_in:30 ~rows_out:5 ~wall_ns:1;
+  Metrics.merge ~into:a b;
+  Alcotest.(check int) "shared counter summed" 7 (Metrics.counter a "shared");
+  Alcotest.(check int) "a-only kept" 1 (Metrics.counter a "only_a");
+  Alcotest.(check int) "b-only adopted" 1 (Metrics.counter a "only_b");
+  Alcotest.(check int) "spans summed" 42 (Metrics.span_ns a "s");
+  (match Metrics.find_op a "scan" with
+  | None -> Alcotest.fail "scan op missing after merge"
+  | Some o ->
+    Alcotest.(check int) "invocations summed" 2 o.Metrics.invocations;
+    Alcotest.(check int) "rows_out summed" 30 o.Metrics.rows_out;
+    Alcotest.(check int) "wall summed" 7 o.Metrics.wall_ns);
+  Alcotest.(check bool) "b-only op adopted" true
+    (Metrics.find_op a "join" <> None);
+  (* [b] is untouched. *)
+  Alcotest.(check int) "source unchanged" 5 (Metrics.counter b "shared")
+
+let test_metrics_clock_is_wall_time () =
+  (* A sleeping span burns no CPU; only a wall clock sees it.  The old
+     [Sys.time]-based clock recorded ~0 here. *)
+  let m = Metrics.create () in
+  Metrics.span m "sleep" (fun () -> Unix.sleepf 0.02);
+  Alcotest.(check bool) "sleep measured as wall time" true
+    (Metrics.span_ns m "sleep" >= 15_000_000)
+
 (* --- instrumented executor entry points ------------------------------- *)
 
 let test_pipeline_observe () =
@@ -265,6 +300,8 @@ let () =
           Alcotest.test_case "spans" `Quick test_metrics_spans;
           Alcotest.test_case "operators" `Quick test_metrics_ops;
           Alcotest.test_case "to_json" `Quick test_metrics_to_json;
+          Alcotest.test_case "merge" `Quick test_metrics_merge;
+          Alcotest.test_case "wall clock" `Quick test_metrics_clock_is_wall_time;
         ] );
       ( "executor",
         [
