@@ -36,6 +36,7 @@ module Stats = Dqo_util.Stats
 let fig4_records : Json.t list ref = ref []
 let fig5_records : Json.t list ref = ref []
 let scaling_records : Json.t list ref = ref []
+let serve_records : Json.t list ref = ref []
 
 (* ------------------------------------------------------------------ *)
 (* Figure 4: grouping performance on four dataset shapes.             *)
@@ -608,6 +609,88 @@ let parallel_scaling ~rows ~threads =
     (Domain.recommended_domain_count ())
 
 (* ------------------------------------------------------------------ *)
+(* Serving throughput: closed-loop clients against one shared server.  *)
+
+let serve_quantile sorted q =
+  let n = Array.length sorted in
+  sorted.(max 0 (min (n - 1) (int_of_float (ceil (q *. Float.of_int n)) - 1)))
+
+let bench_serve ~threads ~clients ~requests =
+  Printf.printf
+    "-- Serving: closed-loop throughput, one shared %d-domain pool --\n"
+    threads;
+  let sql =
+    "SELECT a, COUNT(*) AS c FROM R JOIN S ON id = r_id GROUP BY a"
+  in
+  let rng = Rng.create ~seed:2020 in
+  let pair =
+    Datagen.fk_pair ~rng ~r_rows:25_000 ~s_rows:90_000 ~r_groups:20_000
+      ~r_sorted:false ~s_sorted:false ~dense:true
+  in
+  let db = Dqo_engine.Engine.create () in
+  Dqo_engine.Engine.register db ~name:"R" pair.Datagen.r;
+  Dqo_engine.Engine.register db ~name:"S" pair.Datagen.s;
+  Dqo_engine.Engine.set_opts db { Dqo_engine.Engine.mode = DQO; threads };
+  (* One server — and therefore one pool — for the whole sweep; that is
+     the point of the serving front end. *)
+  let srv = Dqo_serve.Server.create ~workers:8 ~max_inflight:256 db in
+  let table =
+    Table_printer.create
+      ~header:
+        [ "clients"; "requests"; "qps"; "p50 ms"; "p95 ms"; "p99 ms" ]
+  in
+  List.iter
+    (fun c ->
+      let latencies = Array.make (c * requests) 0.0 in
+      let client i =
+        let session = Dqo_serve.Server.open_session srv in
+        let stmt = Dqo_serve.Server.prepare session sql in
+        for r = 0 to requests - 1 do
+          let _, ms =
+            Timer.time_ms (fun () ->
+                ignore (Dqo_serve.Server.execute session stmt))
+          in
+          latencies.((i * requests) + r) <- ms
+        done;
+        Dqo_serve.Server.close_session session
+      in
+      let _, wall_ms =
+        Timer.time_ms (fun () ->
+            List.iter Thread.join
+              (List.init c (fun i -> Thread.create client i)))
+      in
+      Array.sort Float.compare latencies;
+      let q p = serve_quantile latencies p in
+      let qps = Float.of_int (c * requests) /. (wall_ms /. 1000.0) in
+      serve_records :=
+        Json.Obj
+          [
+            ("clients", Json.Int c);
+            ("requests_per_client", Json.Int requests);
+            ("threads", Json.Int threads);
+            ("qps", Json.Float qps);
+            ("p50_ms", Json.Float (q 0.50));
+            ("p95_ms", Json.Float (q 0.95));
+            ("p99_ms", Json.Float (q 0.99));
+          ]
+        :: !serve_records;
+      Table_printer.add_row table
+        [
+          string_of_int c;
+          string_of_int (c * requests);
+          Printf.sprintf "%.1f" qps;
+          Printf.sprintf "%.2f" (q 0.50);
+          Printf.sprintf "%.2f" (q 0.95);
+          Printf.sprintf "%.2f" (q 0.99);
+        ])
+    (List.filter (fun c -> c <= clients) [ 1; 2; 4; 8 ]);
+  Dqo_serve.Server.shutdown srv;
+  Table_printer.print table;
+  print_endline
+    "Closed loop: each client waits for its result before the next\n\
+     request; every result is byte-identical to the sequential engine.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per reproduced table.      *)
 
 let bechamel ~rows =
@@ -682,6 +765,9 @@ let () =
   let abl = ref None in
   let run_bechamel = ref false in
   let run_scaling = ref false in
+  let run_serve = ref false in
+  let clients = ref 4 in
+  let requests = ref 50 in
   let threads = ref 1 in
   let all = ref true in
   let json_path = ref None in
@@ -715,6 +801,19 @@ let () =
             abl := Some s;
             all := false),
         "NAME  run ablation (hash|table|avsp|opttime|cracking|skew|online|layout)" );
+      ( "--serve",
+        Arg.Unit
+          (fun () ->
+            run_serve := true;
+            all := false),
+        "  run the closed-loop serving benchmark (clients x requests sweep)" );
+      ( "--clients",
+        Arg.Set_int clients,
+        "N  max concurrent clients for --serve (sweep 1,2,4,8 up to N; \
+         default 4)" );
+      ( "--requests",
+        Arg.Set_int requests,
+        "N  closed-loop requests per client for --serve (default 50)" );
       ( "--bechamel",
         Arg.Unit
           (fun () ->
@@ -753,6 +852,9 @@ let () =
   | Some other -> Printf.printf "unknown ablation %s\n" other
   | None -> ());
   if !run_scaling then parallel_scaling ~rows:(min rows 4_000_000) ~threads:!threads;
+  if !run_serve then
+    bench_serve ~threads:(max 1 !threads) ~clients:!clients
+      ~requests:!requests;
   if !run_bechamel then bechamel ~rows:(min rows 200_000);
   if !all then begin
     figure4 ~rows;
@@ -772,15 +874,17 @@ let () =
   match !json_path with
   | None -> ()
   | Some path ->
-    (* schema_version 2: adds "threads" and "parallel_scaling". *)
+    (* schema_version 3: adds "serving" (v2 added "threads" and
+       "parallel_scaling"). *)
     Json.to_file path
       (Json.Obj
          [
-           ("schema_version", Json.Int 2);
+           ("schema_version", Json.Int 3);
            ("rows", Json.Int rows);
            ("threads", Json.Int !threads);
            ("figure4", Json.List (List.rev !fig4_records));
            ("figure5", Json.List (List.rev !fig5_records));
            ("parallel_scaling", Json.List (List.rev !scaling_records));
+           ("serving", Json.List (List.rev !serve_records));
          ]);
     Printf.printf "measurements written to %s\n" path

@@ -6,6 +6,7 @@
      granules   print the physiological (granule) unnest tree
      calibrate  measure the cost model's constants on this machine
      avsp       solve the Algorithmic View Selection Problem
+     serve      line-oriented prepared-statement server on stdin/stdout
 
    Try:  dune exec bin/dqo.exe -- run \
            "SELECT a, COUNT(*) AS c FROM R JOIN S ON id = r_id GROUP BY a" *)
@@ -237,10 +238,52 @@ let avsp_cmd =
       const action $ budget $ r_rows $ s_rows $ groups $ sorted $ sparse
       $ seed)
 
+let serve_cmd =
+  let action mode threads workers max_inflight r_rows s_rows groups sorted
+      sparse seed =
+    let db = make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~seed in
+    Dqo_engine.Engine.set_opts db { Dqo_engine.Engine.mode; threads };
+    let srv = Dqo_serve.Server.create ~max_inflight ~workers db in
+    Printf.printf "ready pool=%d workers=%d max_inflight=%d\n%!"
+      (Dqo_serve.Server.pool_size srv)
+      workers max_inflight;
+    Fun.protect
+      ~finally:(fun () -> Dqo_serve.Server.shutdown srv)
+      (fun () -> Dqo_serve.Wire.serve srv stdin stdout)
+  in
+  let workers =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Executor threads draining the request queue.")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 64
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Admission bound: requests in flight beyond $(docv) are \
+             rejected with an $(b,error overloaded) response.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve prepared-statement executions over a line protocol on \
+          stdin/stdout.  One long-lived pool of $(b,--threads) domains is \
+          shared by every request; sessions, a server-wide statement \
+          cache, and bounded admission ride on top.  Commands: open, \
+          close, prepare, exec, submit, wait, stats, quit.")
+    Term.(
+      const action $ mode_arg $ threads_arg $ workers $ max_inflight
+      $ r_rows $ s_rows $ groups $ sorted $ sparse $ seed)
+
 let () =
   let doc = "Deep Query Optimisation (CIDR 2020) — reproduction toolkit" in
   let info = Cmd.info "dqo" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; explain_cmd; granules_cmd; calibrate_cmd; avsp_cmd ]))
+          [
+            run_cmd; explain_cmd; granules_cmd; calibrate_cmd; avsp_cmd;
+            serve_cmd;
+          ]))

@@ -15,10 +15,10 @@ echo "== bench --json smoke =="
 out="$(mktemp -t bench_smoke_XXXXXX.json)"
 trap 'rm -f "$out"' EXIT
 dune exec bench/main.exe -- --rows 20000 --figure 4 --figure 5 --scaling \
-  --threads 2 --json "$out" > /dev/null
+  --serve --clients 2 --requests 3 --threads 2 --json "$out" > /dev/null
 
 test -s "$out" || { echo "ci: $out is empty" >&2; exit 1; }
-grep -q '"schema_version": 2' "$out" || { echo "ci: missing schema_version 2" >&2; exit 1; }
+grep -q '"schema_version": 3' "$out" || { echo "ci: missing schema_version 3" >&2; exit 1; }
 grep -q '"threads": 2' "$out" || { echo "ci: missing threads" >&2; exit 1; }
 grep -q '"figure4"' "$out" || { echo "ci: missing figure4" >&2; exit 1; }
 grep -q '"figure5"' "$out" || { echo "ci: missing figure5" >&2; exit 1; }
@@ -26,6 +26,8 @@ grep -q '"median_ms"' "$out" || { echo "ci: figure4 has no measurements" >&2; ex
 grep -q '"factor_dense"' "$out" || { echo "ci: figure5 has no factors" >&2; exit 1; }
 grep -q '"parallel_scaling"' "$out" || { echo "ci: missing parallel_scaling" >&2; exit 1; }
 grep -q '"speedup_vs_1"' "$out" || { echo "ci: scaling sweep has no speedups" >&2; exit 1; }
+grep -q '"serving"' "$out" || { echo "ci: missing serving sweep" >&2; exit 1; }
+grep -q '"p95_ms"' "$out" || { echo "ci: serving sweep has no latencies" >&2; exit 1; }
 if command -v python3 > /dev/null 2>&1; then
   python3 -m json.tool "$out" > /dev/null || { echo "ci: invalid JSON" >&2; exit 1; }
 fi
@@ -33,5 +35,23 @@ fi
 echo "== dqo run --threads 2 smoke =="
 dune exec bin/dqo.exe -- run --threads 2 --r-rows 2000 --s-rows 6000 \
   --groups 1500 > /dev/null
+
+echo "== dqo serve --threads 2 smoke =="
+serve_out="$(mktemp -t serve_smoke_XXXXXX.txt)"
+trap 'rm -f "$out" "$serve_out"' EXIT
+printf 'open\nopen\nprepare 1 SELECT a, COUNT(*) AS c FROM R JOIN S ON id = r_id GROUP BY a\nprepare 2 SELECT a, COUNT(*) AS c FROM R JOIN S ON id = r_id GROUP BY a\nsubmit 1 1\nsubmit 2 1\nsubmit 1 1\nsubmit 2 1\nwait 1\nwait 2\nwait 3\nwait 4\nstats\nclose 1\nclose 2\nquit\n' \
+  | dune exec bin/dqo.exe -- serve --threads 2 --r-rows 2000 --s-rows 6000 \
+      --groups 1500 > "$serve_out"
+
+grep -q '^ready pool=2' "$serve_out" || { echo "ci: serve did not start a 2-domain pool" >&2; exit 1; }
+grep -q '^ok session 2$' "$serve_out" || { echo "ci: serve sessions failed" >&2; exit 1; }
+# Both sessions must get the same cached statement id.
+test "$(grep -c '^ok stmt 1$' "$serve_out")" = 2 || { echo "ci: statement cache not shared" >&2; exit 1; }
+test "$(grep -c '^result ticket=' "$serve_out")" = 4 || { echo "ci: expected 4 results" >&2; exit 1; }
+# Determinism: all four concurrent executions carry one distinct digest.
+test "$(grep '^result ticket=' "$serve_out" | sed 's/.*sum=//' | sort -u | wc -l)" = 1 \
+  || { echo "ci: concurrent results differ" >&2; exit 1; }
+grep -q '^ok stats requests=4' "$serve_out" || { echo "ci: serve stats missing" >&2; exit 1; }
+grep -q '^ok bye$' "$serve_out" || { echo "ci: serve did not quit cleanly" >&2; exit 1; }
 
 echo "ci: OK"

@@ -12,25 +12,48 @@ module Fks = Dqo_hash.Perfect.Fks
 
 type mode = SQO | DQO
 
+type opts = { mode : mode; threads : int }
+
+let default_opts = { mode = DQO; threads = 1 }
+
+let check_opts o =
+  if o.threads < 1 then invalid_arg "Engine.opts: threads < 1";
+  o
+
 type t = {
   model : Dqo_cost.Model.t;
+  mutable opts : opts;
   mutable relations : (string * Relation.t) list;
   mutable catalog : Catalog.t;
   mutable avs : Dqo_av.View.t list;
+  (* Bumped whenever the physical design changes (register / install_av);
+     prepared statements snapshot it so stale plans are detectable. *)
+  mutable generation : int;
   (* Perfect-hash structures built by AVs, keyed by column name; the
      executor consults these when a plan prescribes SPH on a column whose
      physical domain is not dense. *)
   fks_index : (string, Fks.t) Hashtbl.t;
 }
 
-let create ?(model = Dqo_cost.Model.table2) () =
+let create ?(model = Dqo_cost.Model.table2) ?(opts = default_opts) () =
   {
     model;
+    opts = check_opts opts;
     relations = [];
     catalog = Catalog.create [];
     avs = [];
+    generation = 0;
     fks_index = Hashtbl.create 8;
   }
+
+let opts t = t.opts
+let set_opts t o = t.opts <- check_opts o
+let av_generation t = t.generation
+
+(* Per-call [?mode] / [?threads] overrides fall back to the handle's
+   execution options. *)
+let resolve_mode t mode = Option.value ~default:t.opts.mode mode
+let resolve_threads t threads = Option.value ~default:t.opts.threads threads
 
 let rebuild_catalog t =
   (* Grouping-result AVs already exist as stored relations and are
@@ -54,6 +77,7 @@ let register t ~name rel =
   if List.mem_assoc name t.relations then
     invalid_arg ("Engine.register: relation already registered: " ^ name);
   t.relations <- t.relations @ [ (name, rel) ];
+  t.generation <- t.generation + 1;
   rebuild_catalog t
 
 let relation t name =
@@ -394,15 +418,18 @@ let rec execute_in t ?pool (p : Physical.t) =
     | Some payload -> group_fast t ?pool rel key aggs payload impl
     | None -> group_generic rel key aggs)
 
-let execute t ?(threads = 1) p =
+let execute t ?threads p =
+  let threads = resolve_threads t threads in
   if threads < 1 then invalid_arg "Engine.execute: threads < 1";
   if threads = 1 then execute_in t p
   else
     Dqo_par.Pool.with_pool ~domains:threads (fun pool ->
         execute_in t ~pool p)
 
-let run t ?(mode = DQO) ?threads l =
-  let chosen = plan t mode l in
+let execute_on t ~pool p = execute_in t ~pool p
+
+let run t ?mode ?threads l =
+  let chosen = plan t (resolve_mode t mode) l in
   execute t ?threads chosen.Dqo_opt.Pareto.plan
 
 (* ------------------------------------------------------------------ *)
@@ -410,7 +437,8 @@ let run t ?(mode = DQO) ?threads l =
    actual rows and cumulative wall time, and recording per-operator
    metrics into an observability registry.                             *)
 
-let execute_analyzed t ?metrics ?(threads = 1) (p : Physical.t) =
+let execute_analyzed t ?metrics ?threads (p : Physical.t) =
+  let threads = resolve_threads t threads in
   if threads < 1 then invalid_arg "Engine.execute_analyzed: threads < 1";
   let m =
     match metrics with Some m -> m | None -> Dqo_obs.Metrics.create ()
@@ -479,9 +507,11 @@ type analysis = {
   metrics : Dqo_obs.Metrics.t;
 }
 
-let explain_analyze t ?(mode = DQO) ?threads l =
+let explain_analyze t ?mode ?threads l =
   let search_mode =
-    match mode with SQO -> Dqo_opt.Search.Shallow | DQO -> Dqo_opt.Search.Deep
+    match resolve_mode t mode with
+    | SQO -> Dqo_opt.Search.Shallow
+    | DQO -> Dqo_opt.Search.Deep
   in
   let entries, search_stats =
     Dqo_opt.Search.optimize_entries ~model:t.model search_mode t.catalog l
@@ -563,13 +593,61 @@ let run_sql t ?mode ?threads sql =
 (* ------------------------------------------------------------------ *)
 (* Prepared statements.                                                *)
 
-type prepared = { entry : Dqo_opt.Pareto.entry }
+type prepared = {
+  p_sql : string;
+  p_mode : mode;
+  mutable entry : Dqo_opt.Pareto.entry;
+  mutable p_generation : int;
+}
 
-let prepare t ?(mode = DQO) sql =
-  { entry = plan t mode (Dqo_sql.Binder.plan_of_sql t.catalog sql) }
+exception
+  Stale_plan of {
+    sql : string;
+    prepared_generation : int;
+    engine_generation : int;
+  }
+
+let prepare t ?mode sql =
+  let mode = resolve_mode t mode in
+  {
+    p_sql = sql;
+    p_mode = mode;
+    entry = plan t mode (Dqo_sql.Binder.plan_of_sql t.catalog sql);
+    p_generation = t.generation;
+  }
 
 let prepared_entry p = p.entry
-let execute_prepared t p = execute t p.entry.Dqo_opt.Pareto.plan
+let prepared_sql p = p.p_sql
+let prepared_mode p = p.p_mode
+let prepared_generation p = p.p_generation
+let prepared_stale t p = p.p_generation <> t.generation
+
+let reprepare t p =
+  p.entry <- plan t p.p_mode (Dqo_sql.Binder.plan_of_sql t.catalog p.p_sql);
+  p.p_generation <- t.generation
+
+(* Shared lifecycle gate: a prepared plan from an older catalog
+   generation either re-optimises in place (opt-in) or raises. *)
+let check_prepared t ~reprepare:re p =
+  if prepared_stale t p then begin
+    if re then reprepare t p
+    else
+      raise
+        (Stale_plan
+           {
+             sql = p.p_sql;
+             prepared_generation = p.p_generation;
+             engine_generation = t.generation;
+           })
+  end
+
+let execute_prepared t ?(reprepare = false) ?threads p =
+  check_prepared t ~reprepare p;
+  execute t ?threads p.entry.Dqo_opt.Pareto.plan
+
+let execute_prepared_on t ~pool ?(reprepare = false) p =
+  check_prepared t ~reprepare p;
+  execute_on t ~pool p.entry.Dqo_opt.Pareto.plan
 
 (* ------------------------------------------------------------------ *)
 (* Answering grouping queries from materialised-grouping AVs.          *)
@@ -670,6 +748,7 @@ let install_av t (v : Dqo_av.View.t) =
     | Dqo_av.View.M_dense_bounds _ ->
       assert false));
   t.avs <- t.avs @ [ v ];
+  t.generation <- t.generation + 1;
   rebuild_catalog t
 
 let installed_avs t = t.avs

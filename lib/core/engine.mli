@@ -21,8 +21,34 @@ type mode = SQO | DQO
 (** Which optimiser plans the query — the paper's shallow baseline or
     deep query optimisation. *)
 
-val create : ?model:Dqo_cost.Model.t -> unit -> t
-(** Fresh engine; the cost model defaults to the paper's Table 2. *)
+type opts = {
+  mode : mode;  (** Default optimiser for [run]/[run_sql]/[prepare]. *)
+  threads : int;
+      (** Default execution parallelism: the hot operators run on a
+          [threads]-domain pool when [> 1].  Results are identical to
+          [threads = 1] — the parallel operators are deterministic by
+          construction. *)
+}
+(** Execution options carried by the engine handle.  Every entry point
+    that used to take scattered [?mode] / [?threads] optionals now
+    defaults to the handle's options; the per-call optionals remain as
+    thin deprecated wrappers (an explicit argument overrides the handle
+    for that one call).  New code should set options once via
+    {!create} or {!set_opts}. *)
+
+val default_opts : opts
+(** [{ mode = DQO; threads = 1 }]. *)
+
+val create : ?model:Dqo_cost.Model.t -> ?opts:opts -> unit -> t
+(** Fresh engine; the cost model defaults to the paper's Table 2 and
+    the execution options to {!default_opts}.
+    @raise Invalid_argument if [opts.threads < 1]. *)
+
+val opts : t -> opts
+
+val set_opts : t -> opts -> unit
+(** Replace the handle's execution options.
+    @raise Invalid_argument if [opts.threads < 1]. *)
 
 val register : t -> name:string -> Dqo_data.Relation.t -> unit
 (** Add a base relation; its statistics (sortedness, density, distinct
@@ -41,16 +67,26 @@ val plan_sql : t -> mode -> string -> Dqo_opt.Pareto.entry
 
 val execute : t -> ?threads:int -> Dqo_plan.Physical.t -> Dqo_data.Relation.t
 (** Run a physical plan against the stored relations.  With
-    [~threads:n] ([n > 1]) the hot operators — hash joins, hash
-    grouping, dense SPH grouping — run on an [n]-domain
-    {!Dqo_par.Pool}; results are identical to the sequential path
-    (the parallel operators are deterministic by construction).
-    [threads:1] (the default) takes the pure sequential code path.
+    [threads = n > 1] (default: the handle's {!opts}) the hot
+    operators — hash joins, hash grouping, dense SPH grouping — run on
+    an [n]-domain {!Dqo_par.Pool}; results are identical to the
+    sequential path (the parallel operators are deterministic by
+    construction).  [threads = 1] takes the pure sequential code path.
+    The pool is created and torn down per call; a serving front end
+    should hold one long-lived pool and use {!execute_on} instead.
     @raise Not_found / Invalid_argument on plans referencing unknown
     relations or columns, or if [threads < 1]. *)
 
+val execute_on :
+  t -> pool:Dqo_par.Pool.t -> Dqo_plan.Physical.t -> Dqo_data.Relation.t
+(** Like {!execute}, but on a caller-owned pool — the building block of
+    the serving front end ([Dqo_serve]), which multiplexes many
+    requests onto one long-lived pool.  A pool of size 1 takes the
+    sequential path; results are byte-identical either way. *)
+
 val run : t -> ?mode:mode -> ?threads:int -> Dqo_plan.Logical.t -> Dqo_data.Relation.t
-(** Optimise (default [DQO]) and execute. *)
+(** Optimise and execute; [mode]/[threads] default to the handle's
+    {!opts}. *)
 
 val run_sql : t -> ?mode:mode -> ?threads:int -> string -> Dqo_data.Relation.t
 
@@ -115,22 +151,59 @@ val run_adaptive : t -> Dqo_plan.Logical.t -> Dqo_data.Relation.t * adaptive_rep
 
 type prepared
 (** A pre-optimised query, the "prepared statement" of the paper's §3
-    analogy: optimisation happened once at prepare time; execution reuses
-    the stored physical plan. *)
+    analogy: optimisation happened once at prepare time; execution
+    reuses the stored physical plan.  The handle records the engine's
+    {!av_generation} at prepare time, so executing against a changed
+    physical design is detected instead of silently served. *)
+
+exception
+  Stale_plan of {
+    sql : string;
+    prepared_generation : int;
+    engine_generation : int;
+  }
+(** The prepared plan predates a physical-design change
+    ([install_av] / [register]); re-prepare or pass [~reprepare:true]. *)
+
+val av_generation : t -> int
+(** Physical-design generation: starts at 0, bumped by every
+    {!register} and {!install_av}. *)
 
 val prepare : t -> ?mode:mode -> string -> prepared
-(** Parse, bind and optimise once.
+(** Parse, bind and optimise once ([mode] defaults to the handle's
+    {!opts}).
     @raise Dqo_sql.Parser.Error / Dqo_sql.Binder.Error on bad SQL. *)
 
 val prepared_entry : prepared -> Dqo_opt.Pareto.entry
 (** The stored plan with its estimated cost and properties. *)
 
-val execute_prepared : t -> prepared -> Dqo_data.Relation.t
-(** Run the stored plan; no optimiser work happens here.  The plan
-    refers to relations by name, so it sees AVs installed after
-    [prepare] only if they replaced a stored relation (e.g. a sorted
-    projection); it is the caller's job to re-prepare when the physical
-    design changes materially. *)
+val prepared_sql : prepared -> string
+val prepared_mode : prepared -> mode
+
+val prepared_generation : prepared -> int
+(** The engine generation the stored plan was optimised against. *)
+
+val prepared_stale : t -> prepared -> bool
+(** The physical design changed since this plan was (re-)prepared. *)
+
+val reprepare : t -> prepared -> unit
+(** Re-optimise the stored plan against the current catalog and stamp
+    the handle with the current generation. *)
+
+val execute_prepared :
+  t -> ?reprepare:bool -> ?threads:int -> prepared -> Dqo_data.Relation.t
+(** Run the stored plan; no optimiser work happens on the fresh path.
+    If the physical design changed since prepare time, raises
+    {!Stale_plan} — or transparently re-optimises first when
+    [~reprepare:true].  [threads] defaults to the handle's {!opts}. *)
+
+val execute_prepared_on :
+  t ->
+  pool:Dqo_par.Pool.t ->
+  ?reprepare:bool ->
+  prepared ->
+  Dqo_data.Relation.t
+(** {!execute_prepared} on a caller-owned pool (see {!execute_on}). *)
 
 val run_with_views : t -> Dqo_plan.Logical.t -> Dqo_data.Relation.t * bool
 (** Like {!run}, but first tries to answer the query from an installed
@@ -143,6 +216,7 @@ val install_av : t -> Dqo_av.View.t -> unit
 (** Materialise an algorithmic view and update the catalog: a sorted
     projection physically reorders the stored relation; a perfect-hash
     AV builds (and stores) a dense-domain or FKS structure that the
-    executor uses whenever a plan calls for SPH on that column. *)
+    executor uses whenever a plan calls for SPH on that column.  Bumps
+    {!av_generation}, invalidating outstanding {!prepared} plans. *)
 
 val installed_avs : t -> Dqo_av.View.t list

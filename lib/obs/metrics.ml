@@ -45,15 +45,25 @@ let table_find_or_add tbl name create =
 let table_to_list tbl =
   List.rev_map (fun name -> (name, Hashtbl.find tbl.entries name)) tbl.order
 
+(* A histogram keeps every observation (serving workloads record a few
+   thousand samples per run, small enough to store exactly), so
+   quantiles are exact rather than bucket-approximated. *)
+type hist = {
+  hist_name : string;
+  mutable samples : float array;
+  mutable count : int;
+}
+
 type t = {
   counters : int ref table;
   spans : int ref table; (* accumulated ns *)
   op_table : op table;
+  hists : hist table;
 }
 
 let create () =
   { counters = table_create (); spans = table_create ();
-    op_table = table_create () }
+    op_table = table_create (); hists = table_create () }
 
 (* ------------------------------------------------------------------ *)
 (* Counters.                                                           *)
@@ -115,6 +125,51 @@ let find_op t name = Hashtbl.find_opt t.op_table.entries name
 let ops t = List.map snd (table_to_list t.op_table)
 
 (* ------------------------------------------------------------------ *)
+(* Histograms.                                                         *)
+
+let hist t name =
+  table_find_or_add t.hists name (fun () ->
+      { hist_name = name; samples = Array.make 64 0.0; count = 0 })
+
+let observe h v =
+  if h.count = Array.length h.samples then begin
+    let bigger = Array.make (2 * h.count) 0.0 in
+    Array.blit h.samples 0 bigger 0 h.count;
+    h.samples <- bigger
+  end;
+  h.samples.(h.count) <- v;
+  h.count <- h.count + 1
+
+let hist_name h = h.hist_name
+let hist_count h = h.count
+
+let hist_values h = Array.sub h.samples 0 h.count
+
+(* Nearest-rank quantile over the recorded samples; [nan] when empty. *)
+let hist_quantile h q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Metrics.hist_quantile: q outside [0, 1]";
+  if h.count = 0 then Float.nan
+  else begin
+    let sorted = hist_values h in
+    Array.sort Float.compare sorted;
+    let rank = int_of_float (ceil (q *. Float.of_int h.count)) - 1 in
+    sorted.(max 0 (min (h.count - 1) rank))
+  end
+
+let hist_mean h =
+  if h.count = 0 then Float.nan
+  else begin
+    let s = ref 0.0 in
+    for i = 0 to h.count - 1 do
+      s := !s +. h.samples.(i)
+    done;
+    !s /. Float.of_int h.count
+  end
+
+let find_hist t name = Hashtbl.find_opt t.hists.entries name
+let all_hists t = List.map snd (table_to_list t.hists)
+
+(* ------------------------------------------------------------------ *)
 (* Merging.                                                            *)
 
 (* Fold [src] into [into], accumulating matching names and appending
@@ -135,7 +190,14 @@ let merge ~into src =
       o.rows_out <- o.rows_out + s.rows_out;
       o.chunks <- o.chunks + s.chunks;
       o.wall_ns <- o.wall_ns + s.wall_ns)
-    (table_to_list src.op_table)
+    (table_to_list src.op_table);
+  List.iter
+    (fun (name, (s : hist)) ->
+      let h = hist into name in
+      for i = 0 to s.count - 1 do
+        observe h s.samples.(i)
+      done)
+    (table_to_list src.hists)
 
 (* ------------------------------------------------------------------ *)
 (* Export.                                                             *)
@@ -151,6 +213,19 @@ let op_to_json o =
       ("wall_ns", Json.Int o.wall_ns);
     ]
 
+let hist_to_json h =
+  let q p = Json.of_float_opt (if h.count = 0 then None else Some (hist_quantile h p)) in
+  Json.Obj
+    [
+      ("name", Json.String h.hist_name);
+      ("count", Json.Int h.count);
+      ("mean", Json.of_float_opt (if h.count = 0 then None else Some (hist_mean h)));
+      ("p50", q 0.50);
+      ("p95", q 0.95);
+      ("p99", q 0.99);
+      ("max", q 1.0);
+    ]
+
 let to_json t =
   Json.Obj
     [
@@ -163,4 +238,5 @@ let to_json t =
           (List.map (fun (n, r) -> (n, Json.Int !r)) (table_to_list t.spans))
       );
       ("operators", Json.List (List.map op_to_json (ops t)));
+      ("histograms", Json.List (List.map hist_to_json (all_hists t)));
     ]

@@ -74,16 +74,56 @@ val timed :
 val find_op : t -> string -> op option
 val ops : t -> op list
 
+(** {2 Histograms}
+
+    A histogram records every observation exactly (values are unit-free;
+    the serving layer records milliseconds), so quantiles are exact
+    nearest-rank statistics rather than bucket approximations.  Like the
+    rest of a registry, a histogram is single-domain mutable state:
+    synchronise externally or record per-domain and {!merge}. *)
+
+type hist
+
+val hist : t -> string -> hist
+(** Find-or-create the histogram named [name]; insertion-ordered like
+    counters and operators. *)
+
+val observe : hist -> float -> unit
+
+val hist_name : hist -> string
+val hist_count : hist -> int
+
+val hist_values : hist -> float array
+(** A copy of the recorded observations, in recording order. *)
+
+val hist_quantile : hist -> float -> float
+(** Nearest-rank quantile ([0.5] = median, [1.0] = max); [nan] when the
+    histogram is empty.
+    @raise Invalid_argument if the rank is outside [[0, 1]]. *)
+
+val hist_mean : hist -> float
+(** Arithmetic mean; [nan] when empty. *)
+
+val find_hist : t -> string -> hist option
+val all_hists : t -> hist list
+
 (** {2 Merging} *)
 
 val merge : into:t -> t -> unit
 (** [merge ~into src] folds every record of [src] into [into]:
-    counters, spans, and operator fields accumulate; names unseen by
-    [into] are appended in [src]'s insertion order.  This is how
-    per-domain registries combine after a parallel region. *)
+    counters, spans, and operator fields accumulate, histogram samples
+    concatenate; names unseen by [into] are appended in [src]'s
+    insertion order.  This is how per-domain registries combine after a
+    parallel region. *)
 
 (** {2 Export} *)
 
 val op_to_json : op -> Json.t
+
+val hist_to_json : hist -> Json.t
+(** [{"name", "count", "mean", "p50", "p95", "p99", "max"}]; the
+    summary statistics are [null] for an empty histogram. *)
+
 val to_json : t -> Json.t
-(** [{"counters": {...}, "spans_ns": {...}, "operators": [...]}]. *)
+(** [{"counters": {...}, "spans_ns": {...}, "operators": [...],
+    "histograms": [...]}]. *)

@@ -1,14 +1,24 @@
 (* Fixed-size domain pool.  Workers park on a condition variable between
    jobs; a job is broadcast by bumping [generation], and the caller
    participates as worker 0 so a size-1 pool runs inline with no
-   domains, no locks taken on the job path.  See pool.mli for the
-   determinism contract parallel operators rely on. *)
+   domains, no locks taken on the job path.
+
+   Sharing (see pool.mli for the full contract): [run] is a region
+   scheduler.  External submitters serialise on [submit] — one parallel
+   region runs at a time, concurrent requests interleave between
+   regions — while a nested [run] from inside a job is detected via the
+   per-thread [active] table and executed inline on the calling worker
+   (the size-1 code path), which cannot deadlock and, because chunk
+   boundaries never depend on the worker count, returns byte-identical
+   results. *)
 
 type t = {
   domains : int;
   mutex : Mutex.t;
   work_ready : Condition.t; (* generation bumped, or quit *)
   work_done : Condition.t; (* pending reached 0 *)
+  submit : Mutex.t; (* serialises parallel regions across submitters *)
+  active : (int, int) Hashtbl.t; (* thread id -> job-nesting depth *)
   mutable job : (int -> unit) option;
   mutable generation : int;
   mutable pending : int; (* workers still inside the current job *)
@@ -17,6 +27,24 @@ type t = {
 }
 
 let size t = t.domains
+
+let thread_id () = Thread.id (Thread.self ())
+
+(* [mark]/[unmark] run with [t.mutex] held. *)
+let mark t id =
+  Hashtbl.replace t.active id
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.active id))
+
+let unmark t id =
+  match Hashtbl.find_opt t.active id with
+  | Some d when d > 1 -> Hashtbl.replace t.active id (d - 1)
+  | Some _ | None -> Hashtbl.remove t.active id
+
+let inside t =
+  Mutex.lock t.mutex;
+  let b = Hashtbl.mem t.active (thread_id ()) in
+  Mutex.unlock t.mutex;
+  b
 
 let worker_loop t w =
   let last_gen = ref 0 in
@@ -33,10 +61,13 @@ let worker_loop t w =
     else begin
       last_gen := t.generation;
       let job = match t.job with Some j -> j | None -> assert false in
+      let id = thread_id () in
+      mark t id;
       Mutex.unlock t.mutex;
       job w;
       (* [job] never raises: [run] wraps it. *)
       Mutex.lock t.mutex;
+      unmark t id;
       t.pending <- t.pending - 1;
       if t.pending = 0 then Condition.broadcast t.work_done;
       Mutex.unlock t.mutex
@@ -49,7 +80,8 @@ let create ?domains () =
     | None -> max 1 (min 64 (Domain.recommended_domain_count ()))
     | Some d ->
       if d < 1 then invalid_arg "Pool.create: domains < 1";
-      min d 64
+      if d > 64 then invalid_arg "Pool.create: domains > 64";
+      d
   in
   let t =
     {
@@ -57,6 +89,8 @@ let create ?domains () =
       mutex = Mutex.create ();
       work_ready = Condition.create ();
       work_done = Condition.create ();
+      submit = Mutex.create ();
+      active = Hashtbl.create 8;
       job = None;
       generation = 0;
       pending = 0;
@@ -87,30 +121,43 @@ let with_pool ?domains f =
 
 let run t job =
   if t.domains = 1 then job 0
+  else if inside t then
+    (* Nested region (submitted from inside a job of this pool): run it
+       inline on the calling worker.  Single-worker execution claims the
+       chunks of the nested region in index order, which is exactly the
+       size-1 pool behaviour — deterministic and deadlock-free. *)
+    job 0
   else begin
-    let first_exn = Atomic.make None in
-    let guarded w =
-      try job w
-      with e -> ignore (Atomic.compare_and_set first_exn None (Some e))
-    in
-    Mutex.lock t.mutex;
-    if t.quit then begin
-      Mutex.unlock t.mutex;
-      invalid_arg "Pool.run: pool is shut down"
-    end;
-    t.job <- Some guarded;
-    t.pending <- t.domains - 1;
-    t.generation <- t.generation + 1;
-    Condition.broadcast t.work_ready;
-    Mutex.unlock t.mutex;
-    guarded 0;
-    Mutex.lock t.mutex;
-    while t.pending > 0 do
-      Condition.wait t.work_done t.mutex
-    done;
-    t.job <- None;
-    Mutex.unlock t.mutex;
-    match Atomic.get first_exn with None -> () | Some e -> raise e
+    Mutex.lock t.submit;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.submit)
+      (fun () ->
+        let first_exn = Atomic.make None in
+        let guarded w =
+          try job w
+          with e -> ignore (Atomic.compare_and_set first_exn None (Some e))
+        in
+        Mutex.lock t.mutex;
+        if t.quit then begin
+          Mutex.unlock t.mutex;
+          invalid_arg "Pool.run: pool is shut down"
+        end;
+        t.job <- Some guarded;
+        t.pending <- t.domains - 1;
+        t.generation <- t.generation + 1;
+        let id = thread_id () in
+        mark t id;
+        Condition.broadcast t.work_ready;
+        Mutex.unlock t.mutex;
+        guarded 0;
+        Mutex.lock t.mutex;
+        unmark t id;
+        while t.pending > 0 do
+          Condition.wait t.work_done t.mutex
+        done;
+        t.job <- None;
+        Mutex.unlock t.mutex;
+        match Atomic.get first_exn with None -> () | Some e -> raise e)
   end
 
 let resolve_chunk t ~n chunk =

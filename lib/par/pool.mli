@@ -16,16 +16,28 @@
     pool must write results into per-chunk (or per-partition) slots and
     combine them in index order — every operator in [Dqo_par] does.
 
-    A pool is not re-entrant: calling {!run} (or anything built on it)
-    from inside a job deadlocks.  One pool per parallel region of the
-    engine is the intended shape. *)
+    {b Sharing.}  One pool can serve a whole process: {!run} is a
+    {e region scheduler}.  Parallel regions submitted by different
+    threads serialise on an internal submission lock — one region runs
+    at a time, and independent requests interleave between regions —
+    while a {e nested} [run] (submitted from inside a job of the same
+    pool) is detected per-thread and executed inline on the calling
+    worker, exactly the size-1 code path.  Both choices preserve the
+    determinism contract above: chunk boundaries never depend on the
+    worker count, so results are byte-identical for any pool size, any
+    nesting depth, and any interleaving of concurrent submitters.  This
+    is the alternative to a work-stealing pool: simpler, lock-ordered
+    (submission lock before pool lock, never the reverse), and
+    deadlock-free by construction. *)
 
 type t
 
 val create : ?domains:int -> unit -> t
 (** [create ~domains ()] spawns [domains - 1] workers (default
     [Domain.recommended_domain_count ()], clamped to [[1, 64]]).
-    @raise Invalid_argument if [domains < 1]. *)
+    @raise Invalid_argument if [domains < 1] or [domains > 64] — an
+    explicit upper bound rather than a silent clamp, so callers always
+    get exactly the pool size they asked for. *)
 
 val size : t -> int
 (** Total workers, including the calling domain. *)
@@ -41,7 +53,12 @@ val run : t -> (int -> unit) -> unit
 (** [run t job] executes [job w] once on every worker
     [w ∈ \[0, size t)] concurrently (the caller is worker [0]) and
     returns after all have finished.  The first exception raised by any
-    worker is re-raised after the barrier. *)
+    worker is re-raised after the barrier.
+
+    Re-entrant and shareable: called from inside a job of this pool,
+    the region runs inline on the calling worker ([job 0] only — the
+    deterministic size-1 path); called concurrently from several
+    threads, regions are serialised in submission order. *)
 
 val parallel_for :
   t -> ?chunk:int -> n:int -> (w:int -> lo:int -> hi:int -> unit) -> unit

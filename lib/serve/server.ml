@@ -1,0 +1,263 @@
+(* The serving front end: one long-lived pool, a bounded request queue,
+   and a pool of executor threads multiplexing prepared-statement
+   executions onto it.  See server.mli for the full contract.
+
+   Concurrency shape: executor threads and client threads are
+   systhreads sharing the main domain; the real parallelism lives in
+   the pool's worker domains.  An executor thread entering a parallel
+   region participates as the pool's worker 0 and blocks until the
+   barrier, at which point the runtime schedules another systhread —
+   so queueing, admission, and result collection stay responsive while
+   a region runs.  All server state below is guarded by [mutex]; the
+   executor drops the lock around the actual execution. *)
+
+module Engine = Dqo_engine.Engine
+module Metrics = Dqo_obs.Metrics
+module Pool = Dqo_par.Pool
+
+exception Session_closed
+exception Overloaded of { limit : int }
+
+type stmt = {
+  id : int;
+  sql : string;
+  mode : Engine.mode;
+  prepared : Engine.prepared;
+}
+
+type outcome = Pending | Done of Dqo_data.Relation.t | Failed of exn
+
+type ticket = {
+  server : server;
+  mutable outcome : outcome;
+  mutable collected : bool; (* admission slot already released *)
+}
+
+and request = { r_stmt : stmt; r_ticket : ticket; submitted_ns : int }
+
+and session = { s_id : int; s_server : server; mutable closed : bool }
+
+and server = {
+  eng : Engine.t;
+  pool : Pool.t;
+  limit : int;
+  mutex : Mutex.t;
+  have_work : Condition.t; (* queue non-empty, or stop *)
+  done_cond : Condition.t; (* some ticket completed *)
+  queue : request Queue.t;
+  cache : (string * Engine.mode, stmt) Hashtbl.t;
+  m : Metrics.t;
+  mutable inflight : int;
+  mutable next_session : int;
+  mutable next_stmt : int;
+  mutable stop : bool;
+  mutable threads_joined : bool;
+  mutable exec_threads : Thread.t list;
+}
+
+type t = server
+
+let ms_of_ns ns = Float.of_int ns /. 1e6
+
+(* Executor thread: pull a request, revalidate its plan against the
+   engine generation (under the lock — re-prepares are rare and must
+   not race each other), run it on the shared pool (lock dropped), then
+   publish the outcome and record the request's metrics. *)
+let rec worker_loop srv =
+  Mutex.lock srv.mutex;
+  while Queue.is_empty srv.queue && not srv.stop do
+    Condition.wait srv.have_work srv.mutex
+  done;
+  if Queue.is_empty srv.queue then (* stop, and the queue is drained *)
+    Mutex.unlock srv.mutex
+  else begin
+    let req = Queue.pop srv.queue in
+    let dequeued_ns = Metrics.now_ns () in
+    Metrics.observe
+      (Metrics.hist srv.m "serve.queue_wait_ms")
+      (ms_of_ns (dequeued_ns - req.submitted_ns));
+    if Engine.prepared_stale srv.eng req.r_stmt.prepared then begin
+      Engine.reprepare srv.eng req.r_stmt.prepared;
+      Metrics.incr srv.m "serve.replans"
+    end;
+    Mutex.unlock srv.mutex;
+    let outcome =
+      match
+        Engine.execute_prepared_on srv.eng ~pool:srv.pool req.r_stmt.prepared
+      with
+      | rel -> Done rel
+      | exception e -> Failed e
+    in
+    Mutex.lock srv.mutex;
+    Metrics.incr srv.m "serve.requests";
+    Metrics.observe
+      (Metrics.hist srv.m "serve.latency_ms")
+      (ms_of_ns (Metrics.now_ns () - req.submitted_ns));
+    (match outcome with
+    | Done rel ->
+      Metrics.incr srv.m ~by:(Dqo_data.Relation.cardinality rel)
+        "serve.rows_out"
+    | Failed _ -> Metrics.incr srv.m "serve.failed"
+    | Pending -> assert false);
+    req.r_ticket.outcome <- outcome;
+    Condition.broadcast srv.done_cond;
+    Mutex.unlock srv.mutex;
+    worker_loop srv
+  end
+
+let create ?(max_inflight = 64) ?(workers = 4) ?threads eng =
+  if max_inflight < 1 then invalid_arg "Server.create: max_inflight < 1";
+  if workers < 1 then invalid_arg "Server.create: workers < 1";
+  let domains =
+    match threads with Some n -> n | None -> (Engine.opts eng).Engine.threads
+  in
+  let srv =
+    {
+      eng;
+      pool = Pool.create ~domains ();
+      limit = max_inflight;
+      mutex = Mutex.create ();
+      have_work = Condition.create ();
+      done_cond = Condition.create ();
+      queue = Queue.create ();
+      cache = Hashtbl.create 32;
+      m = Metrics.create ();
+      inflight = 0;
+      next_session = 0;
+      next_stmt = 0;
+      stop = false;
+      threads_joined = false;
+      exec_threads = [];
+    }
+  in
+  srv.exec_threads <-
+    List.init workers (fun _ -> Thread.create worker_loop srv);
+  srv
+
+let shutdown srv =
+  Mutex.lock srv.mutex;
+  srv.stop <- true;
+  Condition.broadcast srv.have_work;
+  let join = not srv.threads_joined in
+  srv.threads_joined <- true;
+  Mutex.unlock srv.mutex;
+  if join then begin
+    List.iter Thread.join srv.exec_threads;
+    srv.exec_threads <- [];
+    Pool.shutdown srv.pool
+  end
+
+let engine srv = srv.eng
+let pool_size srv = Pool.size srv.pool
+let max_inflight srv = srv.limit
+
+let in_flight srv =
+  Mutex.lock srv.mutex;
+  let n = srv.inflight in
+  Mutex.unlock srv.mutex;
+  n
+
+let metrics srv = srv.m
+
+(* --- sessions ------------------------------------------------------- *)
+
+let open_session srv =
+  Mutex.lock srv.mutex;
+  srv.next_session <- srv.next_session + 1;
+  let s = { s_id = srv.next_session; s_server = srv; closed = false } in
+  Metrics.incr srv.m "serve.sessions";
+  Mutex.unlock srv.mutex;
+  s
+
+let session_id s = s.s_id
+
+let close_session s =
+  let srv = s.s_server in
+  Mutex.lock srv.mutex;
+  s.closed <- true;
+  Mutex.unlock srv.mutex
+
+let check_open s = if s.closed then raise Session_closed
+
+(* --- prepared-statement cache ---------------------------------------- *)
+
+let prepare s ?mode sql =
+  let srv = s.s_server in
+  Mutex.lock srv.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock srv.mutex)
+    (fun () ->
+      check_open s;
+      let mode =
+        match mode with Some m -> m | None -> (Engine.opts srv.eng).Engine.mode
+      in
+      match Hashtbl.find_opt srv.cache (sql, mode) with
+      | Some st ->
+        Metrics.incr srv.m "serve.cache_hits";
+        (* Revalidate eagerly so prepare-time errors surface here and
+           the hot submit path usually finds a fresh plan. *)
+        if Engine.prepared_stale srv.eng st.prepared then begin
+          Engine.reprepare srv.eng st.prepared;
+          Metrics.incr srv.m "serve.replans"
+        end;
+        st
+      | None ->
+        Metrics.incr srv.m "serve.cache_misses";
+        srv.next_stmt <- srv.next_stmt + 1;
+        let st =
+          {
+            id = srv.next_stmt;
+            sql;
+            mode;
+            prepared = Engine.prepare srv.eng ~mode sql;
+          }
+        in
+        Hashtbl.add srv.cache (sql, mode) st;
+        st)
+
+let stmt_id st = st.id
+let stmt_sql st = st.sql
+
+(* --- execution -------------------------------------------------------- *)
+
+let submit s st =
+  let srv = s.s_server in
+  Mutex.lock srv.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock srv.mutex)
+    (fun () ->
+      check_open s;
+      if srv.stop then invalid_arg "Server.submit: server is shut down";
+      if srv.inflight >= srv.limit then begin
+        Metrics.incr srv.m "serve.rejected";
+        raise (Overloaded { limit = srv.limit })
+      end;
+      srv.inflight <- srv.inflight + 1;
+      let ticket = { server = srv; outcome = Pending; collected = false } in
+      Queue.push
+        { r_stmt = st; r_ticket = ticket; submitted_ns = Metrics.now_ns () }
+        srv.queue;
+      Condition.signal srv.have_work;
+      ticket)
+
+let pending ticket =
+  match ticket.outcome with Pending -> true | Done _ | Failed _ -> false
+
+let await ticket =
+  let srv = ticket.server in
+  Mutex.lock srv.mutex;
+  while pending ticket do
+    Condition.wait srv.done_cond srv.mutex
+  done;
+  if not ticket.collected then begin
+    ticket.collected <- true;
+    srv.inflight <- srv.inflight - 1
+  end;
+  let outcome = ticket.outcome in
+  Mutex.unlock srv.mutex;
+  match outcome with
+  | Done rel -> rel
+  | Failed e -> raise e
+  | Pending -> assert false
+
+let execute s st = await (submit s st)

@@ -1,0 +1,36 @@
+(** Line-oriented wire protocol for [dqo serve].
+
+    One command per line on the input channel, one or more response
+    lines on the output channel; every response batch is flushed before
+    the next command is read, so the loop is drivable from a pipe.
+
+    Commands (case-insensitive keyword, space-separated operands):
+
+    - [open] → [ok session <sid>]
+    - [close <sid>] → [ok closed <sid>]
+    - [prepare <sid> <sql...>] → [ok stmt <id>] (the id is the
+      server-wide cache entry: preparing the same SQL twice — from any
+      session — returns the same id)
+    - [exec <sid> <stmt>] → synchronous execution:
+      [result rows=<n> cols=<k> sum=<digest>], then one tab-separated
+      line per row, then [end]
+    - [submit <sid> <stmt>] → [ok ticket <tid>] immediately (the
+      request runs concurrently), or [error overloaded limit=<n>]
+    - [wait <tid>] → [result ticket=<tid> rows=<n> cols=<k>
+      sum=<digest>] (digest only — pair with [exec] to fetch rows)
+    - [stats] → one [ok stats requests=... rejected=... p50_ms=...
+      p95_ms=... p99_ms=...] line
+    - [quit] → [ok bye] and the loop returns
+
+    Malformed input answers a single [error <reason>] line and keeps
+    serving.  [sum] is a deterministic hex digest of the full relation
+    (schema order, row order), so concurrent executions of the same
+    statement can be asserted identical without shipping rows. *)
+
+val digest : Dqo_data.Relation.t -> string
+(** Deterministic content digest (row count, column count, and every
+    value, in order), rendered as hex. *)
+
+val serve : Server.t -> in_channel -> out_channel -> unit
+(** Run the command loop until [quit] or end of input.  The server is
+    {e not} shut down on return — the caller owns its lifecycle. *)

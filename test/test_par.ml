@@ -25,6 +25,9 @@ let test_pool_create () =
   Alcotest.check_raises "domains < 1 rejected"
     (Invalid_argument "Pool.create: domains < 1") (fun () ->
       ignore (Pool.create ~domains:0 ()));
+  Alcotest.check_raises "domains > 64 rejected"
+    (Invalid_argument "Pool.create: domains > 64") (fun () ->
+      ignore (Pool.create ~domains:65 ()));
   (* shutdown is idempotent. *)
   let p = Pool.create ~domains:2 () in
   Pool.shutdown p;
@@ -98,6 +101,85 @@ let test_exception_propagates () =
       Alcotest.check_raises "parallel_for body exception" (Failure "body")
         (fun () ->
           Pool.parallel_for p ~n:10 (fun ~w:_ ~lo:_ ~hi:_ -> failwith "body")))
+
+(* --- pool sharing ------------------------------------------------------ *)
+
+(* A nested region from inside a job must run inline (size-1 path)
+   rather than deadlock on the pool's own workers. *)
+let test_nested_run_no_deadlock () =
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun p ->
+          let outer = Array.make 1_000 0 in
+          Pool.parallel_for p ~n:1_000 (fun ~w:_ ~lo ~hi ->
+              let inner = Array.make 10 0 in
+              Pool.parallel_for p ~n:10 (fun ~w:_ ~lo ~hi ->
+                  for i = lo to hi do
+                    inner.(i) <- inner.(i) + 1
+                  done);
+              Alcotest.(check (array int))
+                "inner region covered once" (Array.make 10 1) inner;
+              for i = lo to hi do
+                outer.(i) <- outer.(i) + 1
+              done);
+          Alcotest.(check (array int))
+            (Printf.sprintf "outer region covered once at %d domains" domains)
+            (Array.make 1_000 1) outer))
+    [ 2; 3; 4; 8 ]
+
+(* Several systhreads submitting regions to one pool: regions serialise,
+   each covers its own range exactly once, nobody deadlocks. *)
+let test_concurrent_submitters () =
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun p ->
+          let submitters = 6 and n = 2_000 in
+          let seen = Array.init submitters (fun _ -> Array.make n 0) in
+          let submitter t =
+            for _ = 1 to 5 do
+              Pool.parallel_for p ~n (fun ~w:_ ~lo ~hi ->
+                  for i = lo to hi do
+                    seen.(t).(i) <- seen.(t).(i) + 1
+                  done)
+            done
+          in
+          List.iter Thread.join
+            (List.init submitters (fun t -> Thread.create submitter t));
+          Array.iteri
+            (fun t a ->
+              Alcotest.(check (array int))
+                (Printf.sprintf "submitter %d covered 5x at %d domains" t
+                   domains)
+                (Array.make n 5) a)
+            seen))
+    [ 2; 4; 8 ]
+
+(* One long-lived pool reused across many executions returns exactly the
+   relation a fresh pool (and the sequential path) returns. *)
+let test_pool_reuse_byte_identical () =
+  let db = Dqo_engine.Engine.create () in
+  let rng = Rng.create ~seed:3 in
+  let pair =
+    Datagen.fk_pair ~rng ~r_rows:2_500 ~s_rows:9_000 ~r_groups:2_000
+      ~r_sorted:false ~s_sorted:false ~dense:true
+  in
+  Dqo_engine.Engine.register db ~name:"R" pair.Datagen.r;
+  Dqo_engine.Engine.register db ~name:"S" pair.Datagen.s;
+  let sql = "SELECT a, COUNT(*) AS c FROM R JOIN S ON id = r_id GROUP BY a" in
+  let p = Dqo_engine.Engine.prepare db sql in
+  let plan = (Dqo_engine.Engine.prepared_entry p).Dqo_opt.Pareto.plan in
+  let sequential = Dqo_engine.Engine.execute db plan in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          for i = 1 to 5 do
+            Alcotest.(check bool)
+              (Printf.sprintf "reuse %d at %d domains byte-identical" i
+                 domains)
+              true
+              (Dqo_engine.Engine.execute_on db ~pool plan = sequential)
+          done))
+    [ 1; 2; 4; 8 ]
 
 (* --- grouping determinism --------------------------------------------- *)
 
@@ -356,6 +438,15 @@ let () =
             test_map_reduce_chunk_order;
           Alcotest.test_case "exceptions propagate" `Quick
             test_exception_propagates;
+        ] );
+      ( "sharing",
+        [
+          Alcotest.test_case "nested run no deadlock" `Quick
+            test_nested_run_no_deadlock;
+          Alcotest.test_case "concurrent submitters" `Quick
+            test_concurrent_submitters;
+          Alcotest.test_case "pool reuse byte-identical" `Quick
+            test_pool_reuse_byte_identical;
         ] );
       ( "grouping",
         [
