@@ -36,6 +36,7 @@ module Stats = Dqo_util.Stats
 let fig4_records : Json.t list ref = ref []
 let fig5_records : Json.t list ref = ref []
 let scaling_records : Json.t list ref = ref []
+let opt_scaling_records : Json.t list ref = ref []
 let serve_records : Json.t list ref = ref []
 
 (* ------------------------------------------------------------------ *)
@@ -609,6 +610,137 @@ let parallel_scaling ~rows ~threads =
     (Domain.recommended_domain_count ())
 
 (* ------------------------------------------------------------------ *)
+(* Optimiser scaling: parallel DP plan search, speedup vs domains.     *)
+
+(* A star join around a hub: the hub connects to every satellite, so
+   every relation subset containing the hub is connected — 2^(k-1)
+   live DP subproblems, the densest join graph a predicate-per-join
+   logical tree can express.  Column names are globally unique so the
+   search's column -> leaf resolution is unambiguous. *)
+let opt_scaling_catalog ~relations =
+  let hub_props =
+    {
+      Props.sorted_by = Some "hub_k";
+      clustered_by = Some "hub_k";
+      columns =
+        ("hub_k", col ~dense:true ~lo:0 ~hi:9_999 ~distinct:10_000)
+        :: List.init (relations - 1) (fun i ->
+               ( Printf.sprintf "hub_f%d" (i + 1),
+                 col ~dense:true ~lo:0 ~hi:9_999 ~distinct:10_000 ));
+      co_ordered = [];
+    }
+  in
+  let sat_props i =
+    let name = Printf.sprintf "sat%d_k" i in
+    {
+      (* Alternate sortedness so interesting orders differ per leaf and
+         the Pareto frontiers stay plural. *)
+      Props.sorted_by = (if i mod 2 = 0 then Some name else None);
+      clustered_by = (if i mod 2 = 0 then Some name else None);
+      columns =
+        [ (name, col ~dense:true ~lo:0 ~hi:9_999 ~distinct:10_000) ];
+      co_ordered = [];
+    }
+  in
+  Catalog.create
+    (Catalog.table ~name:"Hub" ~rows:10_000 ~props:hub_props
+    :: List.init (relations - 1) (fun i ->
+           Catalog.table
+             ~name:(Printf.sprintf "Sat%d" (i + 1))
+             ~rows:(20_000 + (10_000 * i))
+             ~props:(sat_props (i + 1))))
+
+let opt_scaling_query ~relations =
+  let rec build acc i =
+    if i >= relations then acc
+    else
+      build
+        (Logical.join acc
+           (Logical.scan (Printf.sprintf "Sat%d" i))
+           ~on:(Printf.sprintf "hub_f%d" i, Printf.sprintf "sat%d_k" i))
+        (i + 1)
+  in
+  Logical.group_by
+    (build (Logical.scan "Hub") 1)
+    ~key:"hub_k"
+    [ Logical.count_star () ]
+
+let optimizer_scaling ~threads =
+  let relations = 7 in
+  Printf.printf
+    "-- Optimiser scaling: parallel DP plan search, %d-relation star join \
+     --\n"
+    relations;
+  let catalog = opt_scaling_catalog ~relations in
+  let query = opt_scaling_query ~relations in
+  (* Molecule-level enumeration (deep model) is the expensive — and
+     paper-relevant — search; it is what parallel DP has to pay for. *)
+  let optimize ?pool () =
+    Search.optimize_entries ~model:Model.deep ?pool Search.Deep catalog query
+  in
+  let base_entries, base_stats = optimize () in
+  let base_plan =
+    Format.asprintf "%a" Physical.pp (Pareto.cheapest base_entries).Pareto.plan
+  in
+  Printf.printf
+    "   query: %d-way join + GROUP BY; %d plans considered, %d DP levels\n"
+    relations base_stats.Search.plans_considered
+    (List.length base_stats.Search.levels);
+  let table =
+    Table_printer.create ~header:[ "domains"; "median ms"; "speedup vs 1" ]
+  in
+  let base = ref Float.nan in
+  List.iter
+    (fun domains ->
+      Dqo_par.Pool.with_pool ~domains (fun pool ->
+          let (entries, stats), samples =
+            Timer.times ~repeats:5 (fun () -> optimize ~pool ())
+          in
+          let plan =
+            Format.asprintf "%a" Physical.pp
+              (Pareto.cheapest entries).Pareto.plan
+          in
+          let identical =
+            String.equal plan base_plan
+            && List.length entries = List.length base_entries
+            && List.for_all2
+                 (fun (a : Search.level_stat) (b : Search.level_stat) ->
+                   a.Search.level_kept = b.Search.level_kept)
+                 stats.Search.levels base_stats.Search.levels
+          in
+          if not identical then
+            Printf.printf "   WARNING: domains=%d diverged from domains=1!\n"
+              domains;
+          let median_ms = Stats.median samples in
+          if domains = 1 then base := median_ms;
+          let speedup = !base /. median_ms in
+          opt_scaling_records :=
+            Json.Obj
+              [
+                ("relations", Json.Int relations);
+                ("domains", Json.Int domains);
+                ("median_ms", Json.Float median_ms);
+                ("speedup_vs_1", Json.Float speedup);
+                ("plans_considered", Json.Int stats.Search.plans_considered);
+                ("pareto_kept", Json.Int stats.Search.pareto_kept);
+                ("plan_identical", Json.Bool identical);
+              ]
+            :: !opt_scaling_records;
+          Table_printer.add_row table
+            [
+              string_of_int domains;
+              Printf.sprintf "%.1f" median_ms;
+              Printf.sprintf "%.2fx" speedup;
+            ]))
+    (List.filter (fun d -> d <= threads) [ 1; 2; 4; 8 ]);
+  Table_printer.print table;
+  Printf.printf
+    "Chosen plan, costs, and per-level Pareto counts are byte-identical\n\
+     across domain counts; speedup needs as many online CPUs as domains\n\
+     (this host reports %d).\n\n"
+    (Domain.recommended_domain_count ())
+
+(* ------------------------------------------------------------------ *)
 (* Serving throughput: closed-loop clients against one shared server.  *)
 
 let serve_quantile sorted q =
@@ -765,6 +897,7 @@ let () =
   let abl = ref None in
   let run_bechamel = ref false in
   let run_scaling = ref false in
+  let run_opt_scaling = ref false in
   let run_serve = ref false in
   let clients = ref 4 in
   let requests = ref 50 in
@@ -783,6 +916,13 @@ let () =
             run_scaling := true;
             all := false),
         "  run the parallel-scaling sweep (domains 1,2,4,8 up to --threads)" );
+      ( "--opt-scaling",
+        Arg.Unit
+          (fun () ->
+            run_opt_scaling := true;
+            all := false),
+        "  run the optimiser-scaling sweep: parallel DP plan search \
+         (domains 1,2,4,8 up to --threads)" );
       ( "--figure",
         Arg.Int
           (fun i ->
@@ -852,6 +992,7 @@ let () =
   | Some other -> Printf.printf "unknown ablation %s\n" other
   | None -> ());
   if !run_scaling then parallel_scaling ~rows:(min rows 4_000_000) ~threads:!threads;
+  if !run_opt_scaling then optimizer_scaling ~threads:!threads;
   if !run_serve then
     bench_serve ~threads:(max 1 !threads) ~clients:!clients
       ~requests:!requests;
@@ -869,22 +1010,24 @@ let () =
     ablation_online ~rows:(min rows 4_000_000);
     ablation_layout ~rows:(min rows 4_000_000);
     parallel_scaling ~rows:(min rows 4_000_000) ~threads:!threads;
+    optimizer_scaling ~threads:!threads;
     bechamel ~rows:(min rows 200_000)
   end;
   match !json_path with
   | None -> ()
   | Some path ->
-    (* schema_version 3: adds "serving" (v2 added "threads" and
-       "parallel_scaling"). *)
+    (* schema_version 4: adds "optimizer_scaling" (v3 added "serving";
+       v2 added "threads" and "parallel_scaling"). *)
     Json.to_file path
       (Json.Obj
          [
-           ("schema_version", Json.Int 3);
+           ("schema_version", Json.Int 4);
            ("rows", Json.Int rows);
            ("threads", Json.Int !threads);
            ("figure4", Json.List (List.rev !fig4_records));
            ("figure5", Json.List (List.rev !fig5_records));
            ("parallel_scaling", Json.List (List.rev !scaling_records));
+           ("optimizer_scaling", Json.List (List.rev !opt_scaling_records));
            ("serving", Json.List (List.rev !serve_records));
          ]);
     Printf.printf "measurements written to %s\n" path

@@ -100,6 +100,10 @@ let explain_cmd =
   let action sql analyze mode threads json r_rows s_rows groups sorted sparse
       seed =
     let db = make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~seed in
+    (* [--threads n] also parallelises the plan search itself: the
+       SQO-vs-DQO comparison below picks the option up from the engine
+       handle.  The report is byte-identical for any thread count. *)
+    Dqo_engine.Engine.set_opts db { Dqo_engine.Engine.mode; threads };
     if analyze then begin
       let a =
         Dqo_engine.Engine.explain_analyze db ~mode ~threads

@@ -15,10 +15,11 @@ echo "== bench --json smoke =="
 out="$(mktemp -t bench_smoke_XXXXXX.json)"
 trap 'rm -f "$out"' EXIT
 dune exec bench/main.exe -- --rows 20000 --figure 4 --figure 5 --scaling \
-  --serve --clients 2 --requests 3 --threads 2 --json "$out" > /dev/null
+  --opt-scaling --serve --clients 2 --requests 3 --threads 2 \
+  --json "$out" > /dev/null
 
 test -s "$out" || { echo "ci: $out is empty" >&2; exit 1; }
-grep -q '"schema_version": 3' "$out" || { echo "ci: missing schema_version 3" >&2; exit 1; }
+grep -q '"schema_version": 4' "$out" || { echo "ci: missing schema_version 4" >&2; exit 1; }
 grep -q '"threads": 2' "$out" || { echo "ci: missing threads" >&2; exit 1; }
 grep -q '"figure4"' "$out" || { echo "ci: missing figure4" >&2; exit 1; }
 grep -q '"figure5"' "$out" || { echo "ci: missing figure5" >&2; exit 1; }
@@ -26,6 +27,12 @@ grep -q '"median_ms"' "$out" || { echo "ci: figure4 has no measurements" >&2; ex
 grep -q '"factor_dense"' "$out" || { echo "ci: figure5 has no factors" >&2; exit 1; }
 grep -q '"parallel_scaling"' "$out" || { echo "ci: missing parallel_scaling" >&2; exit 1; }
 grep -q '"speedup_vs_1"' "$out" || { echo "ci: scaling sweep has no speedups" >&2; exit 1; }
+grep -q '"optimizer_scaling"' "$out" || { echo "ci: missing optimizer_scaling" >&2; exit 1; }
+grep -q '"plans_considered"' "$out" || { echo "ci: optimiser sweep has no search stats" >&2; exit 1; }
+grep -q '"plan_identical": true' "$out" || { echo "ci: optimiser sweep recorded no identity checks" >&2; exit 1; }
+if grep -q '"plan_identical": false' "$out"; then
+  echo "ci: parallel DP search diverged" >&2; exit 1
+fi
 grep -q '"serving"' "$out" || { echo "ci: missing serving sweep" >&2; exit 1; }
 grep -q '"p95_ms"' "$out" || { echo "ci: serving sweep has no latencies" >&2; exit 1; }
 if command -v python3 > /dev/null 2>&1; then
@@ -35,6 +42,16 @@ fi
 echo "== dqo run --threads 2 smoke =="
 dune exec bin/dqo.exe -- run --threads 2 --r-rows 2000 --s-rows 6000 \
   --groups 1500 > /dev/null
+
+echo "== dqo explain --threads 2 smoke =="
+# The parallel plan search must produce byte-identical reports.
+ex1="$(dune exec bin/dqo.exe -- explain --threads 1 --r-rows 2000 \
+  --s-rows 6000 --groups 1500)"
+ex2="$(dune exec bin/dqo.exe -- explain --threads 2 --r-rows 2000 \
+  --s-rows 6000 --groups 1500)"
+test -n "$ex1" || { echo "ci: explain produced no output" >&2; exit 1; }
+test "$ex1" = "$ex2" \
+  || { echo "ci: explain differs between --threads 1 and --threads 2" >&2; exit 1; }
 
 echo "== dqo serve --threads 2 smoke =="
 serve_out="$(mktemp -t serve_smoke_XXXXXX.txt)"

@@ -87,13 +87,27 @@ let relation t name =
 
 let catalog t = t.catalog
 
-let plan t mode l =
+(* Planning honours the same parallel-runtime conventions as execution:
+   an explicit [?pool] (e.g. the server's long-lived pool) wins, then a
+   [?threads] override, then [opts.threads]; the DP search fans its
+   levels over the pool and returns byte-identical plans either way. *)
+let plan t ?pool ?threads mode l =
   let search_mode =
     match mode with SQO -> Dqo_opt.Search.Shallow | DQO -> Dqo_opt.Search.Deep
   in
-  Dqo_opt.Search.optimize ~model:t.model search_mode t.catalog l
+  match pool with
+  | Some _ -> Dqo_opt.Search.optimize ~model:t.model ?pool search_mode t.catalog l
+  | None ->
+    let threads = resolve_threads t threads in
+    if threads < 1 then invalid_arg "Engine.plan: threads < 1";
+    if threads = 1 then
+      Dqo_opt.Search.optimize ~model:t.model search_mode t.catalog l
+    else
+      Dqo_par.Pool.with_pool ~domains:threads (fun pool ->
+          Dqo_opt.Search.optimize ~model:t.model ~pool search_mode t.catalog l)
 
-let plan_sql t mode sql = plan t mode (Dqo_sql.Binder.plan_of_sql t.catalog sql)
+let plan_sql t ?pool ?threads mode sql =
+  plan t ?pool ?threads mode (Dqo_sql.Binder.plan_of_sql t.catalog sql)
 
 (* ------------------------------------------------------------------ *)
 (* Execution.                                                          *)
@@ -429,16 +443,30 @@ let execute t ?threads p =
 let execute_on t ~pool p = execute_in t ~pool p
 
 let run t ?mode ?threads l =
-  let chosen = plan t (resolve_mode t mode) l in
-  execute t ?threads chosen.Dqo_opt.Pareto.plan
+  let mode = resolve_mode t mode in
+  let threads = resolve_threads t threads in
+  (* execute's label: run has always surfaced thread validation under
+     the execute contract, and callers pin that message. *)
+  if threads < 1 then invalid_arg "Engine.execute: threads < 1";
+  if threads = 1 then
+    execute_in t (plan t ~threads:1 mode l).Dqo_opt.Pareto.plan
+  else
+    (* One pool serves both phases: the search fans DP levels over it,
+       then the chosen plan executes on the same domains. *)
+    Dqo_par.Pool.with_pool ~domains:threads (fun pool ->
+        execute_in t ~pool (plan t ~pool mode l).Dqo_opt.Pareto.plan)
 
 (* ------------------------------------------------------------------ *)
 (* EXPLAIN ANALYZE: execute a plan node by node, annotating each with
    actual rows and cumulative wall time, and recording per-operator
    metrics into an observability registry.                             *)
 
-let execute_analyzed t ?metrics ?threads (p : Physical.t) =
-  let threads = resolve_threads t threads in
+let execute_analyzed t ?metrics ?pool:shared_pool ?threads (p : Physical.t) =
+  let threads =
+    match shared_pool with
+    | Some pool -> Dqo_par.Pool.size pool
+    | None -> resolve_threads t threads
+  in
   if threads < 1 then invalid_arg "Engine.execute_analyzed: threads < 1";
   let m =
     match metrics with Some m -> m | None -> Dqo_obs.Metrics.create ()
@@ -495,9 +523,12 @@ let execute_analyzed t ?metrics ?threads (p : Physical.t) =
   in
   go p
   in
-  if threads = 1 then analyze ()
-  else
-    Dqo_par.Pool.with_pool ~domains:threads (fun pool -> analyze ~pool ())
+  match shared_pool with
+  | Some pool -> analyze ~pool ()
+  | None ->
+    if threads = 1 then analyze ()
+    else
+      Dqo_par.Pool.with_pool ~domains:threads (fun pool -> analyze ~pool ())
 
 type analysis = {
   entry : Dqo_opt.Pareto.entry;
@@ -513,16 +544,28 @@ let explain_analyze t ?mode ?threads l =
     | SQO -> Dqo_opt.Search.Shallow
     | DQO -> Dqo_opt.Search.Deep
   in
-  let entries, search_stats =
-    Dqo_opt.Search.optimize_entries ~model:t.model search_mode t.catalog l
-  in
-  let entry = Dqo_opt.Pareto.cheapest entries in
+  let threads = resolve_threads t threads in
+  if threads < 1 then invalid_arg "Engine.explain_analyze: threads < 1";
   let metrics = Dqo_obs.Metrics.create () in
-  let result, root =
-    Dqo_obs.Metrics.span metrics "execute" (fun () ->
-        execute_analyzed t ~metrics ?threads entry.Dqo_opt.Pareto.plan)
+  (* One pool for both phases: the DP search records its [opt.dp.*]
+     counters and per-level timings, then the plan executes on the same
+     domains. *)
+  let go ?pool () =
+    let entries, search_stats =
+      Dqo_obs.Metrics.span metrics "optimize" (fun () ->
+          Dqo_opt.Search.optimize_entries ~model:t.model ?pool ~metrics
+            search_mode t.catalog l)
+    in
+    let entry = Dqo_opt.Pareto.cheapest entries in
+    let result, root =
+      Dqo_obs.Metrics.span metrics "execute" (fun () ->
+          execute_analyzed t ~metrics ?pool ~threads
+            entry.Dqo_opt.Pareto.plan)
+    in
+    { entry; root; result; search_stats; metrics }
   in
-  { entry; root; result; search_stats; metrics }
+  if threads = 1 then go ()
+  else Dqo_par.Pool.with_pool ~domains:threads (fun pool -> go ~pool ())
 
 let explain_analyze_sql t ?mode ?threads sql =
   let a =
@@ -607,12 +650,12 @@ exception
     engine_generation : int;
   }
 
-let prepare t ?mode sql =
+let prepare t ?pool ?mode sql =
   let mode = resolve_mode t mode in
   {
     p_sql = sql;
     p_mode = mode;
-    entry = plan t mode (Dqo_sql.Binder.plan_of_sql t.catalog sql);
+    entry = plan t ?pool mode (Dqo_sql.Binder.plan_of_sql t.catalog sql);
     p_generation = t.generation;
   }
 
@@ -622,15 +665,17 @@ let prepared_mode p = p.p_mode
 let prepared_generation p = p.p_generation
 let prepared_stale t p = p.p_generation <> t.generation
 
-let reprepare t p =
-  p.entry <- plan t p.p_mode (Dqo_sql.Binder.plan_of_sql t.catalog p.p_sql);
+let reprepare t ?pool p =
+  p.entry <-
+    plan t ?pool p.p_mode (Dqo_sql.Binder.plan_of_sql t.catalog p.p_sql);
   p.p_generation <- t.generation
 
 (* Shared lifecycle gate: a prepared plan from an older catalog
-   generation either re-optimises in place (opt-in) or raises. *)
-let check_prepared t ~reprepare:re p =
+   generation either re-optimises in place (opt-in) or raises.  A
+   replan triggered while serving runs on the caller's pool. *)
+let check_prepared t ?pool ~reprepare:re p =
   if prepared_stale t p then begin
-    if re then reprepare t p
+    if re then reprepare t ?pool p
     else
       raise
         (Stale_plan
@@ -646,7 +691,7 @@ let execute_prepared t ?(reprepare = false) ?threads p =
   execute t ?threads p.entry.Dqo_opt.Pareto.plan
 
 let execute_prepared_on t ~pool ?(reprepare = false) p =
-  check_prepared t ~reprepare p;
+  check_prepared t ~pool ~reprepare p;
   execute_on t ~pool p.entry.Dqo_opt.Pareto.plan
 
 (* ------------------------------------------------------------------ *)
@@ -705,7 +750,10 @@ let run_with_views t l =
 
 let explain_sql t sql =
   let l = Dqo_sql.Binder.plan_of_sql t.catalog sql in
-  Dqo_opt.Explain.comparison ~model:t.model t.catalog l
+  if t.opts.threads > 1 then
+    Dqo_par.Pool.with_pool ~domains:t.opts.threads (fun pool ->
+        Dqo_opt.Explain.comparison ~model:t.model ~pool t.catalog l)
+  else Dqo_opt.Explain.comparison ~model:t.model t.catalog l
 
 let install_av t (v : Dqo_av.View.t) =
   (match v.Dqo_av.View.kind with

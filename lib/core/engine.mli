@@ -60,10 +60,27 @@ val relation : t -> string -> Dqo_data.Relation.t
 
 val catalog : t -> Dqo_opt.Catalog.t
 
-val plan : t -> mode -> Dqo_plan.Logical.t -> Dqo_opt.Pareto.entry
-(** Optimise a logical plan without executing it. *)
+val plan :
+  t ->
+  ?pool:Dqo_par.Pool.t ->
+  ?threads:int ->
+  mode ->
+  Dqo_plan.Logical.t ->
+  Dqo_opt.Pareto.entry
+(** Optimise a logical plan without executing it.  The DP search fans
+    its per-cardinality levels over a domain pool: an explicit [?pool]
+    (e.g. a server's long-lived pool) wins, else [?threads] (a
+    per-call pool), else the handle's {!opts}.  The chosen plan is
+    byte-identical for any pool size.
+    @raise Invalid_argument if [threads < 1]. *)
 
-val plan_sql : t -> mode -> string -> Dqo_opt.Pareto.entry
+val plan_sql :
+  t ->
+  ?pool:Dqo_par.Pool.t ->
+  ?threads:int ->
+  mode ->
+  string ->
+  Dqo_opt.Pareto.entry
 
 val execute : t -> ?threads:int -> Dqo_plan.Physical.t -> Dqo_data.Relation.t
 (** Run a physical plan against the stored relations.  With
@@ -86,16 +103,20 @@ val execute_on :
 
 val run : t -> ?mode:mode -> ?threads:int -> Dqo_plan.Logical.t -> Dqo_data.Relation.t
 (** Optimise and execute; [mode]/[threads] default to the handle's
-    {!opts}. *)
+    {!opts}.  With [threads > 1] one pool serves both phases: the DP
+    search fans its levels over it, then the chosen plan executes on
+    the same domains. *)
 
 val run_sql : t -> ?mode:mode -> ?threads:int -> string -> Dqo_data.Relation.t
 
 val explain_sql : t -> string -> string
-(** SQO-vs-DQO comparison report for the query. *)
+(** SQO-vs-DQO comparison report for the query; both searches run over
+    a pool when the handle's {!opts} ask for more than one thread. *)
 
 val execute_analyzed :
   t ->
   ?metrics:Dqo_obs.Metrics.t ->
+  ?pool:Dqo_par.Pool.t ->
   ?threads:int ->
   Dqo_plan.Physical.t ->
   Dqo_data.Relation.t * Dqo_opt.Explain.analyzed
@@ -106,7 +127,8 @@ val execute_analyzed :
     (so node labels carry [[dop=n]]) and executed over an [n]-domain
     pool; each domain records into a private registry merged into
     [metrics] after the barrier, keeping the numbers correct under
-    parallelism. *)
+    parallelism.  An explicit [?pool] reuses a caller-owned pool
+    instead of creating one (its size supplies the [dop]). *)
 
 type analysis = {
   entry : Dqo_opt.Pareto.entry;  (** The chosen plan with its cost. *)
@@ -120,7 +142,9 @@ type analysis = {
 val explain_analyze :
   t -> ?mode:mode -> ?threads:int -> Dqo_plan.Logical.t -> analysis
 (** Optimise (default [DQO]), execute with {!execute_analyzed}, and
-    return the full analysis. *)
+    return the full analysis.  With [threads > 1] one pool serves both
+    phases; the optimiser's [opt.dp.*] counters and per-level wall
+    times land in [metrics] alongside the executor's. *)
 
 val explain_analyze_sql : t -> ?mode:mode -> ?threads:int -> string -> string
 (** {!explain_analyze} on parsed SQL, rendered with
@@ -169,9 +193,10 @@ val av_generation : t -> int
 (** Physical-design generation: starts at 0, bumped by every
     {!register} and {!install_av}. *)
 
-val prepare : t -> ?mode:mode -> string -> prepared
+val prepare : t -> ?pool:Dqo_par.Pool.t -> ?mode:mode -> string -> prepared
 (** Parse, bind and optimise once ([mode] defaults to the handle's
-    {!opts}).
+    {!opts}).  Optimisation runs through {!plan}: it parallelises over
+    [?pool] when given, else over the handle's [opts.threads].
     @raise Dqo_sql.Parser.Error / Dqo_sql.Binder.Error on bad SQL. *)
 
 val prepared_entry : prepared -> Dqo_opt.Pareto.entry
@@ -186,9 +211,10 @@ val prepared_generation : prepared -> int
 val prepared_stale : t -> prepared -> bool
 (** The physical design changed since this plan was (re-)prepared. *)
 
-val reprepare : t -> prepared -> unit
+val reprepare : t -> ?pool:Dqo_par.Pool.t -> prepared -> unit
 (** Re-optimise the stored plan against the current catalog and stamp
-    the handle with the current generation. *)
+    the handle with the current generation; like {!prepare}, the search
+    runs on [?pool] when given. *)
 
 val execute_prepared :
   t -> ?reprepare:bool -> ?threads:int -> prepared -> Dqo_data.Relation.t
@@ -203,7 +229,9 @@ val execute_prepared_on :
   ?reprepare:bool ->
   prepared ->
   Dqo_data.Relation.t
-(** {!execute_prepared} on a caller-owned pool (see {!execute_on}). *)
+(** {!execute_prepared} on a caller-owned pool (see {!execute_on});
+    with [~reprepare:true], a stale-plan re-optimisation also runs on
+    that pool. *)
 
 val run_with_views : t -> Dqo_plan.Logical.t -> Dqo_data.Relation.t * bool
 (** Like {!run}, but first tries to answer the query from an installed

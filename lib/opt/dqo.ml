@@ -1,3 +1,7 @@
-let optimize ?model catalog l = Search.optimize ?model Search.Deep catalog l
-let pareto ?model catalog l = Search.optimize_entries ?model Search.Deep catalog l
+let optimize ?model ?pool catalog l =
+  Search.optimize ?model ?pool Search.Deep catalog l
+
+let pareto ?model ?pool catalog l =
+  Search.optimize_entries ?model ?pool Search.Deep catalog l
+
 let improvement_factor = Search.improvement_factor

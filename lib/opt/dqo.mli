@@ -9,18 +9,25 @@
 
 val optimize :
   ?model:Dqo_cost.Model.t ->
+  ?pool:Dqo_par.Pool.t ->
   Catalog.t ->
   Dqo_plan.Logical.t ->
   Pareto.entry
-(** Cheapest deep plan. *)
+(** Cheapest deep plan; with [?pool], DP levels fan out over the pool
+    (byte-identical result — see {!Search}). *)
 
 val pareto :
   ?model:Dqo_cost.Model.t ->
+  ?pool:Dqo_par.Pool.t ->
   Catalog.t ->
   Dqo_plan.Logical.t ->
   Pareto.entry list * Search.stats
 
 val improvement_factor :
-  ?model:Dqo_cost.Model.t -> Catalog.t -> Dqo_plan.Logical.t -> float
+  ?model:Dqo_cost.Model.t ->
+  ?pool:Dqo_par.Pool.t ->
+  Catalog.t ->
+  Dqo_plan.Logical.t ->
+  float
 (** SQO-best-cost / DQO-best-cost — the quantity reported in the
     paper's Figure 5. *)

@@ -99,7 +99,22 @@ let render_analysis ?cost ?stats root =
          "optimiser: %d plans considered, %d kept on the Pareto frontier, \
           %d enforcers added, %d pruned\n"
          s.Search.plans_considered s.Search.pareto_kept
-         s.Search.enforcers_added s.Search.candidates_pruned)
+         s.Search.enforcers_added s.Search.candidates_pruned);
+    if s.Search.levels <> [] then begin
+      Buffer.add_string buf
+        (Printf.sprintf "join DP (%d domain%s):\n" s.Search.dp_domains
+           (if s.Search.dp_domains = 1 then "" else "s"));
+      List.iter
+        (fun (lv : Search.level_stat) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  level %d: %d subproblems, %d candidates, %d kept, \
+                %.3fms\n"
+               lv.Search.level lv.Search.subproblems
+               lv.Search.level_generated lv.Search.level_kept
+               lv.Search.level_wall_ms))
+        s.Search.levels
+    end
   | None -> ());
   Buffer.contents buf
 
@@ -115,9 +130,9 @@ let rec analyzed_to_json node =
       ("children", Json.List (List.map analyzed_to_json node.children));
     ]
 
-let comparison ?model catalog l =
-  let shallow = Search.optimize ?model Search.Shallow catalog l in
-  let deep = Search.optimize ?model Search.Deep catalog l in
+let comparison ?model ?pool catalog l =
+  let shallow = Search.optimize ?model ?pool Search.Shallow catalog l in
+  let deep = Search.optimize ?model ?pool Search.Deep catalog l in
   let factor =
     if deep.Pareto.cost <= 0.0 then 1.0
     else shallow.Pareto.cost /. deep.Pareto.cost

@@ -5,11 +5,14 @@ val entry : Format.formatter -> Pareto.entry -> unit
 
 val comparison :
   ?model:Dqo_cost.Model.t ->
+  ?pool:Dqo_par.Pool.t ->
   Catalog.t ->
   Dqo_plan.Logical.t ->
   string
 (** Side-by-side SQO vs DQO report for a query: both chosen plans, both
-    costs, and the improvement factor. *)
+    costs, and the improvement factor.  With [?pool], both searches fan
+    their DP levels over the pool; the report is byte-identical either
+    way. *)
 
 (** {2 EXPLAIN ANALYZE}
 

@@ -7,6 +7,8 @@ module Grouping = Dqo_exec.Grouping
 module Join = Dqo_exec.Join
 module Filter = Dqo_exec.Filter
 module Bitset = Dqo_util.Bitset
+module Pool = Dqo_par.Pool
+module Metrics = Dqo_obs.Metrics
 
 type mode = Shallow | Deep
 
@@ -21,12 +23,25 @@ type trace_step = {
   pruned : int;
 }
 
+(* One DP level: all join subsets of the same cardinality, solved as
+   independent subproblems (possibly fanned out over a domain pool)
+   between two memo barriers. *)
+type level_stat = {
+  level : int;
+  subproblems : int;
+  level_generated : int;
+  level_kept : int;
+  level_wall_ms : float;
+}
+
 type stats = {
   plans_considered : int;
   pareto_kept : int;
   enforcers_added : int;
   candidates_pruned : int;
+  dp_domains : int;
   trace : trace_step list; (* in evaluation order *)
+  levels : level_stat list; (* join-DP levels, ascending cardinality *)
 }
 
 type ctx = {
@@ -34,11 +49,29 @@ type ctx = {
   model : Model.t;
   catalog : Catalog.t;
   interesting : string list;
+  pool : Pool.t option;
+  metrics : Metrics.t option;
   mutable considered : int;
   mutable enforced : int;
   mutable pruned : int;
   mutable steps : trace_step list; (* reverse evaluation order *)
+  mutable levels : level_stat list; (* reverse level order *)
 }
+
+(* A private sub-context for one DP subproblem: counters start at zero
+   and are folded back into the parent at the level barrier, in subset
+   order, so totals and traces never depend on worker scheduling. *)
+let sub_ctx ctx =
+  {
+    ctx with
+    pool = None;
+    metrics = None;
+    considered = 0;
+    enforced = 0;
+    pruned = 0;
+    steps = [];
+    levels = [];
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Interesting columns: any column a sort could later pay off on.      *)
@@ -340,37 +373,40 @@ and join_dp ctx l =
             if not (Hashtbl.mem col_leaf n) then Hashtbl.add col_leaf n i)
           e.Pareto.props.Props.columns)
     leaf_sets;
-  let leaf_of col =
-    match Hashtbl.find_opt col_leaf col with
-    | Some i -> i
-    | None -> raise Not_found
+  (* Resolve every predicate's leaf endpoints once per query; the
+     per-split scan below is then pure bit tests.  Predicates naming a
+     column no leaf provides can never connect a split and are dropped
+     here, as the old per-split [Not_found] handling did implicitly. *)
+  let pred_endpoints =
+    Array.of_list
+      (List.filter_map
+         (fun (lc, rc) ->
+           match
+             (Hashtbl.find_opt col_leaf lc, Hashtbl.find_opt col_leaf rc)
+           with
+           | Some ll, Some rl -> Some (ll, rl, lc, rc)
+           | None, _ | _, None -> None)
+         predicates)
   in
-  (* A predicate oriented so that its first column lives in [s1]. *)
+  (* The first predicate (in query order) with one side in each half,
+     oriented so that its first column lives in [s1]. *)
   let connecting s1 s2 =
-    List.find_map
-      (fun (lc, rc) ->
-        try
-          let ll = leaf_of lc and rl = leaf_of rc in
-          if Bitset.mem ll s1 && Bitset.mem rl s2 then Some (lc, rc)
-          else if Bitset.mem rl s1 && Bitset.mem ll s2 then Some (rc, lc)
-          else None
-        with Not_found -> None)
-      predicates
+    let n = Array.length pred_endpoints in
+    let rec go i =
+      if i >= n then None
+      else
+        let ll, rl, lc, rc = pred_endpoints.(i) in
+        if Bitset.mem ll s1 && Bitset.mem rl s2 then Some (lc, rc)
+        else if Bitset.mem rl s1 && Bitset.mem ll s2 then Some (rc, lc)
+        else go (i + 1)
+    in
+    go 0
   in
   let memo = Hashtbl.create 64 in
   for i = 0 to k - 1 do
     Hashtbl.replace memo (Bitset.singleton i) leaf_sets.(i)
   done;
   let full = Bitset.full k in
-  let all_subsets =
-    (* Subsets of the full leaf set, by ascending cardinality, so every
-       proper split is computed before it is needed. *)
-    List.sort
-      (fun a b -> Int.compare (Bitset.cardinal a) (Bitset.cardinal b))
-      (List.filter
-         (fun s -> Bitset.cardinal s >= 2)
-         (full :: Bitset.subsets full))
-  in
   let leaf_names = Array.of_list (List.map leaf_label leaves) in
   let subset_label s =
     "subset{"
@@ -378,31 +414,119 @@ and join_dp ctx l =
         (List.map (fun i -> leaf_names.(i)) (Bitset.to_list s))
     ^ "}"
   in
-  List.iter
-    (fun s ->
-      let candidates = ref [] in
-      List.iter
-        (fun s1 ->
-          let s2 = Bitset.diff s s1 in
-          match connecting s1 s2 with
-          | None -> ()
-          | Some (c1, c2) ->
-            let p1 = try Hashtbl.find memo s1 with Not_found -> [] in
-            let p2 = try Hashtbl.find memo s2 with Not_found -> [] in
-            List.iter
-              (fun e1 ->
-                List.iter
-                  (fun e2 ->
-                    candidates :=
-                      join_candidates ctx e1 e2 c1 c2 @ !candidates)
-                  p2)
-              p1)
-        (Bitset.subsets s);
-      Hashtbl.replace memo s
-        (with_enforcers ctx (subset_label s)
-           ~generated:(List.length !candidates)
-           !candidates))
-    all_subsets;
+  (* Any proper sub-split was solved at an earlier level; a missing memo
+     entry means the level enumeration skipped a plan class, and
+     treating it as an empty frontier would silently degrade the plan
+     instead of flagging the bug. *)
+  let frontier_of s =
+    match Hashtbl.find_opt memo s with
+    | Some entries -> entries
+    | None ->
+      invalid_arg
+        ("Search: DP memo has no entry for " ^ subset_label s
+       ^ " (level enumeration invariant violated)")
+  in
+  (* Solve one subset against the (read-only) memo of smaller subsets,
+     recording counters into [local] only.  Candidate chunks are consed
+     and concatenated at the end: same order as the old
+     [new @ !candidates] accumulation, without re-copying the new chunk
+     each time. *)
+  let solve local s =
+    let chunks = ref [] in
+    List.iter
+      (fun s1 ->
+        let s2 = Bitset.diff s s1 in
+        match connecting s1 s2 with
+        | None -> ()
+        | Some (c1, c2) ->
+          let p1 = frontier_of s1 and p2 = frontier_of s2 in
+          List.iter
+            (fun e1 ->
+              List.iter
+                (fun e2 ->
+                  chunks := join_candidates local e1 e2 c1 c2 :: !chunks)
+                p2)
+            p1)
+      (Bitset.subsets s);
+    let candidates = List.concat !chunks in
+    with_enforcers local (subset_label s)
+      ~generated:(List.length candidates)
+      candidates
+  in
+  (* One DP subproblem as a task: a private sub-context, timed, with
+     its single trace step read back for the per-task metrics. *)
+  let run_task reg s =
+    let local = sub_ctx ctx in
+    let t0 = Metrics.now_ns () in
+    let entries = solve local s in
+    let wall_ns = Metrics.now_ns () - t0 in
+    (match reg with
+    | None -> ()
+    | Some m ->
+      let generated, kept =
+        match local.steps with
+        | [ st ] -> (st.generated, st.kept)
+        | [] | _ :: _ :: _ -> (0, List.length entries)
+      in
+      Metrics.incr m "opt.dp.subproblems";
+      Metrics.incr ~by:generated m "opt.dp.candidates_generated";
+      Metrics.incr ~by:kept m "opt.dp.pareto_kept";
+      Metrics.add_span_ns m "opt.dp.wall_ns" wall_ns);
+    (entries, local)
+  in
+  (* All subsets of one cardinality, each claimed by exactly one worker
+     (chunk 1, like [Pool.map_tasks]); results land in per-index slots
+     and per-worker metrics registries, so nothing below depends on
+     which worker ran what. *)
+  let run_level subs =
+    let n = Array.length subs in
+    match ctx.pool with
+    | Some pool when Pool.size pool > 1 && n > 1 ->
+      let out = Array.make n None in
+      let regs = Array.init (Pool.size pool) (fun _ -> Metrics.create ()) in
+      Pool.parallel_for pool ~chunk:1 ~n (fun ~w ~lo ~hi ->
+          for i = lo to hi do
+            out.(i) <- Some (run_task (Some regs.(w)) subs.(i))
+          done);
+      (match ctx.metrics with
+      | Some m -> Array.iter (fun r -> Metrics.merge ~into:m r) regs
+      | None -> ());
+      Array.map (function Some v -> v | None -> assert false) out
+    | Some _ | None -> Array.map (fun s -> run_task ctx.metrics s) subs
+  in
+  (* Level-synchronous DP: all subsets of cardinality [card] depend only
+     on the memo of smaller subsets, so each level fans out between two
+     barriers.  The barrier merge walks results in subset order —
+     frontiers, counters, and trace are byte-identical for any pool
+     size. *)
+  for card = 2 to k do
+    let subs = Array.of_list (Bitset.sized_subsets full card) in
+    let t0 = Metrics.now_ns () in
+    let results = run_level subs in
+    let wall_ms = Float.of_int (Metrics.now_ns () - t0) /. 1e6 in
+    let generated = ref 0 and kept = ref 0 in
+    Array.iteri
+      (fun i (entries, (local : ctx)) ->
+        Hashtbl.replace memo subs.(i) entries;
+        kept := !kept + List.length entries;
+        (match local.steps with
+        | [ st ] -> generated := !generated + st.generated
+        | [] | _ :: _ :: _ -> ());
+        ctx.considered <- ctx.considered + local.considered;
+        ctx.enforced <- ctx.enforced + local.enforced;
+        ctx.pruned <- ctx.pruned + local.pruned;
+        ctx.steps <- local.steps @ ctx.steps)
+      results;
+    ctx.levels <-
+      {
+        level = card;
+        subproblems = Array.length subs;
+        level_generated = !generated;
+        level_kept = !kept;
+        level_wall_ms = wall_ms;
+      }
+      :: ctx.levels
+  done;
   match Hashtbl.find_opt memo full with
   | Some [] | None ->
     invalid_arg "Search: join graph is disconnected (cross product needed)"
@@ -468,17 +592,20 @@ and group_candidates ctx (e : Pareto.entry) key aggs =
 
 (* ------------------------------------------------------------------ *)
 
-let optimize_entries ?(model = Model.table2) mode catalog l =
+let optimize_entries ?(model = Model.table2) ?pool ?metrics mode catalog l =
   let ctx =
     {
       mode;
       model;
       catalog;
       interesting = interesting_columns l;
+      pool;
+      metrics;
       considered = 0;
       enforced = 0;
       pruned = 0;
       steps = [];
+      levels = [];
     }
   in
   let entries = plan_node ctx l in
@@ -488,7 +615,9 @@ let optimize_entries ?(model = Model.table2) mode catalog l =
       pareto_kept = List.length entries;
       enforcers_added = ctx.enforced;
       candidates_pruned = ctx.pruned;
+      dp_domains = (match pool with Some p -> Pool.size p | None -> 1);
       trace = List.rev ctx.steps;
+      levels = List.rev ctx.levels;
     } )
 
 let step_to_json (s : trace_step) =
@@ -501,6 +630,16 @@ let step_to_json (s : trace_step) =
       ("pruned", Dqo_obs.Json.Int s.pruned);
     ]
 
+let level_to_json (lv : level_stat) =
+  Dqo_obs.Json.Obj
+    [
+      ("level", Dqo_obs.Json.Int lv.level);
+      ("subproblems", Dqo_obs.Json.Int lv.subproblems);
+      ("candidates_generated", Dqo_obs.Json.Int lv.level_generated);
+      ("pareto_kept", Dqo_obs.Json.Int lv.level_kept);
+      ("wall_ms", Dqo_obs.Json.Float lv.level_wall_ms);
+    ]
+
 let stats_to_json (s : stats) =
   Dqo_obs.Json.Obj
     [
@@ -508,15 +647,17 @@ let stats_to_json (s : stats) =
       ("pareto_kept", Dqo_obs.Json.Int s.pareto_kept);
       ("enforcers_added", Dqo_obs.Json.Int s.enforcers_added);
       ("candidates_pruned", Dqo_obs.Json.Int s.candidates_pruned);
+      ("dp_domains", Dqo_obs.Json.Int s.dp_domains);
       ("trace", Dqo_obs.Json.List (List.map step_to_json s.trace));
+      ("levels", Dqo_obs.Json.List (List.map level_to_json s.levels));
     ]
 
-let optimize ?model mode catalog l =
-  let entries, _ = optimize_entries ?model mode catalog l in
+let optimize ?model ?pool mode catalog l =
+  let entries, _ = optimize_entries ?model ?pool mode catalog l in
   Pareto.cheapest entries
 
-let improvement_factor ?model catalog l =
-  let shallow = optimize ?model Shallow catalog l in
-  let deep = optimize ?model Deep catalog l in
+let improvement_factor ?model ?pool catalog l =
+  let shallow = optimize ?model ?pool Shallow catalog l in
+  let deep = optimize ?model ?pool Deep catalog l in
   if deep.Pareto.cost <= 0.0 then 1.0
   else shallow.Pareto.cost /. deep.Pareto.cost

@@ -14,7 +14,15 @@
     The search translates a logical tree bottom-up; maximal join
     subtrees are optimised with System-R style DP over relation subsets
     (no cross products), keeping a Pareto set of (cost, properties) per
-    subset; a sort enforcer may establish any interesting order. *)
+    subset; a sort enforcer may establish any interesting order.
+
+    {b Parallel search.}  The DP is level-synchronous: all subsets of
+    one cardinality depend only on the memo of smaller subsets, so when
+    a {!Dqo_par.Pool} is supplied each level's subproblems fan out over
+    the pool and merge back at a barrier, in subset order.  Following
+    the [Dqo_par] determinism contract, the chosen plan, costs, Pareto
+    frontiers, counters, and trace are byte-identical for any pool
+    size. *)
 
 type mode = Shallow | Deep
 
@@ -28,24 +36,46 @@ type trace_step = {
   pruned : int;  (** Candidates dominated away, [generated + enforcers - kept]. *)
 }
 
+type level_stat = {
+  level : int;  (** Subset cardinality of this DP level. *)
+  subproblems : int;  (** Subsets solved at this level. *)
+  level_generated : int;  (** Join candidates generated across the level. *)
+  level_kept : int;  (** Pareto entries surviving across the level. *)
+  level_wall_ms : float;
+      (** Wall time of the level, barrier to barrier — the quantity
+          parallel search shrinks.  The only field that varies between
+          runs; everything else is deterministic. *)
+}
+
 type stats = {
   plans_considered : int;  (** Candidate entries generated overall. *)
   pareto_kept : int;  (** Entries surviving in the root Pareto set. *)
   enforcers_added : int;  (** Sort enforcers generated overall. *)
   candidates_pruned : int;  (** Entries dominated away overall. *)
+  dp_domains : int;  (** Pool size the search ran with (1 = sequential). *)
   trace : trace_step list;  (** Per-DP-step breakdown, in evaluation order. *)
+  levels : level_stat list;
+      (** Join-DP levels in ascending cardinality; empty for queries
+          without a join. *)
 }
 
 val stats_to_json : stats -> Dqo_obs.Json.t
-(** Stats (including the full trace) as a JSON document. *)
+(** Stats (including the full trace and per-level breakdown) as a JSON
+    document. *)
 
 val optimize_entries :
   ?model:Dqo_cost.Model.t ->
+  ?pool:Dqo_par.Pool.t ->
+  ?metrics:Dqo_obs.Metrics.t ->
   mode ->
   Catalog.t ->
   Dqo_plan.Logical.t ->
   Pareto.entry list * stats
-(** Root Pareto set for the query, with search statistics.
+(** Root Pareto set for the query, with search statistics.  With
+    [?pool], join-DP levels fan out over the pool (results are
+    byte-identical to the sequential search); with [?metrics], DP
+    subproblem counters and wall time ([opt.dp.*]) are recorded there —
+    per-domain registries under a pool, merged after each barrier.
     @raise Not_found if the query mentions a relation absent from the
     catalog;
     @raise Invalid_argument if a join has no connecting predicate (cross
@@ -53,6 +83,7 @@ val optimize_entries :
 
 val optimize :
   ?model:Dqo_cost.Model.t ->
+  ?pool:Dqo_par.Pool.t ->
   mode ->
   Catalog.t ->
   Dqo_plan.Logical.t ->
@@ -61,6 +92,7 @@ val optimize :
 
 val improvement_factor :
   ?model:Dqo_cost.Model.t ->
+  ?pool:Dqo_par.Pool.t ->
   Catalog.t ->
   Dqo_plan.Logical.t ->
   float

@@ -1,2 +1,5 @@
-let optimize ?model catalog l = Search.optimize ?model Search.Shallow catalog l
-let pareto ?model catalog l = Search.optimize_entries ?model Search.Shallow catalog l
+let optimize ?model ?pool catalog l =
+  Search.optimize ?model ?pool Search.Shallow catalog l
+
+let pareto ?model ?pool catalog l =
+  Search.optimize_entries ?model ?pool Search.Shallow catalog l

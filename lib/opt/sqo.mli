@@ -7,13 +7,16 @@
 
 val optimize :
   ?model:Dqo_cost.Model.t ->
+  ?pool:Dqo_par.Pool.t ->
   Catalog.t ->
   Dqo_plan.Logical.t ->
   Pareto.entry
-(** Cheapest shallow plan. *)
+(** Cheapest shallow plan; with [?pool], DP levels fan out over the
+    pool (byte-identical result — see {!Search}). *)
 
 val pareto :
   ?model:Dqo_cost.Model.t ->
+  ?pool:Dqo_par.Pool.t ->
   Catalog.t ->
   Dqo_plan.Logical.t ->
   Pareto.entry list * Search.stats

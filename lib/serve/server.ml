@@ -77,7 +77,9 @@ let rec worker_loop srv =
       (Metrics.hist srv.m "serve.queue_wait_ms")
       (ms_of_ns (dequeued_ns - req.submitted_ns));
     if Engine.prepared_stale srv.eng req.r_stmt.prepared then begin
-      Engine.reprepare srv.eng req.r_stmt.prepared;
+      (* The replan's DP search fans out over the shared pool, like the
+         execution that follows. *)
+      Engine.reprepare srv.eng ~pool:srv.pool req.r_stmt.prepared;
       Metrics.incr srv.m "serve.replans"
     end;
     Mutex.unlock srv.mutex;
@@ -197,19 +199,22 @@ let prepare s ?mode sql =
         (* Revalidate eagerly so prepare-time errors surface here and
            the hot submit path usually finds a fresh plan. *)
         if Engine.prepared_stale srv.eng st.prepared then begin
-          Engine.reprepare srv.eng st.prepared;
+          Engine.reprepare srv.eng ~pool:srv.pool st.prepared;
           Metrics.incr srv.m "serve.replans"
         end;
         st
       | None ->
         Metrics.incr srv.m "serve.cache_misses";
         srv.next_stmt <- srv.next_stmt + 1;
+        (* Plan on the shared pool: the lock order (session mutex, then
+           the pool's submission lock) matches the executor threads,
+           which never take the session mutex while inside a region. *)
         let st =
           {
             id = srv.next_stmt;
             sql;
             mode;
-            prepared = Engine.prepare srv.eng ~mode sql;
+            prepared = Engine.prepare srv.eng ~pool:srv.pool ~mode sql;
           }
         in
         Hashtbl.add srv.cache (sql, mode) st;
@@ -217,6 +222,7 @@ let prepare s ?mode sql =
 
 let stmt_id st = st.id
 let stmt_sql st = st.sql
+let stmt_prepared st = st.prepared
 
 (* --- execution -------------------------------------------------------- *)
 

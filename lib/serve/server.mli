@@ -97,6 +97,11 @@ val prepare :
 val stmt_id : stmt -> int
 val stmt_sql : stmt -> string
 
+val stmt_prepared : stmt -> Dqo_engine.Engine.prepared
+(** The cached plan behind the statement, e.g. to inspect the entry the
+    serve-pool search chose.  Shared and mutable: a stale statement is
+    re-prepared in place. *)
+
 (** {2 Execution} *)
 
 type ticket

@@ -56,6 +56,32 @@ let subsets s =
   in
   if s = 0 then [] else loop s []
 
+(* Subsets of [s] with exactly [c] members, built directly from the
+   member positions: a c-subset is its highest member plus a
+   (c-1)-subset of the members below it.  Visiting candidate highest
+   members in ascending position order at every level yields
+   colexicographic — ascending unsigned-integer — order, exactly the
+   order a cardinality-stable sort of [subsets] would produce, without
+   touching the other [2^n - C(n,c)] subsets.  (Not ascending under
+   [compare]: a set containing element 62 is a negative int.) *)
+let sized_subsets s c =
+  let members = Array.of_list (to_list s) in
+  let n = Array.length members in
+  if c < 0 || c > n then []
+  else if c = 0 then [ empty ]
+  else begin
+    let acc = ref [] in
+    let rec go count hi_excl chosen =
+      if count = 0 then acc := chosen :: !acc
+      else
+        for hi = count - 1 to hi_excl - 1 do
+          go (count - 1) hi (add members.(hi) chosen)
+        done
+    in
+    go c n empty;
+    List.rev !acc
+  end
+
 let pp ppf s =
   Format.fprintf ppf "{%a}"
     (Format.pp_print_list

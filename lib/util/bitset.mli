@@ -40,4 +40,12 @@ val full : int -> t
 val subsets : t -> t list
 (** [subsets s] enumerates all non-empty proper subsets of [s]. *)
 
+val sized_subsets : t -> int -> t list
+(** [sized_subsets s c] — the subsets of [s] with exactly [c] members,
+    in exactly the order they occur in {!subsets} (ascending as
+    unsigned integers), computed directly from the member positions
+    rather than by filtering all [2^n] subsets.  The DP join search
+    streams one cardinality level at a time with this.
+    [sized_subsets s 0] is [[empty]]; an out-of-range [c] yields []. *)
+
 val pp : Format.formatter -> t -> unit

@@ -469,6 +469,264 @@ let test_explain_mentions_factor () =
     (Astring.String.is_infix ~affix:"4.00x" report
     || Astring.String.is_infix ~affix:"improvement" report)
 
+(* --- parallel DP search ----------------------------------------------- *)
+
+module Pool = Dqo_par.Pool
+module Rng = Dqo_util.Rng
+
+(* Tree-shaped join cases over [relations] relations: a left-deep chain
+   T0 - T1 - ... - T{k-1}, or a star around the hub T0.  Row counts,
+   sortedness, and column shapes are drawn deterministically from
+   [seed], so every (seed, relations, star) triple names one
+   reproducible join graph.  Column names are globally unique
+   (t<i>_<suffix>) as the binder requires. *)
+let synthetic_case ~seed ~relations ~star =
+  let rng = Rng.create ~seed:((seed * 8191) + (relations * 13) + Bool.to_int star) in
+  let mk_col () =
+    let d = 500 + Rng.int rng 4_500 in
+    col ~dense:(Rng.bool rng) ~lo:0 ~hi:(d - 1) ~distinct:d
+  in
+  let table i cols =
+    let rows = 2_000 + Rng.int rng 48_000 in
+    let sorted = Rng.bool rng in
+    let first = fst (List.hd cols) in
+    let props =
+      {
+        Props.sorted_by = (if sorted then Some first else None);
+        clustered_by = (if sorted then Some first else None);
+        columns = cols;
+        co_ordered = [];
+      }
+    in
+    Catalog.table ~name:(Printf.sprintf "T%d" i) ~rows ~props
+  in
+  let name i suffix = Printf.sprintf "t%d_%s" i suffix in
+  let join_all joins =
+    List.fold_left
+      (fun acc (j, on) -> Logical.join acc (Logical.scan (Printf.sprintf "T%d" j)) ~on)
+      (Logical.scan "T0") joins
+  in
+  let tables, joined =
+    if star then begin
+      let fks = List.init (relations - 1) (fun j -> (name 0 (Printf.sprintf "f%d" (j + 1)), mk_col ())) in
+      let hub = table 0 ((name 0 "g", mk_col ()) :: fks) in
+      let sats =
+        List.init (relations - 1) (fun j -> table (j + 1) [ (name (j + 1) "k", mk_col ()) ])
+      in
+      let joins =
+        List.init (relations - 1) (fun j ->
+            (j + 1, (name 0 (Printf.sprintf "f%d" (j + 1)), name (j + 1) "k")))
+      in
+      (hub :: sats, join_all joins)
+    end
+    else begin
+      let cols_of i =
+        let own = if i = 0 then [ (name 0 "g", mk_col ()) ] else [ (name i "l", mk_col ()) ] in
+        if i < relations - 1 then own @ [ (name i "r", mk_col ()) ] else own
+      in
+      let tables = List.init relations (fun i -> table i (cols_of i)) in
+      let joins =
+        List.init (relations - 1) (fun i ->
+            (i + 1, (name i "r", name (i + 1) "l")))
+      in
+      (tables, join_all joins)
+    end
+  in
+  let query = Logical.group_by joined ~key:(name 0 "g") [ Logical.count_star () ] in
+  (Catalog.create tables, query)
+
+(* Everything the search returns except wall-clock times, flattened to
+   one string: chosen plan, full frontier costs, all counters, the
+   complete trace, and the per-level DP breakdown.  Two runs are
+   equivalent iff their fingerprints are equal. *)
+let fingerprint (entries, (stats : Search.stats)) =
+  let best = Pareto.cheapest entries in
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Format.asprintf "%a" Physical.pp best.Pareto.plan);
+  Buffer.add_string b
+    (Printf.sprintf "|cost=%.3f|rows=%d|frontier=%d" best.Pareto.cost
+       best.Pareto.rows (List.length entries));
+  List.iter
+    (fun (e : Pareto.entry) -> Buffer.add_string b (Printf.sprintf ";%.3f" e.Pareto.cost))
+    entries;
+  Buffer.add_string b
+    (Printf.sprintf "|considered=%d|kept=%d|enforced=%d|pruned=%d"
+       stats.Search.plans_considered stats.Search.pareto_kept
+       stats.Search.enforcers_added stats.Search.candidates_pruned);
+  List.iter
+    (fun (t : Search.trace_step) ->
+      Buffer.add_string b
+        (Printf.sprintf "|%s:%d:%d:%d:%d" t.Search.step t.Search.generated
+           t.Search.enforcers t.Search.kept t.Search.pruned))
+    stats.Search.trace;
+  List.iter
+    (fun (lv : Search.level_stat) ->
+      Buffer.add_string b
+        (Printf.sprintf "|L%d:%d:%d:%d" lv.Search.level lv.Search.subproblems
+           lv.Search.level_generated lv.Search.level_kept))
+    stats.Search.levels;
+  Buffer.contents b
+
+(* The core determinism contract: for every shape, size, and seed, the
+   pooled search is byte-identical to the sequential one at any pool
+   size — same chosen plan, same frontier, same counters, same trace. *)
+let test_parallel_matches_sequential () =
+  List.iter
+    (fun star ->
+      List.iter
+        (fun relations ->
+          List.iter
+            (fun seed ->
+              let catalog, query = synthetic_case ~seed ~relations ~star in
+              let base =
+                fingerprint (Search.optimize_entries Search.Deep catalog query)
+              in
+              List.iter
+                (fun domains ->
+                  Pool.with_pool ~domains (fun pool ->
+                      let fp =
+                        fingerprint
+                          (Search.optimize_entries ~pool Search.Deep catalog
+                             query)
+                      in
+                      Alcotest.(check string)
+                        (Printf.sprintf
+                           "star=%b relations=%d seed=%d domains=%d" star
+                           relations seed domains)
+                        base fp))
+                [ 1; 2; 4; 8 ])
+            [ 1; 2; 3 ])
+        [ 2; 3; 4; 5; 6 ])
+    [ false; true ]
+
+(* Shallow mode shares join_dp, and improvement_factor runs both
+   searches; neither may depend on the pool size either. *)
+let test_parallel_shallow_and_factor () =
+  let catalog, query = synthetic_case ~seed:5 ~relations:5 ~star:true in
+  let shallow = fingerprint (Search.optimize_entries Search.Shallow catalog query) in
+  let f = Search.improvement_factor catalog query in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          Alcotest.(check string)
+            (Printf.sprintf "shallow domains=%d" domains)
+            shallow
+            (fingerprint (Search.optimize_entries ~pool Search.Shallow catalog query));
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "factor domains=%d" domains)
+            f
+            (Search.improvement_factor ~pool catalog query)))
+    [ 2; 3; 8 ]
+
+(* Under the molecule-level model the frontier is larger and the DP does
+   real work per level; sweep every pool size 1..8 and also require the
+   merged [opt.dp.*] metrics to match the sequential registries. *)
+let test_parallel_domain_sweep_deep_model () =
+  let catalog, query = synthetic_case ~seed:7 ~relations:6 ~star:true in
+  let counters m =
+    List.map
+      (fun c -> (c, Dqo_obs.Metrics.counter m c))
+      [ "opt.dp.subproblems"; "opt.dp.candidates_generated"; "opt.dp.pareto_kept" ]
+  in
+  let m0 = Dqo_obs.Metrics.create () in
+  let base =
+    fingerprint
+      (Search.optimize_entries ~model:Model.deep ~metrics:m0 Search.Deep catalog
+         query)
+  in
+  let base_counters = counters m0 in
+  Alcotest.(check bool) "sequential run recorded dp counters" true
+    (List.for_all (fun (_, v) -> v > 0) base_counters);
+  for domains = 1 to 8 do
+    Pool.with_pool ~domains (fun pool ->
+        let m = Dqo_obs.Metrics.create () in
+        let fp =
+          fingerprint
+            (Search.optimize_entries ~model:Model.deep ~pool ~metrics:m
+               Search.Deep catalog query)
+        in
+        Alcotest.(check string) (Printf.sprintf "deep model domains=%d" domains)
+          base fp;
+        Alcotest.(check (list (pair string int)))
+          (Printf.sprintf "dp metrics domains=%d" domains)
+          base_counters (counters m))
+  done
+
+(* One pool shared by concurrent submitters (the serving shape): each
+   client thread optimises its own query on the same pool; every result
+   must equal that client's sequential baseline. *)
+let test_parallel_shared_pool_concurrent () =
+  let cases =
+    List.map
+      (fun seed -> synthetic_case ~seed ~relations:4 ~star:(seed mod 2 = 0))
+      [ 11; 12; 13; 14 ]
+  in
+  let expected =
+    List.map
+      (fun (c, q) -> fingerprint (Search.optimize_entries Search.Deep c q))
+      cases
+  in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let results = Array.make (List.length cases) "" in
+      let threads =
+        List.mapi
+          (fun i (c, q) ->
+            Thread.create
+              (fun () ->
+                results.(i) <-
+                  fingerprint (Search.optimize_entries ~pool Search.Deep c q))
+              ())
+          cases
+      in
+      List.iter Thread.join threads;
+      List.iteri
+        (fun i e ->
+          Alcotest.(check string)
+            (Printf.sprintf "concurrent submitter %d" i)
+            e results.(i))
+        expected)
+
+(* End to end through the serving front end: a statement prepared on a
+   live server (whose replans and prepares plan on the shared serve
+   pool) carries exactly the plan and cost the sequential engine
+   chooses. *)
+let test_parallel_serve_pool_prepare () =
+  let module Engine = Dqo_engine.Engine in
+  let module Server = Dqo_serve.Server in
+  let module Datagen = Dqo_data.Datagen in
+  let sql = "SELECT a, COUNT(*) AS c FROM R JOIN S ON id = r_id GROUP BY a" in
+  let mk_db () =
+    let rng = Rng.create ~seed:3 in
+    let pair =
+      Datagen.fk_pair ~rng ~r_rows:2_500 ~s_rows:9_000 ~r_groups:2_000
+        ~r_sorted:false ~s_sorted:false ~dense:true
+    in
+    let db = Engine.create () in
+    Engine.register db ~name:"R" pair.Datagen.r;
+    Engine.register db ~name:"S" pair.Datagen.s;
+    db
+  in
+  let entry_fp (e : Pareto.entry) =
+    Printf.sprintf "%s|%.3f"
+      (Format.asprintf "%a" Physical.pp e.Pareto.plan)
+      e.Pareto.cost
+  in
+  let sequential = entry_fp (Engine.plan_sql (mk_db ()) ~threads:1 Engine.DQO sql) in
+  let db = mk_db () in
+  Engine.set_opts db { Engine.mode = Engine.DQO; threads = 2 };
+  let srv = Server.create ~threads:2 db in
+  Fun.protect
+    ~finally:(fun () -> Server.shutdown srv)
+    (fun () ->
+      Alcotest.(check int) "server runs a 2-domain pool" 2 (Server.pool_size srv);
+      let s = Server.open_session srv in
+      let stmt = Server.prepare s sql in
+      ignore (Server.execute s stmt);
+      Server.close_session s;
+      (* The cached statement was planned on the serve pool. *)
+      Alcotest.(check string) "serve-pool plan = sequential plan" sequential
+        (entry_fp (Engine.prepared_entry (Server.stmt_prepared stmt))))
+
 let () =
   Alcotest.run "dqo_opt"
     [
@@ -537,5 +795,18 @@ let () =
           Alcotest.test_case "enforcers only where interesting" `Quick
             test_enforcer_only_on_interesting_columns;
           Alcotest.test_case "explain" `Quick test_explain_mentions_factor;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "pool matches sequential" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "shallow and factor" `Quick
+            test_parallel_shallow_and_factor;
+          Alcotest.test_case "1..8 domain sweep, deep model" `Quick
+            test_parallel_domain_sweep_deep_model;
+          Alcotest.test_case "shared pool, concurrent submitters" `Quick
+            test_parallel_shared_pool_concurrent;
+          Alcotest.test_case "serve-pool prepare" `Quick
+            test_parallel_serve_pool_prepare;
         ] );
     ]

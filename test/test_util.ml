@@ -194,6 +194,65 @@ let test_bitset_subsets () =
         && not (Bitset.is_empty sub)))
     subs
 
+(* The streaming per-cardinality enumerator must agree with [subsets]
+   (union over cardinalities = all non-empty proper subsets) and emit
+   each level in ascending integer order — the order the DP's level
+   barrier merges in. *)
+let test_bitset_sized_subsets () =
+  let binomial n k =
+    let rec go acc i =
+      if i > k then acc else go (acc * (n - i + 1) / i) (i + 1)
+    in
+    if k < 0 || k > n then 0 else go 1 1
+  in
+  List.iter
+    (fun members ->
+      let s = Bitset.of_list members in
+      let n = Bitset.cardinal s in
+      let ints l = List.map Bitset.to_list l in
+      (* Each level: right count, right cardinality, ascending order. *)
+      for c = 1 to n do
+        let level = Bitset.sized_subsets s c in
+        Alcotest.(check int)
+          (Printf.sprintf "C(%d,%d)" n c)
+          (binomial n c) (List.length level);
+        List.iter
+          (fun sub ->
+            Alcotest.(check bool) "subset" true (Bitset.subset sub s);
+            Alcotest.(check int) "cardinality" c (Bitset.cardinal sub))
+          level;
+        (* Order contract: each level appears exactly as it does inside
+           [subsets] — what a cardinality-stable sort would give the DP. *)
+        if c < n then
+          Alcotest.(check (list (list int)))
+            "subsets order preserved" (ints level)
+            (ints
+               (List.filter
+                  (fun sub -> Bitset.cardinal sub = c)
+                  (Bitset.subsets s)))
+      done;
+      (* All levels below [n] together = [subsets s]. *)
+      let streamed =
+        List.concat (List.init (max 0 (n - 1)) (fun i ->
+            Bitset.sized_subsets s (i + 1)))
+      in
+      Alcotest.(check (list (list int)))
+        "union of levels = subsets"
+        (ints (List.sort Bitset.compare (Bitset.subsets s)))
+        (ints (List.sort Bitset.compare streamed)))
+    [ [ 0 ]; [ 0; 1; 2 ]; [ 0; 1; 2; 3; 4 ]; [ 1; 3; 4; 7; 10; 62 ] ];
+  (* Edges. *)
+  let s = Bitset.of_list [ 2; 5 ] in
+  Alcotest.(check (list (list int)))
+    "c = 0" [ [] ]
+    (List.map Bitset.to_list (Bitset.sized_subsets s 0));
+  Alcotest.(check (list (list int)))
+    "c = n" [ [ 2; 5 ] ]
+    (List.map Bitset.to_list (Bitset.sized_subsets s 2));
+  Alcotest.(check (list (list int)))
+    "c > n" []
+    (List.map Bitset.to_list (Bitset.sized_subsets s 3))
+
 let test_bitset_full_and_bounds () =
   Alcotest.(check int) "full 5" 5 (Bitset.cardinal (Bitset.full 5));
   Alcotest.(check int) "full 0" 0 (Bitset.cardinal (Bitset.full 0));
@@ -307,6 +366,7 @@ let () =
         [
           Alcotest.test_case "algebra" `Quick test_bitset_algebra;
           Alcotest.test_case "subsets" `Quick test_bitset_subsets;
+          Alcotest.test_case "sized subsets" `Quick test_bitset_sized_subsets;
           Alcotest.test_case "full & bounds" `Quick test_bitset_full_and_bounds;
           Alcotest.test_case "sign-bit boundary" `Quick
             test_bitset_sign_bit_boundary;
