@@ -43,15 +43,57 @@ let sparse =
 let seed =
   Arg.(value & opt int 2020 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
 
-let make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~seed =
+let skew =
+  Arg.(
+    value & opt float 0.0
+    & info [ "skew" ] ~docv:"THETA"
+        ~doc:
+          "Draw S.b from a Zipf($(docv)) distribution over [0, 1000) \
+           instead of uniformly over [0, 1M).  The optimiser's uniform \
+           assumption then badly misestimates range filters on b — the \
+           workload the $(b,--feedback) loop is built to correct.")
+
+let feedback_arg =
+  Arg.(
+    value & flag
+    & info [ "feedback" ]
+        ~doc:
+          "Close the cardinality-feedback loop: run queries analysed, \
+           diff per-node estimates against actuals, and plan subsequent \
+           queries with the learned correction factors.")
+
+let qerror_threshold_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "qerror-threshold" ] ~docv:"Q"
+        ~doc:
+          "With $(b,--feedback): re-plan a cached prepared statement \
+           once its worst observed per-node q-error reaches $(docv) \
+           (must be >= 1.0).")
+
+let make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~skew ~seed =
   let rng = Dqo_util.Rng.create ~seed in
   let pair =
     Dqo_data.Datagen.fk_pair ~rng ~r_rows ~s_rows ~r_groups:groups
       ~r_sorted:sorted ~s_sorted:sorted ~dense:(not sparse)
   in
+  let s =
+    if skew <= 0.0 then pair.Dqo_data.Datagen.s
+    else
+      (* Replace S.b with a skewed column: same schema and row count,
+         but heavy mass on the small values. *)
+      let r_id = Dqo_data.Relation.int_column pair.Dqo_data.Datagen.s "r_id" in
+      let b =
+        Dqo_data.Datagen.zipf_keys ~rng ~n:(Array.length r_id) ~groups:1_000
+          ~theta:skew
+      in
+      Dqo_data.Relation.create
+        (Dqo_data.Relation.schema pair.Dqo_data.Datagen.s)
+        [ Dqo_data.Column.Ints (Array.copy r_id); Dqo_data.Column.Ints b ]
+  in
   let db = Dqo_engine.Engine.create () in
   Dqo_engine.Engine.register db ~name:"R" pair.Dqo_data.Datagen.r;
-  Dqo_engine.Engine.register db ~name:"S" pair.Dqo_data.Datagen.s;
+  Dqo_engine.Engine.register db ~name:"S" s;
   db
 
 let sql_arg =
@@ -78,8 +120,11 @@ let threads_arg =
 (* ------------------------------------------------------------------ *)
 
 let run_cmd =
-  let action sql mode threads r_rows s_rows groups sorted sparse seed =
-    let db = make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~seed in
+  let action sql mode threads feedback r_rows s_rows groups sorted sparse skew
+      seed =
+    let db = make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~skew ~seed in
+    Dqo_engine.Engine.set_opts db
+      { Dqo_engine.Engine.default_opts with mode; threads; feedback };
     let result, ms =
       Dqo_util.Timer.time_ms (fun () ->
           Dqo_engine.Engine.run_sql db ~mode ~threads sql)
@@ -88,34 +133,63 @@ let run_cmd =
     Printf.printf "(%d rows in %.1f ms%s)\n"
       (Dqo_data.Relation.cardinality result)
       ms
-      (if threads > 1 then Printf.sprintf ", %d domains" threads else "")
+      (if threads > 1 then Printf.sprintf ", %d domains" threads else "");
+    if feedback then
+      let fb = Dqo_engine.Engine.corrections db in
+      Printf.printf
+        "(feedback: %d corrections learned, max q-error this run %.2f)\n"
+        (Dqo_cost.Feedback.size fb)
+        (Dqo_cost.Feedback.last_max_q fb)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Optimise and execute a SQL query.")
     Term.(
-      const action $ sql_arg $ mode_arg $ threads_arg $ r_rows $ s_rows
-      $ groups $ sorted $ sparse $ seed)
+      const action $ sql_arg $ mode_arg $ threads_arg $ feedback_arg $ r_rows
+      $ s_rows $ groups $ sorted $ sparse $ skew $ seed)
 
 let explain_cmd =
-  let action sql analyze mode threads json r_rows s_rows groups sorted sparse
-      seed =
-    let db = make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~seed in
+  let action sql analyze mode threads feedback json r_rows s_rows groups
+      sorted sparse skew seed =
+    let db = make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~skew ~seed in
     (* [--threads n] also parallelises the plan search itself: the
        SQO-vs-DQO comparison below picks the option up from the engine
        handle.  The report is byte-identical for any thread count. *)
-    Dqo_engine.Engine.set_opts db { Dqo_engine.Engine.mode; threads };
+    Dqo_engine.Engine.set_opts db
+      { Dqo_engine.Engine.default_opts with mode; threads; feedback };
     if analyze then begin
-      let a =
-        Dqo_engine.Engine.explain_analyze db ~mode ~threads
-          (Dqo_sql.Binder.plan_of_sql (Dqo_engine.Engine.catalog db) sql)
+      let plan =
+        Dqo_sql.Binder.plan_of_sql (Dqo_engine.Engine.catalog db) sql
       in
-      print_string
-        (Dqo_opt.Explain.render_analysis
-           ~cost:a.Dqo_engine.Engine.entry.Dqo_opt.Pareto.cost
-           ~stats:a.Dqo_engine.Engine.search_stats a.Dqo_engine.Engine.root);
+      let analyze_once () =
+        Dqo_engine.Engine.explain_analyze db ~mode ~threads plan
+      in
+      let render a =
+        print_string
+          (Dqo_opt.Explain.render_analysis
+             ~cost:a.Dqo_engine.Engine.entry.Dqo_opt.Pareto.cost
+             ~stats:a.Dqo_engine.Engine.search_stats a.Dqo_engine.Engine.root)
+      in
+      let a = analyze_once () in
+      render a;
+      let final =
+        if not feedback then a
+        else begin
+          (* Round 2 replans with the corrections round 1 just learned;
+             the side-by-side shows the estimates converging. *)
+          let q1 = Dqo_opt.Explain.max_q_error a.Dqo_engine.Engine.root in
+          let a2 = analyze_once () in
+          let q2 = Dqo_opt.Explain.max_q_error a2.Dqo_engine.Engine.root in
+          Printf.printf
+            "\nafter feedback (%d corrections, max q-error %.2f -> %.2f):\n"
+            (Dqo_cost.Feedback.size (Dqo_engine.Engine.corrections db))
+            q1 q2;
+          render a2;
+          a2
+        end
+      in
       match json with
       | Some path ->
-        Dqo_obs.Json.to_file path (Dqo_engine.Engine.analysis_to_json a);
+        Dqo_obs.Json.to_file path (Dqo_engine.Engine.analysis_to_json final);
         Printf.printf "analysis written to %s\n" path
       | None -> ()
     end
@@ -143,8 +217,8 @@ let explain_cmd =
           with $(b,--analyze) — execute it and compare estimated against \
           actual per-node cardinalities.")
     Term.(
-      const action $ sql_arg $ analyze $ mode_arg $ threads_arg $ json
-      $ r_rows $ s_rows $ groups $ sorted $ sparse $ seed)
+      const action $ sql_arg $ analyze $ mode_arg $ threads_arg $ feedback_arg
+      $ json $ r_rows $ s_rows $ groups $ sorted $ sparse $ skew $ seed)
 
 let granules_cmd =
   let action operator =
@@ -210,7 +284,7 @@ let calibrate_cmd =
 
 let avsp_cmd =
   let action budget r_rows s_rows groups sorted sparse seed =
-    let db = make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~seed in
+    let db = make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~skew:0.0 ~seed in
     let catalog = Dqo_engine.Engine.catalog db in
     let workload =
       [ (Dqo_sql.Binder.plan_of_sql catalog default_sql, 1.0) ]
@@ -243,10 +317,11 @@ let avsp_cmd =
       $ seed)
 
 let serve_cmd =
-  let action mode threads workers max_inflight r_rows s_rows groups sorted
-      sparse seed =
-    let db = make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~seed in
-    Dqo_engine.Engine.set_opts db { Dqo_engine.Engine.mode; threads };
+  let action mode threads feedback qerror_threshold workers max_inflight
+      r_rows s_rows groups sorted sparse skew seed =
+    let db = make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~skew ~seed in
+    Dqo_engine.Engine.set_opts db
+      { Dqo_engine.Engine.mode; threads; feedback; qerror_threshold };
     let srv = Dqo_serve.Server.create ~max_inflight ~workers db in
     Printf.printf "ready pool=%d workers=%d max_inflight=%d\n%!"
       (Dqo_serve.Server.pool_size srv)
@@ -278,8 +353,9 @@ let serve_cmd =
           cache, and bounded admission ride on top.  Commands: open, \
           close, prepare, exec, submit, wait, stats, quit.")
     Term.(
-      const action $ mode_arg $ threads_arg $ workers $ max_inflight
-      $ r_rows $ s_rows $ groups $ sorted $ sparse $ seed)
+      const action $ mode_arg $ threads_arg $ feedback_arg
+      $ qerror_threshold_arg $ workers $ max_inflight $ r_rows $ s_rows
+      $ groups $ sorted $ sparse $ skew $ seed)
 
 let () =
   let doc = "Deep Query Optimisation (CIDR 2020) — reproduction toolkit" in

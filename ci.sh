@@ -15,11 +15,11 @@ echo "== bench --json smoke =="
 out="$(mktemp -t bench_smoke_XXXXXX.json)"
 trap 'rm -f "$out"' EXIT
 dune exec bench/main.exe -- --rows 20000 --figure 4 --figure 5 --scaling \
-  --opt-scaling --serve --clients 2 --requests 3 --threads 2 \
+  --opt-scaling --serve --clients 2 --requests 3 --threads 2 --feedback \
   --json "$out" > /dev/null
 
 test -s "$out" || { echo "ci: $out is empty" >&2; exit 1; }
-grep -q '"schema_version": 4' "$out" || { echo "ci: missing schema_version 4" >&2; exit 1; }
+grep -q '"schema_version": 5' "$out" || { echo "ci: missing schema_version 5" >&2; exit 1; }
 grep -q '"threads": 2' "$out" || { echo "ci: missing threads" >&2; exit 1; }
 grep -q '"figure4"' "$out" || { echo "ci: missing figure4" >&2; exit 1; }
 grep -q '"figure5"' "$out" || { echo "ci: missing figure5" >&2; exit 1; }
@@ -35,6 +35,11 @@ if grep -q '"plan_identical": false' "$out"; then
 fi
 grep -q '"serving"' "$out" || { echo "ci: missing serving sweep" >&2; exit 1; }
 grep -q '"p95_ms"' "$out" || { echo "ci: serving sweep has no latencies" >&2; exit 1; }
+grep -q '"feedback"' "$out" || { echo "ci: missing feedback sweep" >&2; exit 1; }
+grep -q '"q_before"' "$out" || { echo "ci: feedback sweep has no q-errors" >&2; exit 1; }
+if grep -q '"converged": false' "$out"; then
+  echo "ci: feedback loop failed to converge" >&2; exit 1
+fi
 if command -v python3 > /dev/null 2>&1; then
   python3 -m json.tool "$out" > /dev/null || { echo "ci: invalid JSON" >&2; exit 1; }
 fi
@@ -70,5 +75,24 @@ test "$(grep '^result ticket=' "$serve_out" | sed 's/.*sum=//' | sort -u | wc -l
   || { echo "ci: concurrent results differ" >&2; exit 1; }
 grep -q '^ok stats requests=4' "$serve_out" || { echo "ci: serve stats missing" >&2; exit 1; }
 grep -q '^ok bye$' "$serve_out" || { echo "ci: serve did not quit cleanly" >&2; exit 1; }
+
+echo "== dqo serve --feedback smoke =="
+# A zipf-skewed S.b makes [b <= 9] badly misestimated: the first
+# execution learns corrections, the second finds the cached statement
+# drifted and replans it server-side before running.
+fb_out="$(mktemp -t serve_feedback_XXXXXX.txt)"
+trap 'rm -f "$out" "$serve_out" "$fb_out"' EXIT
+printf 'open\nprepare 1 SELECT b, COUNT(*) AS c FROM S WHERE b <= 9 GROUP BY b\nexec 1 1\nstats\nexec 1 1\nstats\nclose 1\nquit\n' \
+  | dune exec bin/dqo.exe -- serve --feedback --skew 1.0 --r-rows 2000 \
+      --s-rows 6000 --groups 1500 > "$fb_out"
+
+grep -q 'feedback_replans=1' "$fb_out" || { echo "ci: no feedback replan" >&2; exit 1; }
+# Replanning must not change the result.
+test "$(grep '^result rows=' "$fb_out" | sed 's/.*sum=//' | sort -u | wc -l)" = 1 \
+  || { echo "ci: feedback replan changed the result" >&2; exit 1; }
+# The worst per-node q-error must improve at least 2x across the replan.
+grep '^ok stats' "$fb_out" | sed 's/.*last_max_q=//' \
+  | awk 'NR==1{q1=$1} NR==2{q2=$1} END{exit !(q1 >= 2.0 && q1 / q2 >= 2.0)}' \
+  || { echo "ci: feedback did not improve the q-error 2x" >&2; exit 1; }
 
 echo "ci: OK"

@@ -12,12 +12,20 @@ module Fks = Dqo_hash.Perfect.Fks
 
 type mode = SQO | DQO
 
-type opts = { mode : mode; threads : int }
+type opts = {
+  mode : mode;
+  threads : int;
+  feedback : bool;
+  qerror_threshold : float;
+}
 
-let default_opts = { mode = DQO; threads = 1 }
+let default_opts =
+  { mode = DQO; threads = 1; feedback = false; qerror_threshold = 2.0 }
 
 let check_opts o =
   if o.threads < 1 then invalid_arg "Engine.opts: threads < 1";
+  if o.qerror_threshold < 1.0 then
+    invalid_arg "Engine.opts: qerror_threshold < 1.0";
   o
 
 type t = {
@@ -33,6 +41,11 @@ type t = {
      executor consults these when a plan prescribes SPH on a column whose
      physical domain is not dense. *)
   fks_index : (string, Fks.t) Hashtbl.t;
+  (* Cardinality corrections learned from analysed executions.  Always
+     allocated; [opts.feedback] gates whether planning reads it and
+     execution writes it, so toggling the option never loses what was
+     already learned. *)
+  corrections : Dqo_cost.Feedback.t;
 }
 
 let create ?(model = Dqo_cost.Model.table2) ?(opts = default_opts) () =
@@ -44,11 +57,16 @@ let create ?(model = Dqo_cost.Model.table2) ?(opts = default_opts) () =
     avs = [];
     generation = 0;
     fks_index = Hashtbl.create 8;
+    corrections = Dqo_cost.Feedback.create ();
   }
 
 let opts t = t.opts
 let set_opts t o = t.opts <- check_opts o
 let av_generation t = t.generation
+let corrections t = t.corrections
+
+(* The store the planner / analyser should consult right now. *)
+let active_feedback t = if t.opts.feedback then Some t.corrections else None
 
 (* Per-call [?mode] / [?threads] overrides fall back to the handle's
    execution options. *)
@@ -95,16 +113,20 @@ let plan t ?pool ?threads mode l =
   let search_mode =
     match mode with SQO -> Dqo_opt.Search.Shallow | DQO -> Dqo_opt.Search.Deep
   in
+  let feedback = active_feedback t in
   match pool with
-  | Some _ -> Dqo_opt.Search.optimize ~model:t.model ?pool search_mode t.catalog l
+  | Some _ ->
+    Dqo_opt.Search.optimize ~model:t.model ?pool ?feedback search_mode
+      t.catalog l
   | None ->
     let threads = resolve_threads t threads in
     if threads < 1 then invalid_arg "Engine.plan: threads < 1";
     if threads = 1 then
-      Dqo_opt.Search.optimize ~model:t.model search_mode t.catalog l
+      Dqo_opt.Search.optimize ~model:t.model ?feedback search_mode t.catalog l
     else
       Dqo_par.Pool.with_pool ~domains:threads (fun pool ->
-          Dqo_opt.Search.optimize ~model:t.model ~pool search_mode t.catalog l)
+          Dqo_opt.Search.optimize ~model:t.model ~pool ?feedback search_mode
+            t.catalog l)
 
 let plan_sql t ?pool ?threads mode sql =
   plan t ?pool ?threads mode (Dqo_sql.Binder.plan_of_sql t.catalog sql)
@@ -442,24 +464,34 @@ let execute t ?threads p =
 
 let execute_on t ~pool p = execute_in t ~pool p
 
-let run t ?mode ?threads l =
-  let mode = resolve_mode t mode in
-  let threads = resolve_threads t threads in
-  (* execute's label: run has always surfaced thread validation under
-     the execute contract, and callers pin that message. *)
-  if threads < 1 then invalid_arg "Engine.execute: threads < 1";
-  if threads = 1 then
-    execute_in t (plan t ~threads:1 mode l).Dqo_opt.Pareto.plan
-  else
-    (* One pool serves both phases: the search fans DP levels over it,
-       then the chosen plan executes on the same domains. *)
-    Dqo_par.Pool.with_pool ~domains:threads (fun pool ->
-        execute_in t ~pool (plan t ~pool mode l).Dqo_opt.Pareto.plan)
-
 (* ------------------------------------------------------------------ *)
 (* EXPLAIN ANALYZE: execute a plan node by node, annotating each with
    actual rows and cumulative wall time, and recording per-operator
    metrics into an observability registry.                             *)
+
+(* Close the feedback loop over one analysed execution: diff every
+   filter/join/grouping node's estimate against its actual row count,
+   fold the corrections into the engine's store, and record the q-error
+   distribution.  Returns the execution's worst per-node q-error. *)
+let learn_from_analysis t ?metrics plan root =
+  let obs = Dqo_opt.Explain.observations t.catalog plan root in
+  List.iter
+    (fun (key, est, actual) ->
+      Dqo_cost.Feedback.observe t.corrections key ~est ~actual)
+    obs;
+  let max_q = Dqo_opt.Explain.max_q_error root in
+  Dqo_cost.Feedback.note_run t.corrections ~max_q;
+  (match metrics with
+  | Some m ->
+    List.iter
+      (fun (_, est, actual) ->
+        Dqo_obs.Metrics.observe
+          (Dqo_obs.Metrics.hist m "feedback.qerror")
+          (Dqo_opt.Explain.q_error ~est ~actual))
+      obs;
+    Dqo_obs.Metrics.incr ~by:(List.length obs) m "feedback.observations"
+  | None -> ());
+  max_q
 
 let execute_analyzed t ?metrics ?pool:shared_pool ?threads (p : Physical.t) =
   let threads =
@@ -515,7 +547,9 @@ let execute_analyzed t ?metrics ?pool:shared_pool ?threads (p : Physical.t) =
     ( rel,
       {
         Dqo_opt.Explain.op = Physical.op_label p;
-        est_rows = Dqo_opt.Explain.estimated_rows t.catalog p;
+        est_rows =
+          Dqo_opt.Explain.estimated_rows ?feedback:(active_feedback t)
+            t.catalog p;
         actual_rows;
         wall_ns;
         children;
@@ -523,12 +557,38 @@ let execute_analyzed t ?metrics ?pool:shared_pool ?threads (p : Physical.t) =
   in
   go p
   in
-  match shared_pool with
-  | Some pool -> analyze ~pool ()
-  | None ->
-    if threads = 1 then analyze ()
-    else
-      Dqo_par.Pool.with_pool ~domains:threads (fun pool -> analyze ~pool ())
+  let rel, root =
+    match shared_pool with
+    | Some pool -> analyze ~pool ()
+    | None ->
+      if threads = 1 then analyze ()
+      else
+        Dqo_par.Pool.with_pool ~domains:threads (fun pool -> analyze ~pool ())
+  in
+  (* Learning happens after the whole tree is built: per-node estimation
+     above must read a store that does not change mid-analysis. *)
+  if t.opts.feedback then ignore (learn_from_analysis t ~metrics:m p root);
+  (rel, root)
+
+let run t ?mode ?threads l =
+  let mode = resolve_mode t mode in
+  let threads = resolve_threads t threads in
+  (* execute's label: run has always surfaced thread validation under
+     the execute contract, and callers pin that message. *)
+  if threads < 1 then invalid_arg "Engine.execute: threads < 1";
+  (* With feedback enabled, even plain [run]s execute analysed so the
+     correction store keeps learning from live traffic. *)
+  if threads = 1 then
+    let p = (plan t ~threads:1 mode l).Dqo_opt.Pareto.plan in
+    if t.opts.feedback then fst (execute_analyzed t ~threads:1 p)
+    else execute_in t p
+  else
+    (* One pool serves both phases: the search fans DP levels over it,
+       then the chosen plan executes on the same domains. *)
+    Dqo_par.Pool.with_pool ~domains:threads (fun pool ->
+        let p = (plan t ~pool mode l).Dqo_opt.Pareto.plan in
+        if t.opts.feedback then fst (execute_analyzed t ~pool p)
+        else execute_in t ~pool p)
 
 type analysis = {
   entry : Dqo_opt.Pareto.entry;
@@ -554,7 +614,7 @@ let explain_analyze t ?mode ?threads l =
     let entries, search_stats =
       Dqo_obs.Metrics.span metrics "optimize" (fun () ->
           Dqo_opt.Search.optimize_entries ~model:t.model ?pool ~metrics
-            search_mode t.catalog l)
+            ?feedback:(active_feedback t) search_mode t.catalog l)
     in
     let entry = Dqo_opt.Pareto.cheapest entries in
     let result, root =
@@ -641,6 +701,9 @@ type prepared = {
   p_mode : mode;
   mutable entry : Dqo_opt.Pareto.entry;
   mutable p_generation : int;
+  (* Worst per-node q-error observed while executing this plan since it
+     was last (re-)prepared; 1.0 = every estimate was perfect. *)
+  mutable p_worst_q : float;
 }
 
 exception
@@ -657,6 +720,7 @@ let prepare t ?pool ?mode sql =
     p_mode = mode;
     entry = plan t ?pool mode (Dqo_sql.Binder.plan_of_sql t.catalog sql);
     p_generation = t.generation;
+    p_worst_q = 1.0;
   }
 
 let prepared_entry p = p.entry
@@ -664,15 +728,25 @@ let prepared_sql p = p.p_sql
 let prepared_mode p = p.p_mode
 let prepared_generation p = p.p_generation
 let prepared_stale t p = p.p_generation <> t.generation
+let prepared_worst_q p = p.p_worst_q
+
+(* The plan has drifted: its observed misestimation crossed the
+   threshold, so replanning (against the corrected store) is warranted
+   even though the physical design is unchanged. *)
+let prepared_drifted t p =
+  t.opts.feedback && p.p_worst_q >= t.opts.qerror_threshold
 
 let reprepare t ?pool p =
   p.entry <-
     plan t ?pool p.p_mode (Dqo_sql.Binder.plan_of_sql t.catalog p.p_sql);
-  p.p_generation <- t.generation
+  p.p_generation <- t.generation;
+  p.p_worst_q <- 1.0
 
 (* Shared lifecycle gate: a prepared plan from an older catalog
-   generation either re-optimises in place (opt-in) or raises.  A
-   replan triggered while serving runs on the caller's pool. *)
+   generation either re-optimises in place (opt-in) or raises; a plan
+   past the q-error drift threshold re-optimises on the opt-in path
+   (never raises — a drifted plan is still correct, just suboptimal).
+   A replan triggered while serving runs on the caller's pool. *)
 let check_prepared t ?pool ~reprepare:re p =
   if prepared_stale t p then begin
     if re then reprepare t ?pool p
@@ -685,14 +759,27 @@ let check_prepared t ?pool ~reprepare:re p =
              engine_generation = t.generation;
            })
   end
+  else if re && prepared_drifted t p then reprepare t ?pool p
 
-let execute_prepared t ?(reprepare = false) ?threads p =
+(* With feedback on, prepared executions run analysed so the store keeps
+   learning and the statement tracks its own worst q-error. *)
+let run_prepared_feedback t ?metrics ?pool ?threads p =
+  let rel, root =
+    execute_analyzed t ?metrics ?pool ?threads p.entry.Dqo_opt.Pareto.plan
+  in
+  p.p_worst_q <-
+    Float.max p.p_worst_q (Dqo_opt.Explain.max_q_error root);
+  rel
+
+let execute_prepared t ?metrics ?(reprepare = false) ?threads p =
   check_prepared t ~reprepare p;
-  execute t ?threads p.entry.Dqo_opt.Pareto.plan
+  if t.opts.feedback then run_prepared_feedback t ?metrics ?threads p
+  else execute t ?threads p.entry.Dqo_opt.Pareto.plan
 
-let execute_prepared_on t ~pool ?(reprepare = false) p =
+let execute_prepared_on t ~pool ?metrics ?(reprepare = false) p =
   check_prepared t ~pool ~reprepare p;
-  execute_on t ~pool p.entry.Dqo_opt.Pareto.plan
+  if t.opts.feedback then run_prepared_feedback t ?metrics ~pool p
+  else execute_on t ~pool p.entry.Dqo_opt.Pareto.plan
 
 (* ------------------------------------------------------------------ *)
 (* Answering grouping queries from materialised-grouping AVs.          *)

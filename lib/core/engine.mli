@@ -28,6 +28,17 @@ type opts = {
           [threads]-domain pool when [> 1].  Results are identical to
           [threads = 1] — the parallel operators are deterministic by
           construction. *)
+  feedback : bool;
+      (** Close the cardinality-feedback loop: planning reads the
+          handle's correction store ({!corrections}), and every
+          [run] / prepared / analysed execution runs annotated, diffing
+          per-node estimates against actuals and folding the result
+          back into the store. *)
+  qerror_threshold : float;
+      (** With [feedback], a prepared statement whose worst observed
+          per-node q-error reaches this value is considered {e drifted}
+          and auto-replans on the next opt-in execution (serving does
+          this transparently).  Must be at least 1.0. *)
 }
 (** Execution options carried by the engine handle.  Every entry point
     that used to take scattered [?mode] / [?threads] optionals now
@@ -37,18 +48,26 @@ type opts = {
     {!create} or {!set_opts}. *)
 
 val default_opts : opts
-(** [{ mode = DQO; threads = 1 }]. *)
+(** [{ mode = DQO; threads = 1; feedback = false;
+      qerror_threshold = 2.0 }]. *)
 
 val create : ?model:Dqo_cost.Model.t -> ?opts:opts -> unit -> t
 (** Fresh engine; the cost model defaults to the paper's Table 2 and
     the execution options to {!default_opts}.
-    @raise Invalid_argument if [opts.threads < 1]. *)
+    @raise Invalid_argument if [opts.threads < 1] or
+    [opts.qerror_threshold < 1.0]. *)
 
 val opts : t -> opts
 
 val set_opts : t -> opts -> unit
 (** Replace the handle's execution options.
-    @raise Invalid_argument if [opts.threads < 1]. *)
+    @raise Invalid_argument if [opts.threads < 1] or
+    [opts.qerror_threshold < 1.0]. *)
+
+val corrections : t -> Dqo_cost.Feedback.t
+(** The handle's cardinality-correction store.  Always present;
+    [opts.feedback] gates whether planning consults it and execution
+    feeds it, so toggling the option preserves what was learned. *)
 
 val register : t -> name:string -> Dqo_data.Relation.t -> unit
 (** Add a base relation; its statistics (sortedness, density, distinct
@@ -128,7 +147,13 @@ val execute_analyzed :
     pool; each domain records into a private registry merged into
     [metrics] after the barrier, keeping the numbers correct under
     parallelism.  An explicit [?pool] reuses a caller-owned pool
-    instead of creating one (its size supplies the [dop]). *)
+    instead of creating one (its size supplies the [dop]).
+
+    With [opts.feedback] enabled, per-node estimates fold in the learned
+    corrections, and after the run the tree is diffed against the
+    estimates: corrections land in {!corrections} and the q-error
+    distribution in [metrics] ([feedback.qerror], per-observation;
+    [feedback.observations]). *)
 
 type analysis = {
   entry : Dqo_opt.Pareto.entry;  (** The chosen plan with its cost. *)
@@ -211,27 +236,49 @@ val prepared_generation : prepared -> int
 val prepared_stale : t -> prepared -> bool
 (** The physical design changed since this plan was (re-)prepared. *)
 
+val prepared_worst_q : prepared -> float
+(** Worst per-node q-error observed while executing this plan since it
+    was last (re-)prepared; [1.0] before any feedback execution. *)
+
+val prepared_drifted : t -> prepared -> bool
+(** [opts.feedback] is on and {!prepared_worst_q} has reached
+    [opts.qerror_threshold]: the stored plan was chosen from estimates
+    now known to be off by at least that factor, and replanning against
+    the corrected store is warranted. *)
+
 val reprepare : t -> ?pool:Dqo_par.Pool.t -> prepared -> unit
-(** Re-optimise the stored plan against the current catalog and stamp
-    the handle with the current generation; like {!prepare}, the search
-    runs on [?pool] when given. *)
+(** Re-optimise the stored plan against the current catalog (and, with
+    feedback on, the current correction store), stamp the handle with
+    the current generation, and reset the statement's worst observed
+    q-error; like {!prepare}, the search runs on [?pool] when given. *)
 
 val execute_prepared :
-  t -> ?reprepare:bool -> ?threads:int -> prepared -> Dqo_data.Relation.t
+  t ->
+  ?metrics:Dqo_obs.Metrics.t ->
+  ?reprepare:bool ->
+  ?threads:int ->
+  prepared ->
+  Dqo_data.Relation.t
 (** Run the stored plan; no optimiser work happens on the fresh path.
     If the physical design changed since prepare time, raises
     {!Stale_plan} — or transparently re-optimises first when
-    [~reprepare:true].  [threads] defaults to the handle's {!opts}. *)
+    [~reprepare:true].  With [~reprepare:true] a {!prepared_drifted}
+    plan also re-optimises (drift never raises: the plan is still
+    correct, just suboptimal).  With [opts.feedback] the execution runs
+    analysed — corrections land in {!corrections}, q-errors in
+    [?metrics], and the statement's {!prepared_worst_q} updates.
+    [threads] defaults to the handle's {!opts}. *)
 
 val execute_prepared_on :
   t ->
   pool:Dqo_par.Pool.t ->
+  ?metrics:Dqo_obs.Metrics.t ->
   ?reprepare:bool ->
   prepared ->
   Dqo_data.Relation.t
 (** {!execute_prepared} on a caller-owned pool (see {!execute_on});
-    with [~reprepare:true], a stale-plan re-optimisation also runs on
-    that pool. *)
+    with [~reprepare:true], a stale- or drifted-plan re-optimisation
+    also runs on that pool. *)
 
 val run_with_views : t -> Dqo_plan.Logical.t -> Dqo_data.Relation.t * bool
 (** Like {!run}, but first tries to answer the query from an installed

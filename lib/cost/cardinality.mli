@@ -19,7 +19,10 @@ val group_by : key_distinct:int -> int
 (** Output cardinality of grouping = distinct keys. *)
 
 val filter : rows:int -> selectivity:float -> int
-(** Rounded, at least 0, at most [rows]. *)
+(** Rounded, at most [rows].  A positive selectivity on a non-empty
+    input is floored at 1 row — an estimate of 0 would make every
+    downstream operator look free; only [rows = 0] or
+    [selectivity <= 0] estimate an empty output. *)
 
 val distinct_after_join : side_distinct:int -> output_rows:int -> int
 (** Distinct values of a column after a join: bounded by both the input's

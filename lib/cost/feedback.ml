@@ -1,0 +1,172 @@
+(* Cardinality-feedback store: per-predicate / per-join-edge correction
+   factors learned from EXPLAIN ANALYZE actuals.  See feedback.mli. *)
+
+module Filter = Dqo_exec.Filter
+
+type pred_class = Point | Inequality | Range | Interval
+
+let pred_class (p : Filter.predicate) =
+  match p with
+  | Filter.Eq _ -> Point
+  | Filter.Ne _ -> Inequality
+  | Filter.Lt _ | Filter.Le _ | Filter.Gt _ | Filter.Ge _ -> Range
+  | Filter.Between _ -> Interval
+
+let pred_class_name = function
+  | Point -> "point"
+  | Inequality -> "inequality"
+  | Range -> "range"
+  | Interval -> "interval"
+
+type key =
+  | Filter_pred of { relation : string; column : string; pclass : pred_class }
+  | Join_edge of { left : string; right : string }
+  | Group_key of { relation : string; column : string }
+
+let filter_key ~relation ~column p =
+  Filter_pred { relation; column; pclass = pred_class p }
+
+(* Join edges are symmetric: the same predicate appears with either
+   orientation depending on which side the DP put on the left, so the
+   key normalises the column pair. *)
+let join_key c1 c2 =
+  if String.compare c1 c2 <= 0 then Join_edge { left = c1; right = c2 }
+  else Join_edge { left = c2; right = c1 }
+
+let group_key ~relation ~column = Group_key { relation; column }
+
+let key_to_string = function
+  | Filter_pred { relation; column; pclass } ->
+    Printf.sprintf "filter(%s.%s %s)" relation column (pred_class_name pclass)
+  | Join_edge { left; right } -> Printf.sprintf "join(%s = %s)" left right
+  | Group_key { relation; column } ->
+    Printf.sprintf "group(%s.%s)" relation column
+
+type correction = {
+  mutable factor : float; (* cumulative actual / uncorrected-estimate *)
+  mutable observations : int;
+  mutable worst_q : float; (* worst q-error ever observed for this key *)
+}
+
+type t = {
+  tbl : (key, correction) Hashtbl.t;
+  mutex : Mutex.t;
+  mutable total_observations : int;
+  mutable runs : int;
+  mutable last_max_q : float; (* max per-node q of the latest learned run *)
+}
+
+let create () =
+  {
+    tbl = Hashtbl.create 32;
+    mutex = Mutex.create ();
+    total_observations = 0;
+    runs = 0;
+    last_max_q = 1.0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Q-error, the standard estimation-quality metric: the factor by which
+   the estimate is off, in whichever direction.  A zero count (est or
+   actual) is scored as half a row so the ratio stays finite and an
+   estimate of 0 against an actual of [n] reports [2n] — previously both
+   sides were clamped to 1 and est=0 vs actual=1 scored a perfect 1.0,
+   hiding exactly the misestimates a feedback loop must detect. *)
+let q_error ~est ~actual =
+  let count n = if n <= 0 then 0.5 else Float.of_int n in
+  let e = count est and a = count actual in
+  Float.max (e /. a) (a /. e)
+
+(* Corrections beyond 1000x in either direction are almost certainly a
+   broken observation (est or actual of 0 on a degenerate input), not a
+   usable signal. *)
+let clamp_factor f = Float.min 1000.0 (Float.max 0.001 f)
+
+let observe t key ~est ~actual =
+  let ratio =
+    clamp_factor (Float.of_int (max 1 actual) /. Float.of_int (max 1 est))
+  in
+  let q = q_error ~est ~actual in
+  locked t (fun () ->
+      t.total_observations <- t.total_observations + 1;
+      match Hashtbl.find_opt t.tbl key with
+      | Some c ->
+        (* The estimate we are scoring was already made with [c.factor]
+           applied, so the residual ratio composes multiplicatively onto
+           it.  On a stable workload this converges in one round and
+           then observes ratio 1 — overwriting with the raw ratio
+           instead would reset a converged factor to 1.0 and oscillate. *)
+        c.factor <- clamp_factor (c.factor *. ratio);
+        c.observations <- c.observations + 1;
+        c.worst_q <- Float.max c.worst_q q
+      | None ->
+        Hashtbl.replace t.tbl key
+          { factor = ratio; observations = 1; worst_q = q })
+
+let note_run t ~max_q =
+  locked t (fun () ->
+      t.runs <- t.runs + 1;
+      t.last_max_q <- max_q)
+
+let factor t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some c -> c.factor
+      | None -> 1.0)
+
+let corrected t key est =
+  if est <= 0 then est
+  else
+    let f = factor t key in
+    if f = 1.0 then est
+    else max 1 (int_of_float (Float.round (Float.of_int est *. f)))
+
+let size t = locked t (fun () -> Hashtbl.length t.tbl)
+let total_observations t = locked t (fun () -> t.total_observations)
+let runs t = locked t (fun () -> t.runs)
+let last_max_q t = locked t (fun () -> t.last_max_q)
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.tbl;
+      t.total_observations <- 0;
+      t.runs <- 0;
+      t.last_max_q <- 1.0)
+
+let entries t =
+  let all =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun k c acc ->
+            (k, { factor = c.factor; observations = c.observations;
+                  worst_q = c.worst_q })
+            :: acc)
+          t.tbl [])
+  in
+  (* Hashtbl order is an implementation detail; reports and JSON must
+     not depend on it. *)
+  List.sort
+    (fun (k1, _) (k2, _) ->
+      String.compare (key_to_string k1) (key_to_string k2))
+    all
+
+let to_json t =
+  let entry (k, c) =
+    Dqo_obs.Json.Obj
+      [
+        ("key", Dqo_obs.Json.String (key_to_string k));
+        ("factor", Dqo_obs.Json.Float c.factor);
+        ("observations", Dqo_obs.Json.Int c.observations);
+        ("worst_q", Dqo_obs.Json.Float c.worst_q);
+      ]
+  in
+  Dqo_obs.Json.Obj
+    [
+      ("corrections", Dqo_obs.Json.List (List.map entry (entries t)));
+      ("total_observations", Dqo_obs.Json.Int (total_observations t));
+      ("runs", Dqo_obs.Json.Int (runs t));
+      ("last_max_q", Dqo_obs.Json.Float (last_max_q t));
+    ]

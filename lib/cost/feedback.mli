@@ -1,0 +1,90 @@
+(** Cardinality-feedback store: the persistent half of the
+    re-optimisation loop.
+
+    EXPLAIN ANALYZE records per-node estimated vs. actual rows; this
+    store diffs them into {e correction factors} keyed by
+    (relation, column, predicate class) for filters, by the (normalised)
+    column pair for join edges, and by (relation, column) for grouping
+    keys.  The optimiser multiplies its textbook estimates by the stored
+    factor, so plans chosen after a misestimated execution use corrected
+    cardinalities.
+
+    Updates compose multiplicatively: the estimate being scored was
+    already made with the stored factor applied, so each observation
+    folds the residual [actual / est] ratio into the factor.  On a
+    stable workload this converges in one round (and then observes
+    ratio 1, leaving the factor alone); it is deterministic for any
+    fixed observation order.  All operations are mutex-protected —
+    executor threads learn while other threads plan against the same
+    store. *)
+
+type pred_class = Point | Inequality | Range | Interval
+(** Predicate shape a filter correction generalises over: [=], [<>],
+    one-sided ranges ([<] [<=] [>] [>=]), and [BETWEEN]. *)
+
+val pred_class : Dqo_exec.Filter.predicate -> pred_class
+
+type key =
+  | Filter_pred of { relation : string; column : string; pclass : pred_class }
+  | Join_edge of { left : string; right : string }
+      (** Normalised: [left <= right] lexicographically. *)
+  | Group_key of { relation : string; column : string }
+
+val filter_key :
+  relation:string -> column:string -> Dqo_exec.Filter.predicate -> key
+
+val join_key : string -> string -> key
+(** Orientation-insensitive: [join_key a b = join_key b a]. *)
+
+val group_key : relation:string -> column:string -> key
+val key_to_string : key -> string
+
+type correction = {
+  mutable factor : float;  (** Cumulative actual / uncorrected-estimate. *)
+  mutable observations : int;
+  mutable worst_q : float;  (** Worst q-error ever observed for the key. *)
+}
+
+type t
+
+val create : unit -> t
+
+val q_error : est:int -> actual:int -> float
+(** [max (est / actual) (actual / est)].  A zero count is scored as half
+    a row, so the ratio stays finite and an estimate of 0 against an
+    actual of [n] reports [2n] (instead of clamping both sides to 1 and
+    calling the misestimate perfect). *)
+
+val observe : t -> key -> est:int -> actual:int -> unit
+(** Record one (estimate, actual) pair for [key].  The [actual / est]
+    ratio multiplies into the stored factor (the result clamped to
+    [\[0.001, 1000\]]); the key's observation count and worst q-error
+    update alongside. *)
+
+val note_run : t -> max_q:float -> unit
+(** Record that one full execution was learned from, with its max
+    per-node q-error. *)
+
+val factor : t -> key -> float
+(** The stored correction factor, or [1.0] when the key is unknown. *)
+
+val corrected : t -> key -> int -> int
+(** [corrected t key est] — [est] scaled by the stored factor, rounded,
+    floored at 1.  Unknown keys and non-positive estimates pass
+    through unchanged. *)
+
+val size : t -> int
+val total_observations : t -> int
+val runs : t -> int
+
+val last_max_q : t -> float
+(** Max per-node q-error of the most recently learned execution
+    ([1.0] before any run). *)
+
+val clear : t -> unit
+
+val entries : t -> (key * correction) list
+(** Snapshot of every correction, sorted by {!key_to_string} — stable
+    across runs and OCaml versions. *)
+
+val to_json : t -> Dqo_obs.Json.t

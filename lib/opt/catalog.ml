@@ -75,3 +75,13 @@ let tables t = t.tables
 
 let columns_of t name =
   List.map fst (find t name).props.Dqo_plan.Props.columns
+
+(* Column names are globally unique across a query's relations (the
+   binder enforces it), so the first catalog entry recording properties
+   for [col] is the base relation that provides it. *)
+let relation_of_column t col =
+  List.find_map
+    (fun ti ->
+      if List.mem_assoc col ti.props.Dqo_plan.Props.columns then Some ti.name
+      else None)
+    t.tables

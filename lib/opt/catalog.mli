@@ -32,3 +32,8 @@ val tables : t -> table_info list
 
 val columns_of : t -> string -> string list
 (** Column names with recorded properties, in catalog order. *)
+
+val relation_of_column : t -> string -> string option
+(** The base relation whose properties record [col], if any — column
+    names are globally unique across a query's relations, so this is
+    the relation a feedback correction for [col] should be keyed by. *)

@@ -4,4 +4,5 @@ let optimize ?model ?pool catalog l =
 let pareto ?model ?pool catalog l =
   Search.optimize_entries ?model ?pool Search.Deep catalog l
 
-let improvement_factor = Search.improvement_factor
+let improvement_factor ?model ?pool catalog l =
+  Search.improvement_factor ?model ?pool catalog l

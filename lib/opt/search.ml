@@ -9,6 +9,7 @@ module Filter = Dqo_exec.Filter
 module Bitset = Dqo_util.Bitset
 module Pool = Dqo_par.Pool
 module Metrics = Dqo_obs.Metrics
+module Feedback = Dqo_cost.Feedback
 
 type mode = Shallow | Deep
 
@@ -51,6 +52,9 @@ type ctx = {
   interesting : string list;
   pool : Pool.t option;
   metrics : Metrics.t option;
+  (* Correction factors learned from earlier executions; read-only
+     during a search, so sharing it across DP workers is safe. *)
+  feedback : Feedback.t option;
   mutable considered : int;
   mutable enforced : int;
   mutable pruned : int;
@@ -202,18 +206,37 @@ let default_selectivity props col p rows =
     | Filter.Lt _ | Filter.Le _ | Filter.Gt _ | Filter.Ge _ -> 0.33
     | Filter.Between _ -> 0.25)
 
+(* Value bounds surviving a predicate on a column currently spanning
+   [lo, hi].  Shared by [narrow_column] (which rewrites the property
+   vector) and the selectivity arithmetic above (via
+   [Filter.selectivity], which integrates the same bounds). *)
+let narrowed_bounds ~lo ~hi (p : Filter.predicate) =
+  match p with
+  | Filter.Eq x -> (max lo x, min hi x)
+  | Filter.Between (a, b) -> (max lo a, min hi b)
+  | Filter.Lt x -> (lo, min hi (x - 1))
+  | Filter.Le x -> (lo, min hi x)
+  | Filter.Gt x -> (max lo (x + 1), hi)
+  | Filter.Ge x -> (max lo x, hi)
+  | Filter.Ne _ -> (lo, hi)
+
 let narrow_column props col p =
   let update (c : Props.column) =
     match p with
     | Filter.Eq x -> { c with Props.lo = x; hi = x; distinct = 1 }
-    | Filter.Between (a, b) ->
-      let lo = max c.Props.lo a and hi = min c.Props.hi b in
-      let span = max 0 (hi - lo + 1) in
-      { c with Props.lo; hi; distinct = min c.Props.distinct span }
     | Filter.Ne _ ->
       (* Exactly one distinct value is filtered out. *)
       { c with Props.distinct = max 1 (c.Props.distinct - 1) }
-    | Filter.Lt _ | Filter.Le _ | Filter.Gt _ | Filter.Ge _ -> c
+    | Filter.Between _ | Filter.Lt _ | Filter.Le _ | Filter.Gt _
+    | Filter.Ge _ ->
+      (* One- and two-sided ranges narrow the bounds alike; leaving
+         [Lt]/[Le]/[Gt]/[Ge] untouched made a range filter followed by a
+         [Between] or a join over-count its distinct values. *)
+      if c.Props.hi < c.Props.lo then c (* bounds unknown (shallow) *)
+      else
+        let lo, hi = narrowed_bounds ~lo:c.Props.lo ~hi:c.Props.hi p in
+        let span = max 0 (hi - lo + 1) in
+        { c with Props.lo; hi; distinct = min c.Props.distinct span }
   in
   {
     props with
@@ -223,9 +246,36 @@ let narrow_column props col p =
         props.Props.columns;
   }
 
+(* Apply a learned correction factor to an operator's estimate; a miss
+   (no feedback, unresolvable column) leaves the estimate untouched. *)
+let correct_filter ctx col p est =
+  match ctx.feedback with
+  | None -> est
+  | Some fb -> (
+    match Catalog.relation_of_column ctx.catalog col with
+    | Some relation ->
+      Feedback.corrected fb (Feedback.filter_key ~relation ~column:col p) est
+    | None -> est)
+
+let correct_join ctx c1 c2 est =
+  match ctx.feedback with
+  | None -> est
+  | Some fb -> Feedback.corrected fb (Feedback.join_key c1 c2) est
+
+let correct_group ctx key est =
+  match ctx.feedback with
+  | None -> est
+  | Some fb -> (
+    match Catalog.relation_of_column ctx.catalog key with
+    | Some relation ->
+      Feedback.corrected fb (Feedback.group_key ~relation ~column:key) est
+    | None -> est)
+
 let select_entry ctx col p (e : Pareto.entry) =
   let sel = default_selectivity e.Pareto.props col p e.Pareto.rows in
-  let rows = Cardinality.filter ~rows:e.Pareto.rows ~selectivity:sel in
+  let est = Cardinality.filter ~rows:e.Pareto.rows ~selectivity:sel in
+  (* A corrected filter estimate still cannot exceed its input. *)
+  let rows = min e.Pareto.rows (correct_filter ctx col p est) in
   let props = scale_columns (narrow_column e.Pareto.props col p) rows in
   {
     Pareto.plan = Physical.Filter_op (e.Pareto.plan, col, p);
@@ -248,8 +298,9 @@ let join_candidates ctx (e1 : Pareto.entry) (e2 : Pareto.entry) c1 c2 =
   let d1 = distinct_or e1.Pareto.props c1 e1.Pareto.rows in
   let d2 = distinct_or e2.Pareto.props c2 e2.Pareto.rows in
   let out_rows =
-    Cardinality.equi_join ~left_rows:e1.Pareto.rows ~right_rows:e2.Pareto.rows
-      ~left_distinct:d1 ~right_distinct:d2
+    correct_join ctx c1 c2
+      (Cardinality.equi_join ~left_rows:e1.Pareto.rows
+         ~right_rows:e2.Pareto.rows ~left_distinct:d1 ~right_distinct:d2)
   in
   let union = Props.union_columns e1.Pareto.props e2.Pareto.props in
   let unordered = scale_columns union out_rows in
@@ -536,6 +587,8 @@ and group_candidates ctx (e : Pareto.entry) key aggs =
   let groups =
     min (max 1 (distinct_or e.Pareto.props key e.Pareto.rows)) (max 1 e.Pareto.rows)
   in
+  (* The group count stays within [1, input rows] even when corrected. *)
+  let groups = min (max 1 e.Pareto.rows) (correct_group ctx key groups) in
   let out_rows = Cardinality.group_by ~key_distinct:groups in
   let key_props sorted =
     let columns =
@@ -592,7 +645,8 @@ and group_candidates ctx (e : Pareto.entry) key aggs =
 
 (* ------------------------------------------------------------------ *)
 
-let optimize_entries ?(model = Model.table2) ?pool ?metrics mode catalog l =
+let optimize_entries ?(model = Model.table2) ?pool ?metrics ?feedback mode
+    catalog l =
   let ctx =
     {
       mode;
@@ -601,6 +655,7 @@ let optimize_entries ?(model = Model.table2) ?pool ?metrics mode catalog l =
       interesting = interesting_columns l;
       pool;
       metrics;
+      feedback;
       considered = 0;
       enforced = 0;
       pruned = 0;
@@ -652,12 +707,12 @@ let stats_to_json (s : stats) =
       ("levels", Dqo_obs.Json.List (List.map level_to_json s.levels));
     ]
 
-let optimize ?model ?pool mode catalog l =
-  let entries, _ = optimize_entries ?model ?pool mode catalog l in
+let optimize ?model ?pool ?feedback mode catalog l =
+  let entries, _ = optimize_entries ?model ?pool ?feedback mode catalog l in
   Pareto.cheapest entries
 
-let improvement_factor ?model ?pool catalog l =
-  let shallow = optimize ?model ?pool Shallow catalog l in
-  let deep = optimize ?model ?pool Deep catalog l in
+let improvement_factor ?model ?pool ?feedback catalog l =
+  let shallow = optimize ?model ?pool ?feedback Shallow catalog l in
+  let deep = optimize ?model ?pool ?feedback Deep catalog l in
   if deep.Pareto.cost <= 0.0 then 1.0
   else shallow.Pareto.cost /. deep.Pareto.cost

@@ -67,6 +67,7 @@ val optimize_entries :
   ?model:Dqo_cost.Model.t ->
   ?pool:Dqo_par.Pool.t ->
   ?metrics:Dqo_obs.Metrics.t ->
+  ?feedback:Dqo_cost.Feedback.t ->
   mode ->
   Catalog.t ->
   Dqo_plan.Logical.t ->
@@ -76,6 +77,11 @@ val optimize_entries :
     byte-identical to the sequential search); with [?metrics], DP
     subproblem counters and wall time ([opt.dp.*]) are recorded there —
     per-domain registries under a pool, merged after each barrier.
+    With [?feedback], every filter, join, and grouping estimate is
+    multiplied by the store's learned correction factor (filters stay
+    capped at their input, group counts at [\[1, rows\]]); the store is
+    only read, so the pooled search stays byte-identical to the
+    sequential one.
     @raise Not_found if the query mentions a relation absent from the
     catalog;
     @raise Invalid_argument if a join has no connecting predicate (cross
@@ -84,6 +90,7 @@ val optimize_entries :
 val optimize :
   ?model:Dqo_cost.Model.t ->
   ?pool:Dqo_par.Pool.t ->
+  ?feedback:Dqo_cost.Feedback.t ->
   mode ->
   Catalog.t ->
   Dqo_plan.Logical.t ->
@@ -93,6 +100,7 @@ val optimize :
 val improvement_factor :
   ?model:Dqo_cost.Model.t ->
   ?pool:Dqo_par.Pool.t ->
+  ?feedback:Dqo_cost.Feedback.t ->
   Catalog.t ->
   Dqo_plan.Logical.t ->
   float

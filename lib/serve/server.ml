@@ -76,21 +76,35 @@ let rec worker_loop srv =
     Metrics.observe
       (Metrics.hist srv.m "serve.queue_wait_ms")
       (ms_of_ns (dequeued_ns - req.submitted_ns));
-    if Engine.prepared_stale srv.eng req.r_stmt.prepared then begin
+    let stale = Engine.prepared_stale srv.eng req.r_stmt.prepared in
+    let drifted =
+      (not stale) && Engine.prepared_drifted srv.eng req.r_stmt.prepared
+    in
+    if stale || drifted then begin
       (* The replan's DP search fans out over the shared pool, like the
-         execution that follows. *)
+         execution that follows.  A drifted plan replans against the
+         correction store updated by the execution that crossed the
+         threshold — the feedback loop closing without any client
+         intervention. *)
       Engine.reprepare srv.eng ~pool:srv.pool req.r_stmt.prepared;
-      Metrics.incr srv.m "serve.replans"
+      Metrics.incr srv.m "serve.replans";
+      if drifted then Metrics.incr srv.m "feedback.replans"
     end;
     Mutex.unlock srv.mutex;
+    (* Feedback metrics (q-error histogram, observation counts) land in
+       a private registry merged under the lock below: [srv.m] is only
+       ever touched with the mutex held. *)
+    let fbm = Metrics.create () in
     let outcome =
       match
-        Engine.execute_prepared_on srv.eng ~pool:srv.pool req.r_stmt.prepared
+        Engine.execute_prepared_on srv.eng ~pool:srv.pool ~metrics:fbm
+          req.r_stmt.prepared
       with
       | rel -> Done rel
       | exception e -> Failed e
     in
     Mutex.lock srv.mutex;
+    Metrics.merge ~into:srv.m fbm;
     Metrics.incr srv.m "serve.requests";
     Metrics.observe
       (Metrics.hist srv.m "serve.latency_ms")

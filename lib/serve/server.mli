@@ -32,7 +32,12 @@
     ([serve.latency_ms], [serve.queue_wait_ms]) plus counters
     ([serve.requests], [serve.rejected], [serve.rows_out],
     [serve.cache_hits], [serve.cache_misses], [serve.replans],
-    [serve.sessions]).
+    [serve.sessions]).  With the engine's feedback option on, the
+    cardinality-feedback loop adds [feedback.qerror] (per-observation
+    histogram), [feedback.observations], and [feedback.replans] — the
+    executor replans a cached statement transparently, before reuse,
+    once its worst observed q-error crosses the engine's threshold
+    (counted under both [serve.replans] and [feedback.replans]).
 
     Engine DDL ([register] / [install_av]) is not synchronised with
     in-flight execution; quiesce the server (await all tickets) before

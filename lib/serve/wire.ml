@@ -85,16 +85,23 @@ let stats_line st =
     | Some h when Metrics.hist_count h > 0 -> Metrics.hist_quantile h p
     | Some _ | None -> 0.0
   in
+  (* [last_max_q] is the worst per-node q-error of the latest execution
+     the feedback loop learned from (1.00 when feedback is off or no
+     analysed execution ran yet) — it lets a wire client watch estimate
+     quality converge across repeated submits. *)
   Printf.sprintf
-    "ok stats requests=%d rejected=%d replans=%d rows_out=%d p50_ms=%.3f \
-     p95_ms=%.3f p99_ms=%.3f"
+    "ok stats requests=%d rejected=%d replans=%d feedback_replans=%d \
+     rows_out=%d p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f last_max_q=%.2f"
     (Metrics.counter m "serve.requests")
     (Metrics.counter m "serve.rejected")
     (Metrics.counter m "serve.replans")
+    (Metrics.counter m "feedback.replans")
     (Metrics.counter m "serve.rows_out")
     (q "serve.latency_ms" 0.50)
     (q "serve.latency_ms" 0.95)
     (q "serve.latency_ms" 0.99)
+    (Dqo_cost.Feedback.last_max_q
+       (Dqo_engine.Engine.corrections (Server.engine st.server)))
 
 (* Split off the first [n] whitespace-separated tokens; the remainder
    (for [prepare]'s SQL) keeps its internal spacing. *)

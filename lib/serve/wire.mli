@@ -18,8 +18,11 @@
       request runs concurrently), or [error overloaded limit=<n>]
     - [wait <tid>] → [result ticket=<tid> rows=<n> cols=<k>
       sum=<digest>] (digest only — pair with [exec] to fetch rows)
-    - [stats] → one [ok stats requests=... rejected=... p50_ms=...
-      p95_ms=... p99_ms=...] line
+    - [stats] → one [ok stats requests=... rejected=... replans=...
+      feedback_replans=... rows_out=... p50_ms=... p95_ms=... p99_ms=...
+      last_max_q=...] line ([feedback_replans] counts drift-triggered
+      re-optimisations; [last_max_q] is the worst per-node q-error of
+      the latest execution the feedback loop learned from)
     - [quit] → [ok bye] and the loop returns
 
     Malformed input answers a single [error <reason>] line and keeps

@@ -123,6 +123,96 @@ let test_cardinality_mn_join () =
     (Cardinality.equi_join ~left_rows:1_000 ~right_rows:1_000
        ~left_distinct:100 ~right_distinct:50)
 
+let test_filter_floor () =
+  (* A positive selectivity on a non-empty input must never estimate 0
+     rows: 1000 * 0.0004 rounds to 0, which used to poison every cost
+     above the filter (and made q-error blind to the misestimate). *)
+  Alcotest.(check int) "tiny selectivity floors at 1" 1
+    (Cardinality.filter ~rows:1_000 ~selectivity:0.0004);
+  Alcotest.(check int) "zero selectivity still 0" 0
+    (Cardinality.filter ~rows:1_000 ~selectivity:0.0);
+  Alcotest.(check int) "empty input still 0" 0
+    (Cardinality.filter ~rows:0 ~selectivity:0.5)
+
+(* --- feedback store -------------------------------------------------------- *)
+
+module Feedback = Dqo_cost.Feedback
+module Filter = Dqo_exec.Filter
+
+let test_feedback_q_error () =
+  Alcotest.(check (float 1e-9)) "exact" 1.0 (Feedback.q_error ~est:10 ~actual:10);
+  Alcotest.(check (float 1e-9)) "under" 4.0 (Feedback.q_error ~est:25 ~actual:100);
+  Alcotest.(check (float 1e-9)) "over" 4.0 (Feedback.q_error ~est:100 ~actual:25);
+  (* est=0 vs actual=n must report the misestimate, not a perfect 1.0 —
+     a zero count scores as half a row. *)
+  Alcotest.(check (float 1e-9)) "zero est vs 1" 2.0
+    (Feedback.q_error ~est:0 ~actual:1);
+  Alcotest.(check (float 1e-9)) "zero est vs n" 200.0
+    (Feedback.q_error ~est:0 ~actual:100);
+  Alcotest.(check (float 1e-9)) "both zero" 1.0
+    (Feedback.q_error ~est:0 ~actual:0)
+
+let test_feedback_store () =
+  let fb = Feedback.create () in
+  let key = Feedback.filter_key ~relation:"S" ~column:"b" (Filter.Le 9) in
+  Alcotest.(check (float 1e-9)) "unknown key factor" 1.0 (Feedback.factor fb key);
+  Alcotest.(check int) "unknown key passes through" 900
+    (Feedback.corrected fb key 900);
+  Feedback.observe fb key ~est:900 ~actual:35_100;
+  Alcotest.(check (float 1e-6)) "factor = actual/est" 39.0
+    (Feedback.factor fb key);
+  Alcotest.(check int) "corrected estimate" 35_100 (Feedback.corrected fb key 900);
+  (* The corrected estimate observes ratio 1: the factor must not reset
+     (latest-wins would oscillate between corrected and uncorrected). *)
+  Feedback.observe fb key ~est:35_100 ~actual:35_100;
+  Alcotest.(check (float 1e-6)) "converged factor stable" 39.0
+    (Feedback.factor fb key);
+  (* A residual error composes multiplicatively. *)
+  Feedback.observe fb key ~est:35_100 ~actual:17_550;
+  Alcotest.(check (float 1e-6)) "residual composes" 19.5 (Feedback.factor fb key);
+  Alcotest.(check int) "one key" 1 (Feedback.size fb);
+  Alcotest.(check int) "three observations" 3 (Feedback.total_observations fb);
+  (match Feedback.entries fb with
+  | [ (_, c) ] ->
+    Alcotest.(check int) "entry observations" 3 c.Feedback.observations;
+    Alcotest.(check (float 1e-6)) "worst q retained" 39.0 c.Feedback.worst_q
+  | _ -> Alcotest.fail "expected exactly one entry");
+  Feedback.clear fb;
+  Alcotest.(check int) "cleared" 0 (Feedback.size fb);
+  Alcotest.(check (float 1e-9)) "cleared factor" 1.0 (Feedback.factor fb key)
+
+let test_feedback_keys () =
+  (* Join edges are orientation-insensitive. *)
+  Alcotest.(check bool) "join key normalised" true
+    (Feedback.join_key "id" "r_id" = Feedback.join_key "r_id" "id");
+  (* One-sided ranges share a class; Eq / Ne / Between each have their
+     own — a correction for [b <= 9] must not leak onto [b = 9]. *)
+  let k p = Feedback.filter_key ~relation:"S" ~column:"b" p in
+  Alcotest.(check bool) "Lt and Ge share the range class" true
+    (k (Filter.Lt 9) = k (Filter.Ge 9));
+  Alcotest.(check bool) "Eq distinct from Le" false (k (Filter.Eq 9) = k (Filter.Le 9));
+  Alcotest.(check bool) "Ne distinct from Le" false (k (Filter.Ne 9) = k (Filter.Le 9));
+  Alcotest.(check bool) "Between distinct from Le" false
+    (k (Filter.Between (0, 9)) = k (Filter.Le 9));
+  Alcotest.(check bool) "columns distinct" false
+    (Feedback.group_key ~relation:"S" ~column:"b"
+    = Feedback.group_key ~relation:"S" ~column:"a")
+
+let test_feedback_clamps () =
+  let fb = Feedback.create () in
+  let key = Feedback.group_key ~relation:"S" ~column:"b" in
+  Feedback.observe fb key ~est:1 ~actual:10_000_000;
+  Alcotest.(check (float 1e-6)) "factor clamped high" 1000.0
+    (Feedback.factor fb key);
+  let key2 = Feedback.group_key ~relation:"S" ~column:"c" in
+  Feedback.observe fb key2 ~est:10_000_000 ~actual:1;
+  Alcotest.(check (float 1e-6)) "factor clamped low" 0.001
+    (Feedback.factor fb key2);
+  (* Non-positive estimates pass through uncorrected. *)
+  Alcotest.(check int) "zero est untouched" 0 (Feedback.corrected fb key 0);
+  (* Positive estimates are floored at 1 after scaling down. *)
+  Alcotest.(check int) "scaled-down floor" 1 (Feedback.corrected fb key2 100)
+
 (* --- calibration ----------------------------------------------------------- *)
 
 let test_calibration_sane () =
@@ -164,6 +254,14 @@ let () =
         [
           Alcotest.test_case "fk join" `Quick test_cardinality_fk_join;
           Alcotest.test_case "m:n join" `Quick test_cardinality_mn_join;
+          Alcotest.test_case "filter floor" `Quick test_filter_floor;
+        ] );
+      ( "feedback",
+        [
+          Alcotest.test_case "q-error" `Quick test_feedback_q_error;
+          Alcotest.test_case "store" `Quick test_feedback_store;
+          Alcotest.test_case "keys" `Quick test_feedback_keys;
+          Alcotest.test_case "clamps" `Quick test_feedback_clamps;
         ] );
       ( "calibration",
         [ Alcotest.test_case "sane measurements" `Slow test_calibration_sane ]

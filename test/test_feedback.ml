@@ -1,0 +1,181 @@
+(* The cardinality-feedback re-optimisation loop, end to end: analysed
+   executions learn correction factors, prepared statements track their
+   worst observed q-error, and crossing the engine's threshold replans
+   the cached statement — transparently in the server. *)
+
+module Engine = Dqo_engine.Engine
+module Server = Dqo_serve.Server
+module Feedback = Dqo_cost.Feedback
+module Metrics = Dqo_obs.Metrics
+module Datagen = Dqo_data.Datagen
+module Relation = Dqo_data.Relation
+module Column = Dqo_data.Column
+module Rng = Dqo_util.Rng
+module Pareto = Dqo_opt.Pareto
+
+(* S.b drawn from Zipf(1.0) over [0, 1000): the measured catalog assumes
+   b is uniform on its value range, so [b <= 9] is estimated at ~1% but
+   actually keeps roughly 39% of the table — a ~39x misestimate. *)
+let skewed_db () =
+  let rng = Rng.create ~seed:2020 in
+  let pair =
+    Datagen.fk_pair ~rng ~r_rows:2_500 ~s_rows:9_000 ~r_groups:2_000
+      ~r_sorted:false ~s_sorted:false ~dense:true
+  in
+  let r_id = Relation.int_column pair.Datagen.s "r_id" in
+  let b =
+    Datagen.zipf_keys ~rng ~n:(Array.length r_id) ~groups:1_000 ~theta:1.0
+  in
+  let s =
+    Relation.create
+      (Relation.schema pair.Datagen.s)
+      [ Column.Ints (Array.copy r_id); Column.Ints b ]
+  in
+  let db = Engine.create () in
+  Engine.register db ~name:"R" pair.Datagen.r;
+  Engine.register db ~name:"S" s;
+  db
+
+let misestimated_sql = "SELECT b, COUNT(*) AS c FROM S WHERE b <= 9 GROUP BY b"
+
+let with_feedback db =
+  Engine.set_opts db { Engine.default_opts with Engine.feedback = true };
+  db
+
+(* --- learning -------------------------------------------------------- *)
+
+let test_learns_and_replans () =
+  let db = with_feedback (skewed_db ()) in
+  let p = Engine.prepare db misestimated_sql in
+  Alcotest.(check (float 1e-9)) "fresh statement worst q" 1.0
+    (Engine.prepared_worst_q p);
+  Alcotest.(check bool) "fresh statement not drifted" false
+    (Engine.prepared_drifted db p);
+  (* The root estimate (group output) is distinct-capped either way, so
+     the corrected filter estimate shows up in the plan's cost. *)
+  let cost_before = (Engine.prepared_entry p).Pareto.cost in
+  let m = Metrics.create () in
+  let first = Engine.execute_prepared db ~metrics:m ~reprepare:true p in
+  (* The analysed execution learned: corrections landed in the store,
+     q-errors in the metrics, and the statement saw its misestimate. *)
+  Alcotest.(check bool) "corrections learned" true
+    (Feedback.size (Engine.corrections db) > 0);
+  Alcotest.(check bool) "observations counted" true
+    (Metrics.counter m "feedback.observations" > 0);
+  Alcotest.(check bool) "q-error histogram recorded" true
+    (match Metrics.find_hist m "feedback.qerror" with
+    | Some h -> Metrics.hist_count h > 0
+    | None -> false);
+  let q1 = Engine.prepared_worst_q p in
+  Alcotest.(check bool) "misestimate observed (q >= 2)" true (q1 >= 2.0);
+  Alcotest.(check bool) "statement drifted" true (Engine.prepared_drifted db p);
+  (* Executing the drifted statement replans it transparently first:
+     the q-error tracker resets, then records the corrected round. *)
+  let second = Engine.execute_prepared db ~reprepare:true p in
+  let q2 = Engine.prepared_worst_q p in
+  Alcotest.(check bool) "replanned estimate moved" true
+    ((Engine.prepared_entry p).Pareto.cost <> cost_before);
+  Alcotest.(check bool) "q-error improved at least 2x" true (q1 /. q2 >= 2.0);
+  Alcotest.(check bool) "no longer drifted" false (Engine.prepared_drifted db p);
+  Alcotest.(check bool) "results identical across replan" true (first = second)
+
+let test_threshold_is_inclusive () =
+  let db = with_feedback (skewed_db ()) in
+  let p = Engine.prepare db misestimated_sql in
+  ignore (Engine.execute_prepared db ~reprepare:true p);
+  let q = Engine.prepared_worst_q p in
+  (* Replanning triggers exactly at the threshold (>=), not beyond it. *)
+  Engine.set_opts db
+    { Engine.default_opts with Engine.feedback = true; qerror_threshold = q };
+  Alcotest.(check bool) "q = threshold drifts" true (Engine.prepared_drifted db p);
+  Engine.set_opts db
+    {
+      Engine.default_opts with
+      Engine.feedback = true;
+      qerror_threshold = q +. 0.01;
+    };
+  Alcotest.(check bool) "q just below threshold holds" false
+    (Engine.prepared_drifted db p);
+  (* Feedback off: drift is never reported, whatever was observed. *)
+  Engine.set_opts db Engine.default_opts;
+  Alcotest.(check bool) "no drift with feedback off" false
+    (Engine.prepared_drifted db p)
+
+let test_corrections_survive_reprepare () =
+  let db = with_feedback (skewed_db ()) in
+  let p = Engine.prepare db misestimated_sql in
+  ignore (Engine.execute_prepared db ~reprepare:true p);
+  let size = Feedback.size (Engine.corrections db) in
+  let runs = Feedback.runs (Engine.corrections db) in
+  Engine.reprepare db p;
+  Alcotest.(check int) "store size unchanged" size
+    (Feedback.size (Engine.corrections db));
+  Alcotest.(check int) "runs unchanged" runs
+    (Feedback.runs (Engine.corrections db));
+  Alcotest.(check (float 1e-9)) "worst q reset by reprepare" 1.0
+    (Engine.prepared_worst_q p);
+  (* The replanned statement used the surviving corrections: a fresh
+     prepare of the same SQL prices its plan identically. *)
+  Alcotest.(check (float 1e-9)) "fresh prepare sees corrections"
+    (Engine.prepared_entry p).Pareto.cost
+    (Engine.prepared_entry (Engine.prepare db misestimated_sql)).Pareto.cost
+
+let test_feedback_off_learns_nothing () =
+  let db = skewed_db () in
+  let p = Engine.prepare db misestimated_sql in
+  ignore (Engine.execute_prepared db p);
+  Alcotest.(check int) "no corrections" 0 (Feedback.size (Engine.corrections db));
+  Alcotest.(check (float 1e-9)) "no q tracked" 1.0 (Engine.prepared_worst_q p)
+
+(* --- serving --------------------------------------------------------- *)
+
+let test_server_auto_replans () =
+  let db = with_feedback (skewed_db ()) in
+  let srv = Server.create ~workers:2 db in
+  Fun.protect
+    ~finally:(fun () -> Server.shutdown srv)
+    (fun () ->
+      let s = Server.open_session srv in
+      let stmt = Server.prepare s misestimated_sql in
+      let first = Server.execute s stmt in
+      let q1 = Feedback.last_max_q (Engine.corrections db) in
+      let second = Server.execute s stmt in
+      let q2 = Feedback.last_max_q (Engine.corrections db) in
+      Server.close_session s;
+      let m = Server.metrics srv in
+      (* The second request found the cached statement drifted and
+         replanned it before executing — no client intervention. *)
+      Alcotest.(check bool) "feedback replan counted" true
+        (Metrics.counter m "feedback.replans" >= 1);
+      Alcotest.(check bool) "also counted as a serve replan" true
+        (Metrics.counter m "serve.replans"
+        >= Metrics.counter m "feedback.replans");
+      Alcotest.(check bool) "first round badly misestimated" true (q1 >= 2.0);
+      Alcotest.(check bool) "second round improved at least 2x" true
+        (q1 /. q2 >= 2.0);
+      Alcotest.(check bool) "feedback q-errors in server metrics" true
+        (match Metrics.find_hist m "feedback.qerror" with
+        | Some h -> Metrics.hist_count h > 0
+        | None -> false);
+      Alcotest.(check bool) "results identical across replan" true
+        (Relation.rows first = Relation.rows second))
+
+let () =
+  Alcotest.run "dqo_feedback"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "learns and replans" `Quick test_learns_and_replans;
+          Alcotest.test_case "threshold inclusive" `Quick
+            test_threshold_is_inclusive;
+          Alcotest.test_case "corrections survive reprepare" `Quick
+            test_corrections_survive_reprepare;
+          Alcotest.test_case "off by default" `Quick
+            test_feedback_off_learns_nothing;
+        ] );
+      ( "serving",
+        [
+          Alcotest.test_case "server auto-replans" `Quick
+            test_server_auto_replans;
+        ] );
+    ]

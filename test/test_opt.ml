@@ -280,6 +280,50 @@ let test_ne_narrows_distinct_for_grouping () =
   let e = Search.optimize Search.Deep catalog q in
   Alcotest.(check int) "19999 estimated groups" 19_999 e.Pareto.rows
 
+(* --- range narrowing regression --------------------------------------- *)
+
+(* One-sided ranges ([<] [<=] [>] [>=]) used to leave the column's
+   lo/hi/distinct untouched and fall back to a hard-coded 0.33
+   selectivity even when the bounds were known — so a range filter
+   followed by a grouping (or a join) over-counted distinct values by
+   the whole unfiltered domain. *)
+
+let test_range_selectivity_from_bounds () =
+  let catalog = figure5_catalog ~r_sorted:false ~s_sorted:false ~dense:true in
+  let r = (Catalog.find catalog "R").Catalog.props in
+  (* R.a spans [0, 19999]: a <= 4999 keeps exactly a quarter of it. *)
+  Alcotest.(check (float 1e-9)) "Le from bounds" 0.25
+    (Search.default_selectivity r "a" (Dqo_exec.Filter.Le 4_999) 25_000);
+  Alcotest.(check (float 1e-9)) "Lt from bounds" 0.25
+    (Search.default_selectivity r "a" (Dqo_exec.Filter.Lt 5_000) 25_000);
+  Alcotest.(check (float 1e-9)) "Gt from bounds" 0.25
+    (Search.default_selectivity r "a" (Dqo_exec.Filter.Gt 14_999) 25_000);
+  Alcotest.(check (float 1e-9)) "Ge from bounds" 0.25
+    (Search.default_selectivity r "a" (Dqo_exec.Filter.Ge 15_000) 25_000)
+
+let test_range_narrows_distinct_for_grouping () =
+  (* Downstream effect: grouping above a one-sided range must expect
+     only the surviving slice of the key domain — 5,000 groups here,
+     exactly as an equivalent BETWEEN always did. *)
+  let catalog = figure5_catalog ~r_sorted:false ~s_sorted:false ~dense:true in
+  let grouped pred =
+    Logical.group_by
+      (Logical.select (Logical.scan "R") "a" pred)
+      ~key:"a"
+      [ Logical.count_star () ]
+  in
+  List.iter
+    (fun (name, pred) ->
+      let e = Search.optimize Search.Deep catalog (grouped pred) in
+      Alcotest.(check int) name 5_000 e.Pareto.rows)
+    [
+      ("a <= 4999", Dqo_exec.Filter.Le 4_999);
+      ("a < 5000", Dqo_exec.Filter.Lt 5_000);
+      ("a >= 15000", Dqo_exec.Filter.Ge 15_000);
+      ("a > 14999", Dqo_exec.Filter.Gt 14_999);
+      ("a between 0 and 4999", Dqo_exec.Filter.Between (0, 4_999));
+    ]
+
 (* --- search stats ---------------------------------------------------- *)
 
 let test_deep_searches_more_plans () =
@@ -686,6 +730,40 @@ let test_parallel_shared_pool_concurrent () =
             e results.(i))
         expected)
 
+(* The determinism contract survives cardinality feedback: the store is
+   read-only during a search, so planning with a corrections-loaded
+   store is byte-identical between the sequential and pooled paths —
+   and the corrections really do move the estimates. *)
+let test_parallel_matches_sequential_with_feedback () =
+  let module Feedback = Dqo_cost.Feedback in
+  let catalog = figure5_catalog ~r_sorted:false ~s_sorted:false ~dense:true in
+  let fb = Feedback.create () in
+  Feedback.observe fb
+    (Feedback.join_key "id" "r_id")
+    ~est:90_000 ~actual:45_000;
+  Feedback.observe fb
+    (Feedback.group_key ~relation:"R" ~column:"a")
+    ~est:20_000 ~actual:10_000;
+  let corrected =
+    fingerprint
+      (Search.optimize_entries ~feedback:fb Search.Deep catalog figure5_query)
+  in
+  let uncorrected =
+    fingerprint (Search.optimize_entries Search.Deep catalog figure5_query)
+  in
+  Alcotest.(check bool) "corrections move the estimates" true
+    (corrected <> uncorrected);
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          Alcotest.(check string)
+            (Printf.sprintf "feedback search, domains=%d" domains)
+            corrected
+            (fingerprint
+               (Search.optimize_entries ~pool ~feedback:fb Search.Deep catalog
+                  figure5_query))))
+    [ 2; 4 ]
+
 (* End to end through the serving front end: a statement prepared on a
    live server (whose replans and prepares plan on the shared serve
    pool) carries exactly the plan and cost the sequential engine
@@ -713,7 +791,8 @@ let test_parallel_serve_pool_prepare () =
   in
   let sequential = entry_fp (Engine.plan_sql (mk_db ()) ~threads:1 Engine.DQO sql) in
   let db = mk_db () in
-  Engine.set_opts db { Engine.mode = Engine.DQO; threads = 2 };
+  Engine.set_opts db
+    { Engine.default_opts with Engine.mode = Engine.DQO; threads = 2 };
   let srv = Server.create ~threads:2 db in
   Fun.protect
     ~finally:(fun () -> Server.shutdown srv)
@@ -776,6 +855,10 @@ let () =
             test_ne_filter_reduces_shallow_estimate;
           Alcotest.test_case "Ne narrows grouping estimate" `Quick
             test_ne_narrows_distinct_for_grouping;
+          Alcotest.test_case "ranges use known bounds" `Quick
+            test_range_selectivity_from_bounds;
+          Alcotest.test_case "ranges narrow grouping estimate" `Quick
+            test_range_narrows_distinct_for_grouping;
         ] );
       ( "search",
         [
@@ -806,6 +889,8 @@ let () =
             test_parallel_domain_sweep_deep_model;
           Alcotest.test_case "shared pool, concurrent submitters" `Quick
             test_parallel_shared_pool_concurrent;
+          Alcotest.test_case "pool matches sequential with feedback" `Quick
+            test_parallel_matches_sequential_with_feedback;
           Alcotest.test_case "serve-pool prepare" `Quick
             test_parallel_serve_pool_prepare;
         ] );

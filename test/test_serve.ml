@@ -171,8 +171,11 @@ let test_engine_opts () =
   Alcotest.(check bool) "defaults" true
     (Engine.opts db = Engine.default_opts);
   let seq = Engine.run_sql db demo_sql in
-  Engine.set_opts db { Engine.mode = Engine.DQO; threads = 2 };
+  Engine.set_opts db
+    { Engine.default_opts with Engine.mode = Engine.DQO; threads = 2 };
   Alcotest.(check int) "threads stored" 2 (Engine.opts db).Engine.threads;
+  Alcotest.(check bool) "feedback defaults off" false
+    (Engine.opts db).Engine.feedback;
   Alcotest.(check bool) "opts-default threads byte-identical" true
     (Engine.run_sql db demo_sql = seq);
   (* Per-call optionals still override the handle. *)
@@ -180,13 +183,19 @@ let test_engine_opts () =
     (Engine.run_sql db ~threads:1 demo_sql = seq);
   Alcotest.check_raises "bad opts rejected"
     (Invalid_argument "Engine.opts: threads < 1") (fun () ->
-      Engine.set_opts db { Engine.mode = Engine.DQO; threads = 0 })
+      Engine.set_opts db
+        { Engine.default_opts with Engine.mode = Engine.DQO; threads = 0 });
+  Alcotest.check_raises "bad threshold rejected"
+    (Invalid_argument "Engine.opts: qerror_threshold < 1.0") (fun () ->
+      Engine.set_opts db
+        { Engine.default_opts with Engine.qerror_threshold = 0.5 })
 
 (* --- wire protocol ------------------------------------------------------ *)
 
 let run_wire ?(threads = 2) script =
   let db = demo_db () in
-  Engine.set_opts db { Engine.mode = Engine.DQO; threads };
+  Engine.set_opts db
+    { Engine.default_opts with Engine.mode = Engine.DQO; threads };
   let srv = Server.create ~max_inflight:4 db in
   let r_in, w_in = Unix.pipe () in
   let ic = Unix.in_channel_of_descr r_in in
