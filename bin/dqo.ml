@@ -318,17 +318,64 @@ let avsp_cmd =
 
 let serve_cmd =
   let action mode threads feedback qerror_threshold workers max_inflight
-      r_rows s_rows groups sorted sparse skew seed =
+      advisor av_budget advisor_interval r_rows s_rows groups sorted sparse
+      skew seed =
     let db = make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~skew ~seed in
     Dqo_engine.Engine.set_opts db
       { Dqo_engine.Engine.mode; threads; feedback; qerror_threshold };
-    let srv = Dqo_serve.Server.create ~max_inflight ~workers db in
-    Printf.printf "ready pool=%d workers=%d max_inflight=%d\n%!"
+    let advisor_cfg =
+      if advisor then
+        Some
+          {
+            Dqo_advisor.Advisor.default_config with
+            Dqo_advisor.Advisor.budget_bytes = av_budget;
+          }
+      else None
+    in
+    let srv =
+      Dqo_serve.Server.create ~max_inflight ~workers ?advisor:advisor_cfg
+        ~advisor_interval db
+    in
+    Printf.printf "ready pool=%d workers=%d max_inflight=%d%s\n%!"
       (Dqo_serve.Server.pool_size srv)
-      workers max_inflight;
+      workers max_inflight
+      (if advisor then
+         Printf.sprintf " advisor=on budget=%d interval=%.1f" av_budget
+           advisor_interval
+       else "");
     Fun.protect
       ~finally:(fun () -> Dqo_serve.Server.shutdown srv)
       (fun () -> Dqo_serve.Wire.serve srv stdin stdout)
+  in
+  let advisor =
+    Arg.(
+      value & flag
+      & info [ "advisor" ]
+          ~doc:
+            "Enable the online AV advisor: every successful execution \
+             feeds a sliding-window workload log, and each advisor tick \
+             materialises (and evicts) algorithmic views under the \
+             $(b,--av-budget) memory budget.  Tick with the wire \
+             $(b,advise) command, or periodically via \
+             $(b,--advisor-interval).")
+  in
+  let av_budget =
+    Arg.(
+      value
+      & opt int Dqo_advisor.Advisor.default_config.Dqo_advisor.Advisor.budget_bytes
+      & info [ "av-budget" ] ~docv:"BYTES"
+          ~doc:
+            "Memory budget for materialised AVs (measured resident \
+             bytes, engine-wide).")
+  in
+  let advisor_interval =
+    Arg.(
+      value & opt float 0.0
+      & info [ "advisor-interval" ] ~docv:"SECONDS"
+          ~doc:
+            "Background advisor tick period; 0 (the default) disables \
+             the background thread, leaving ticks to the wire \
+             $(b,advise) command.")
   in
   let workers =
     Arg.(
@@ -350,12 +397,15 @@ let serve_cmd =
          "Serve prepared-statement executions over a line protocol on \
           stdin/stdout.  One long-lived pool of $(b,--threads) domains is \
           shared by every request; sessions, a server-wide statement \
-          cache, and bounded admission ride on top.  Commands: open, \
-          close, prepare, exec, submit, wait, stats, quit.")
+          cache, and bounded admission ride on top.  With $(b,--advisor) \
+          the server self-tunes its physical design from the observed \
+          workload.  Commands: open, close, prepare, exec, submit, wait, \
+          advise, stats, quit.")
     Term.(
       const action $ mode_arg $ threads_arg $ feedback_arg
-      $ qerror_threshold_arg $ workers $ max_inflight $ r_rows $ s_rows
-      $ groups $ sorted $ sparse $ skew $ seed)
+      $ qerror_threshold_arg $ workers $ max_inflight $ advisor $ av_budget
+      $ advisor_interval $ r_rows $ s_rows $ groups $ sorted $ sparse $ skew
+      $ seed)
 
 let () =
   let doc = "Deep Query Optimisation (CIDR 2020) — reproduction toolkit" in

@@ -16,10 +16,10 @@ out="$(mktemp -t bench_smoke_XXXXXX.json)"
 trap 'rm -f "$out"' EXIT
 dune exec bench/main.exe -- --rows 20000 --figure 4 --figure 5 --scaling \
   --opt-scaling --serve --clients 2 --requests 3 --threads 2 --feedback \
-  --json "$out" > /dev/null
+  --advisor --json "$out" > /dev/null
 
 test -s "$out" || { echo "ci: $out is empty" >&2; exit 1; }
-grep -q '"schema_version": 5' "$out" || { echo "ci: missing schema_version 5" >&2; exit 1; }
+grep -q '"schema_version": 6' "$out" || { echo "ci: missing schema_version 6" >&2; exit 1; }
 grep -q '"threads": 2' "$out" || { echo "ci: missing threads" >&2; exit 1; }
 grep -q '"figure4"' "$out" || { echo "ci: missing figure4" >&2; exit 1; }
 grep -q '"figure5"' "$out" || { echo "ci: missing figure5" >&2; exit 1; }
@@ -40,6 +40,22 @@ grep -q '"q_before"' "$out" || { echo "ci: feedback sweep has no q-errors" >&2; 
 if grep -q '"converged": false' "$out"; then
   echo "ci: feedback loop failed to converge" >&2; exit 1
 fi
+grep -q '"advisor"' "$out" || { echo "ci: missing advisor sweep" >&2; exit 1; }
+grep -q '"p95_improvement"' "$out" || { echo "ci: advisor sweep has no improvement factor" >&2; exit 1; }
+if grep -q '"installed": 0' "$out"; then
+  echo "ci: advisor tick installed nothing" >&2; exit 1
+fi
+if grep -q '"digests_identical": false' "$out"; then
+  echo "ci: advisor changed results" >&2; exit 1
+fi
+if grep -q '"within_budget": false' "$out"; then
+  echo "ci: advisor blew the byte budget" >&2; exit 1
+fi
+# The first materialisation tick must improve the served p95 >= 1.5x
+# versus the advisor-off arm.
+sed 's/.*"p95_improvement": \([0-9.eE+-]*\).*/\1/;t;d' "$out" \
+  | awk '{exit !($1 >= 1.5)}' \
+  || { echo "ci: advisor p95 improvement below 1.5x" >&2; exit 1; }
 if command -v python3 > /dev/null 2>&1; then
   python3 -m json.tool "$out" > /dev/null || { echo "ci: invalid JSON" >&2; exit 1; }
 fi
@@ -94,5 +110,25 @@ test "$(grep '^result rows=' "$fb_out" | sed 's/.*sum=//' | sort -u | wc -l)" = 
 grep '^ok stats' "$fb_out" | sed 's/.*last_max_q=//' \
   | awk 'NR==1{q1=$1} NR==2{q2=$1} END{exit !(q1 >= 2.0 && q1 / q2 >= 2.0)}' \
   || { echo "ci: feedback did not improve the q-error 2x" >&2; exit 1; }
+
+echo "== dqo serve --advisor smoke =="
+# Four executions of a skewed GROUP BY feed the workload log; [advise]
+# forces one self-tuning round which must materialise at least one AV,
+# and the execution after it must replan transparently and digest
+# byte-identically to the ones before.
+adv_out="$(mktemp -t serve_advisor_XXXXXX.txt)"
+trap 'rm -f "$out" "$serve_out" "$fb_out" "$adv_out"' EXIT
+printf 'open\nprepare 1 SELECT b, COUNT(*) AS c FROM S GROUP BY b\nexec 1 1\nexec 1 1\nexec 1 1\nexec 1 1\nadvise\nexec 1 1\nstats\nclose 1\nquit\n' \
+  | dune exec bin/dqo.exe -- serve --advisor --skew 1.0 --r-rows 2000 \
+      --s-rows 6000 --groups 1500 > "$adv_out"
+
+grep -q 'advisor=on' "$adv_out" || { echo "ci: serve did not enable the advisor" >&2; exit 1; }
+grep -q '^ok advisor installed=[1-9]' "$adv_out" \
+  || { echo "ci: advise materialised no AV" >&2; exit 1; }
+# The post-tick execution must digest identically to the pre-tick ones.
+test "$(grep '^result rows=' "$adv_out" | sed 's/.*sum=//' | sort -u | wc -l)" = 1 \
+  || { echo "ci: advisor tick changed the result digest" >&2; exit 1; }
+grep '^ok stats' "$adv_out" | grep -q 'advisor_installed=[1-9]' \
+  || { echo "ci: stats does not report the install" >&2; exit 1; }
 
 echo "ci: OK"

@@ -1,0 +1,362 @@
+(* The online AV advisor: observe live statements, propose AV candidates
+   from the plans those statements actually run, score them with the
+   offline AVSP solver under a resident-memory budget, and install /
+   evict through the engine's DDL.  See advisor.mli for the contract. *)
+
+module Engine = Dqo_engine.Engine
+module View = Dqo_av.View
+module Avsp = Dqo_av.Avsp
+module Logical = Dqo_plan.Logical
+module Catalog = Dqo_opt.Catalog
+module Props = Dqo_plan.Props
+
+type config = {
+  budget_bytes : int;
+  min_observations : int;
+  window : int;
+}
+
+let default_config =
+  { budget_bytes = 16_000_000; min_observations = 4; window = 512 }
+
+(* --- sliding-window workload log -------------------------------------- *)
+
+module Log = struct
+  type obs = { o_sql : string; o_mode : Engine.mode; o_latency_ms : float }
+
+  type t = {
+    mutex : Mutex.t;
+    capacity : int;
+    ring : obs option array;
+    mutable pos : int;  (* next write slot *)
+    mutable total : int;  (* observations ever recorded *)
+  }
+
+  type entry = {
+    e_sql : string;
+    e_mode : Engine.mode;
+    freq : int;
+    total_latency_ms : float;
+  }
+
+  let create capacity =
+    if capacity < 1 then invalid_arg "Advisor.Log.create: capacity < 1";
+    {
+      mutex = Mutex.create ();
+      capacity;
+      ring = Array.make capacity None;
+      pos = 0;
+      total = 0;
+    }
+
+  let capacity t = t.capacity
+
+  let observe t ~sql ~mode ~latency_ms =
+    Mutex.lock t.mutex;
+    t.ring.(t.pos) <- Some { o_sql = sql; o_mode = mode; o_latency_ms = latency_ms };
+    t.pos <- (t.pos + 1) mod t.capacity;
+    t.total <- t.total + 1;
+    Mutex.unlock t.mutex
+
+  let total t =
+    Mutex.lock t.mutex;
+    let n = t.total in
+    Mutex.unlock t.mutex;
+    n
+
+  (* Aggregate the window into per-statement entries, oldest-first-seen
+     order (deterministic for a fixed observation sequence). *)
+  let snapshot t =
+    Mutex.lock t.mutex;
+    (* Slot [pos] holds the oldest surviving observation once the ring
+       has wrapped; before that, unwritten slots are [None] and skip. *)
+    let items = ref [] in
+    for i = 0 to t.capacity - 1 do
+      match t.ring.((t.pos + i) mod t.capacity) with
+      | Some o -> items := o :: !items
+      | None -> ()
+    done;
+    Mutex.unlock t.mutex;
+    let oldest_first = List.rev !items in
+    List.fold_left
+      (fun acc o ->
+        let rec add = function
+          | [] ->
+            [
+              {
+                e_sql = o.o_sql;
+                e_mode = o.o_mode;
+                freq = 1;
+                total_latency_ms = o.o_latency_ms;
+              };
+            ]
+          | e :: rest ->
+            if String.equal e.e_sql o.o_sql && e.e_mode = o.o_mode then
+              {
+                e with
+                freq = e.freq + 1;
+                total_latency_ms = e.total_latency_ms +. o.o_latency_ms;
+              }
+              :: rest
+            else e :: add rest
+        in
+        add acc)
+      [] oldest_first
+
+  let size t =
+    Mutex.lock t.mutex;
+    let n = Array.fold_left (fun a o -> match o with Some _ -> a + 1 | None -> a) 0 t.ring in
+    Mutex.unlock t.mutex;
+    n
+end
+
+(* --- candidate generation from observed plans -------------------------- *)
+
+(* Materialised-grouping view relations are named "<rel>__by_<key>";
+   exclude them so the pool never proposes views over views. *)
+let is_view_relation name =
+  let needle = "__by_" in
+  let n = String.length name and k = String.length needle in
+  let rec scan i = i + k <= n && (String.sub name i k = needle || scan (i + 1)) in
+  scan 0
+
+let base_relation_of_column catalog col =
+  List.find_map
+    (fun (ti : Catalog.table_info) ->
+      if is_view_relation ti.Catalog.name then None
+      else if List.mem_assoc col ti.Catalog.props.Props.columns then
+        Some ti.Catalog.name
+      else None)
+    (Catalog.tables catalog)
+
+(* (relation, column) pairs in join or group-key position — the columns
+   where sortedness / density properties change which algorithms the
+   deep search can reach. *)
+let touched_columns catalog l =
+  let add acc col =
+    match base_relation_of_column catalog col with
+    | Some r -> (r, col) :: acc
+    | None -> acc
+  in
+  let rec go acc = function
+    | Logical.Scan _ -> acc
+    | Logical.Select (s, _, _) | Logical.Project (s, _) -> go acc s
+    | Logical.Join (a, b, lc, rc) -> go (go (add (add acc lc) rc) a) b
+    | Logical.Group_by (s, key, _) -> go (add acc key) s
+  in
+  List.sort_uniq compare (go [] l)
+
+(* (relation, key) pairs where a materialised grouping could serve the
+   whole query: GROUP BY over a bare base scan, all aggregates servable
+   from per-group COUNT/SUM. *)
+let grouping_opportunities catalog l =
+  match l with
+  | Logical.Group_by (Logical.Scan rel, key, aggs)
+    when (not (is_view_relation rel))
+         && Option.is_some
+              (List.find_opt
+                 (fun (ti : Catalog.table_info) ->
+                   String.equal ti.Catalog.name rel)
+                 (Catalog.tables catalog))
+         && List.for_all (View.servable_agg ~key) aggs ->
+    [ (rel, key) ]
+  | Logical.Scan _ | Logical.Select _ | Logical.Project _ | Logical.Join _
+  | Logical.Group_by _ ->
+    []
+
+let candidates eng workload =
+  let catalog = Engine.catalog eng in
+  let installed =
+    List.map (fun (v : View.t) -> v.View.id) (Engine.installed_avs eng)
+  in
+  let cols =
+    List.sort_uniq compare
+      (List.concat_map (fun (q, _) -> touched_columns catalog q) workload)
+  in
+  let groups =
+    List.sort_uniq compare
+      (List.concat_map (fun (q, _) -> grouping_opportunities catalog q) workload)
+  in
+  let col_candidates =
+    List.concat_map
+      (fun (relation, column) ->
+        let ti = Catalog.find catalog relation in
+        let props = ti.Catalog.props in
+        (* Skip candidates whose property the catalog already grants:
+           they cannot improve any plan. *)
+        (if Props.sorted_on props column then []
+         else [ View.sorted_projection catalog ~relation ~column ])
+        @
+        if Props.dense_on props column then []
+        else [ View.perfect_hash catalog ~relation ~column ])
+      cols
+  in
+  let group_candidates =
+    List.map
+      (fun (relation, key) -> View.grouping_result catalog ~relation ~key)
+      groups
+  in
+  List.filter
+    (fun (v : View.t) -> not (List.mem v.View.id installed))
+    (col_candidates @ group_candidates)
+
+(* --- the advisor ------------------------------------------------------- *)
+
+type t = {
+  cfg : config;
+  eng : Engine.t;
+  log : Log.t;
+  mutable owned : View.t list;  (* views this advisor installed *)
+  mutable ticks : int;
+  mutable installs : int;
+  mutable evicts : int;
+}
+
+type tick_report = {
+  installed : View.t list;
+  evicted : View.t list;
+  candidates_considered : int;
+  workload_statements : int;
+  cache_hits : int;
+  cache_misses : int;
+  av_bytes : int;
+}
+
+let create ?(config = default_config) eng =
+  if config.budget_bytes < 0 then
+    invalid_arg "Advisor.create: budget_bytes < 0";
+  if config.min_observations < 1 then
+    invalid_arg "Advisor.create: min_observations < 1";
+  {
+    cfg = config;
+    eng;
+    log = Log.create config.window;
+    owned = [];
+    ticks = 0;
+    installs = 0;
+    evicts = 0;
+  }
+
+let config t = t.cfg
+let engine t = t.eng
+let owned t = t.owned
+let ticks t = t.ticks
+let installs t = t.installs
+let evicts t = t.evicts
+
+let observe t ~sql ~mode ~latency_ms = Log.observe t.log ~sql ~mode ~latency_ms
+let observations t = Log.total t.log
+let log t = t.log
+
+(* An owned view is live iff the current window still touches it: a
+   sorted-projection / perfect-hash over a (relation, column) some plan
+   joins or groups on, or a grouping result some whole query is
+   servable from. *)
+let live_view cols groups (v : View.t) =
+  match v.View.kind with
+  | View.Sorted_projection { relation; column }
+  | View.Perfect_hash { relation; column } ->
+    List.mem (relation, column) cols
+  | View.Grouping_result { relation; key } -> List.mem (relation, key) groups
+
+let empty_report t =
+  {
+    installed = [];
+    evicted = [];
+    candidates_considered = 0;
+    workload_statements = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    av_bytes = Engine.av_bytes t.eng;
+  }
+
+let tick t =
+  t.ticks <- t.ticks + 1;
+  if Log.total t.log < t.cfg.min_observations then empty_report t
+  else begin
+    let entries = Log.snapshot t.log in
+    (* Bind each observed statement back to a logical plan against the
+       current catalog; statements that no longer bind drop out. *)
+    let workload =
+      List.filter_map
+        (fun (e : Log.entry) ->
+          match
+            Dqo_sql.Binder.plan_of_sql (Engine.catalog t.eng) e.Log.e_sql
+          with
+          | l -> Some (l, Float.of_int e.Log.freq)
+          | exception _ -> None)
+        entries
+    in
+    if workload = [] then empty_report t
+    else begin
+      let catalog = Engine.catalog t.eng in
+      let cols =
+        List.sort_uniq compare
+          (List.concat_map (fun (q, _) -> touched_columns catalog q) workload)
+      in
+      let groups =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun (q, _) -> grouping_opportunities catalog q)
+             workload)
+      in
+      (* 1. Evict owned views the window no longer touches, freeing
+         budget before scoring new candidates. *)
+      let stale_owned =
+        List.filter (fun v -> not (live_view cols groups v)) t.owned
+      in
+      List.iter
+        (fun (v : View.t) -> Engine.uninstall_av t.eng v.View.id)
+        stale_owned;
+      t.owned <- List.filter (fun v -> live_view cols groups v) t.owned;
+      t.evicts <- t.evicts + List.length stale_owned;
+      (* 2. Score the observed-plan candidate pool under what is left of
+         the byte budget.  The weight is the estimated resident size;
+         the optimiser runs with the engine's feedback store when the
+         feedback loop is on, so benefits reflect corrected
+         cardinalities.  The memo cache collapses the greedy pass's
+         quadratic optimiser-call count. *)
+      let catalog = Engine.catalog t.eng in
+      let cands = candidates t.eng workload in
+      let budget_left =
+        Float.of_int (max 0 (t.cfg.budget_bytes - Engine.av_bytes t.eng))
+      in
+      let cache = Avsp.create_cache () in
+      let feedback =
+        if (Engine.opts t.eng).Engine.feedback then
+          Some (Engine.corrections t.eng)
+        else None
+      in
+      let sel =
+        Avsp.greedy ?feedback ~cache
+          ~weight:(fun v -> Float.of_int (View.estimated_bytes catalog v))
+          ~budget:budget_left catalog workload cands
+      in
+      (* 3. Materialise the winners (greedy returns them newest-first;
+         install oldest-first so interactions land in selection order).
+         Estimates can undershoot reality, so re-check the measured
+         total and roll back newest installs past the budget. *)
+      let winners = List.rev sel.Avsp.chosen in
+      List.iter (Engine.install_av t.eng) winners;
+      let rec enforce_budget newest_first =
+        match newest_first with
+        | (v : View.t) :: rest
+          when Engine.av_bytes t.eng > t.cfg.budget_bytes ->
+          Engine.uninstall_av t.eng v.View.id;
+          enforce_budget rest
+        | _ -> newest_first
+      in
+      let installed = List.rev (enforce_budget (List.rev winners)) in
+      t.owned <- t.owned @ installed;
+      t.installs <- t.installs + List.length installed;
+      {
+        installed;
+        evicted = stale_owned;
+        candidates_considered = List.length cands;
+        workload_statements = List.length workload;
+        cache_hits = Avsp.cache_hits cache;
+        cache_misses = Avsp.cache_misses cache;
+        av_bytes = Engine.av_bytes t.eng;
+      }
+    end
+  end

@@ -1,0 +1,131 @@
+(** The online AV advisor — self-tuning view materialisation from live
+    traffic (paper §3's Algorithmic View Selection Problem, answered
+    from the workload the server actually observes, closing the §6
+    self-tuning loop).
+
+    The advisor owns three pieces:
+
+    - a {e sliding-window workload log} ({!Log}): the serving layer
+      records every completed statement (SQL, mode, observed latency);
+      the window keeps the most recent [config.window] observations, so
+      the advisor tracks the workload as it shifts;
+    - {e candidate generation from observed plans} ({!candidates}):
+      sorted-projection and perfect-hash views over the (relation,
+      column) pairs the logged plans join or group on, plus
+      materialised groupings for whole queries a view could serve —
+      not the syntactic all-columns pool;
+    - a {e tick} ({!tick}): evict owned views the current window no
+      longer touches, then score the candidate pool with
+      {!Dqo_av.Avsp.greedy} — weighted by estimated resident bytes,
+      planned with the engine's feedback corrections when the feedback
+      loop is on — and materialise the winners through
+      [Engine.install_av], keeping measured total resident bytes within
+      [config.budget_bytes].
+
+    Every install / evict bumps the engine's AV generation, so
+    outstanding prepared statements transparently replan through the
+    existing stale-plan path.
+
+    {b Concurrency}: {!observe} is safe from any thread (the log has
+    its own mutex).  {!tick} mutates the engine's physical design and
+    is {e not} synchronised with concurrent executions — the serving
+    layer quiesces its executors around each tick
+    ([Dqo_serve.Server.advisor_tick]).  The advisor only ever evicts
+    views it installed itself; manually installed AVs are counted
+    against the budget but never touched. *)
+
+type config = {
+  budget_bytes : int;
+      (** Ceiling on the engine's total measured AV resident bytes
+          ([Engine.av_bytes]) — manually installed views count too. *)
+  min_observations : int;
+      (** A tick before this many logged observations is a no-op. *)
+  window : int;  (** Sliding-window capacity, in observations. *)
+}
+
+val default_config : config
+(** [{ budget_bytes = 16_000_000; min_observations = 4; window = 512 }]. *)
+
+(** The workload log: a mutex-protected ring of the most recent
+    observations. *)
+module Log : sig
+  type t
+
+  type entry = {
+    e_sql : string;
+    e_mode : Dqo_engine.Engine.mode;
+    freq : int;  (** Occurrences inside the window. *)
+    total_latency_ms : float;
+  }
+
+  val create : int -> t
+  (** @raise Invalid_argument if the capacity is below 1. *)
+
+  val capacity : t -> int
+
+  val observe :
+    t -> sql:string -> mode:Dqo_engine.Engine.mode -> latency_ms:float -> unit
+
+  val total : t -> int
+  (** Observations ever recorded (not capped by the window). *)
+
+  val size : t -> int
+  (** Observations currently inside the window. *)
+
+  val snapshot : t -> entry list
+  (** Per-statement aggregation of the window, in order of each
+      statement's oldest surviving observation. *)
+end
+
+type t
+
+val create : ?config:config -> Dqo_engine.Engine.t -> t
+(** @raise Invalid_argument on a negative budget or
+    [min_observations < 1] or [window < 1]. *)
+
+val config : t -> config
+val engine : t -> Dqo_engine.Engine.t
+val log : t -> Log.t
+
+val observe :
+  t -> sql:string -> mode:Dqo_engine.Engine.mode -> latency_ms:float -> unit
+(** Record one completed execution into the workload log.  Thread-safe;
+    called by the serving layer on every successful request. *)
+
+val observations : t -> int
+(** Total observations ever logged. *)
+
+val candidates :
+  Dqo_engine.Engine.t -> (Dqo_plan.Logical.t * float) list -> Dqo_av.View.t list
+(** The candidate pool for a bound workload: one sorted-projection and
+    one perfect-hash view per (relation, column) in join or group-key
+    position — skipping properties the catalog already grants — plus
+    one materialised grouping per fully servable [GROUP BY] query.
+    Views over view relations and already-installed ids are excluded. *)
+
+type tick_report = {
+  installed : Dqo_av.View.t list;  (** Materialised this tick. *)
+  evicted : Dqo_av.View.t list;
+      (** Owned views dropped because the window stopped touching them. *)
+  candidates_considered : int;
+  workload_statements : int;  (** Distinct bound statements scored. *)
+  cache_hits : int;
+  cache_misses : int;
+      (** Memo-cache traffic of the greedy pass — [misses] is the
+          number of real optimiser calls it needed. *)
+  av_bytes : int;  (** Engine-wide measured AV bytes after the tick. *)
+}
+
+val tick : t -> tick_report
+(** One advisor round: snapshot the window, bind it, evict stale owned
+    views, greedy-select under the remaining byte budget, materialise
+    the winners (rolling the newest back if measured bytes overshoot
+    the estimate-based selection).  Below [min_observations] this is a
+    no-op report.  The caller must ensure no execution is in flight. *)
+
+(** {2 Counters} *)
+
+val owned : t -> Dqo_av.View.t list
+val ticks : t -> int
+val installs : t -> int
+val evicts : t -> int

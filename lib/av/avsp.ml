@@ -1,6 +1,7 @@
 module Catalog = Dqo_opt.Catalog
+module Logical = Dqo_plan.Logical
 
-type workload = (Dqo_plan.Logical.t * float) list
+type workload = (Logical.t * float) list
 
 type selection = {
   chosen : View.t list;
@@ -8,38 +9,97 @@ type selection = {
   workload_cost : float;
 }
 
-let workload_cost ?model catalog workload =
+(* Memoised per-query optimiser costs.  Keyed by the query plus the ids
+   of the {e relevant} chosen views — those over a relation the query
+   touches; a view on an untouched relation cannot change the query's
+   plan, so keying on the relevant subset makes entries shareable
+   across greedy rounds (most candidates only perturb one relation). *)
+type cache = {
+  tbl : (Logical.t * string, float) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create_cache () = { tbl = Hashtbl.create 256; hits = 0; misses = 0 }
+let cache_hits c = c.hits
+let cache_misses c = c.misses
+
+let view_relation (v : View.t) =
+  match v.View.kind with
+  | View.Sorted_projection { relation; _ }
+  | View.Perfect_hash { relation; _ }
+  | View.Grouping_result { relation; _ } ->
+    relation
+
+let signature chosen q =
+  let rels = Logical.relations q in
+  let relevant =
+    List.filter (fun v -> List.mem (view_relation v) rels) chosen
+  in
+  String.concat "|"
+    (List.sort String.compare (List.map (fun v -> v.View.id) relevant))
+
+(* One query's optimiser cost under the transformed catalog.  Chosen
+   grouping views additionally rewrite matching queries onto the view
+   relation (see [View.rewrite_through]), so the estimated benefit of a
+   materialised grouping is the one the engine realises at run time. *)
+let query_cost ?model ?feedback ?cache catalog' chosen q =
+  let compute () =
+    let q' = View.rewrite_through chosen q in
+    (Dqo_opt.Search.optimize ?model ?feedback Dqo_opt.Search.Deep catalog' q')
+      .Dqo_opt.Pareto.cost
+  in
+  match cache with
+  | None -> compute ()
+  | Some c -> (
+    let key = (q, signature chosen q) in
+    match Hashtbl.find_opt c.tbl key with
+    | Some cost ->
+      c.hits <- c.hits + 1;
+      cost
+    | None ->
+      c.misses <- c.misses + 1;
+      let cost = compute () in
+      Hashtbl.add c.tbl key cost;
+      cost)
+
+let workload_cost_with ?model ?feedback ?cache catalog workload chosen =
+  let catalog' = View.apply_all catalog chosen in
   List.fold_left
     (fun acc (q, freq) ->
-      let best = Dqo_opt.Dqo.optimize ?model catalog q in
-      acc +. (freq *. best.Dqo_opt.Pareto.cost))
+      acc +. (freq *. query_cost ?model ?feedback ?cache catalog' chosen q))
     0.0 workload
 
-let evaluate ?model catalog workload chosen =
-  let catalog' = View.apply_all catalog chosen in
+let workload_cost ?model ?feedback ?cache catalog workload =
+  workload_cost_with ?model ?feedback ?cache catalog workload []
+
+let evaluate ?model ?feedback ?cache catalog workload chosen =
   {
     chosen;
     build_cost = List.fold_left (fun acc v -> acc +. v.View.build_cost) 0.0 chosen;
-    workload_cost = workload_cost ?model catalog' workload;
+    workload_cost = workload_cost_with ?model ?feedback ?cache catalog workload chosen;
   }
 
-let greedy ?model ~budget catalog workload candidates =
+let greedy ?model ?feedback ?cache ?weight ~budget catalog workload candidates =
+  let w v =
+    match weight with Some f -> f v | None -> v.View.build_cost
+  in
   let rec step chosen remaining budget_left current_cost =
     let scored =
       List.filter_map
         (fun v ->
-          if v.View.build_cost > budget_left then None
+          if w v > budget_left then None
           else begin
-            let s = evaluate ?model catalog workload (v :: chosen) in
+            let s = evaluate ?model ?feedback ?cache catalog workload (v :: chosen) in
             let benefit = current_cost -. s.workload_cost in
             if benefit > 1e-9 then
-              Some (benefit /. Float.max 1.0 v.View.build_cost, v, s)
+              Some (benefit /. Float.max 1.0 (w v), v, s)
             else None
           end)
         remaining
     in
     match scored with
-    | [] -> evaluate ?model catalog workload chosen
+    | [] -> evaluate ?model ?feedback ?cache catalog workload chosen
     | _ ->
       let _, best_v, best_s =
         List.fold_left
@@ -47,18 +107,23 @@ let greedy ?model ~budget catalog workload candidates =
             if r > br then (r, v, s) else (br, bv, bs))
           (List.hd scored) (List.tl scored)
       in
+      (* Remove by id, not physical equality: candidate lists are often
+         rebuilt per round (copies, reconstructions), and [!=] on a copy
+         would let the loop re-select the same view forever. *)
       step (best_v :: chosen)
-        (List.filter (fun v -> v != best_v) remaining)
-        (budget_left -. best_v.View.build_cost)
+        (List.filter
+           (fun v -> not (String.equal v.View.id best_v.View.id))
+           remaining)
+        (budget_left -. w best_v)
         best_s.workload_cost
   in
-  step [] candidates budget (workload_cost ?model catalog workload)
+  step [] candidates budget (workload_cost ?model ?feedback ?cache catalog workload)
 
-let exact ?model ~budget catalog workload candidates =
+let exact ?model ?feedback ?cache ~budget catalog workload candidates =
   let k = List.length candidates in
   if k > 16 then invalid_arg "Avsp.exact: too many candidates";
   let arr = Array.of_list candidates in
-  let best = ref (evaluate ?model catalog workload []) in
+  let best = ref (evaluate ?model ?feedback ?cache catalog workload []) in
   for mask = 1 to (1 lsl k) - 1 do
     let chosen = ref [] in
     for i = 0 to k - 1 do
@@ -66,7 +131,7 @@ let exact ?model ~budget catalog workload candidates =
     done;
     let build = List.fold_left (fun a v -> a +. v.View.build_cost) 0.0 !chosen in
     if build <= budget then begin
-      let s = evaluate ?model catalog workload !chosen in
+      let s = evaluate ?model ?feedback ?cache catalog workload !chosen in
       if
         s.workload_cost < !best.workload_cost
         || (s.workload_cost = !best.workload_cost && build < !best.build_cost)

@@ -1,12 +1,15 @@
 (** The Algorithmic View Selection Problem (paper §3).
 
     Given a workload of (query, frequency) pairs, a set of candidate
-    AVs, and a build-cost budget, choose the AV subset minimising total
-    workload cost.  "Like with MVs there is no need to make any manual
-    decision about which granules to precompute" — this module makes
-    that decision.  Benefits are evaluated by running the {e actual}
-    deep optimiser against the AV-transformed catalog, so interactions
-    between AVs are accounted for exactly. *)
+    AVs, and a budget, choose the AV subset minimising total workload
+    cost.  "Like with MVs there is no need to make any manual decision
+    about which granules to precompute" — this module makes that
+    decision.  Benefits are evaluated by running the {e actual} deep
+    optimiser against the AV-transformed catalog, so interactions
+    between AVs are accounted for exactly; queries matching a chosen
+    [Grouping_result] view are additionally rewritten onto the view
+    relation ({!View.rewrite_through}), so materialised groupings score
+    the benefit the engine realises at run time. *)
 
 type workload = (Dqo_plan.Logical.t * float) list
 (** Queries with relative frequencies ([> 0]). *)
@@ -18,15 +21,36 @@ type selection = {
       (** Σ frequency × optimiser cost under the transformed catalog. *)
 }
 
+type cache
+(** Memoised per-query optimiser costs, keyed by (query, ids of the
+    chosen views over relations the query touches).  Reusable across
+    {!greedy} / {!evaluate} calls as long as the catalog, cost model,
+    and feedback snapshot are unchanged — within one advisor tick, a
+    greedy pass over [k] candidates collapses from O(k²) optimiser
+    calls to one per {e distinct} (query, relevant-view-set) pair. *)
+
+val create_cache : unit -> cache
+
+val cache_hits : cache -> int
+val cache_misses : cache -> int
+(** Instrumentation: optimiser calls avoided / performed through the
+    cache since {!create_cache}. *)
+
 val workload_cost :
   ?model:Dqo_cost.Model.t ->
+  ?feedback:Dqo_cost.Feedback.t ->
+  ?cache:cache ->
   Dqo_opt.Catalog.t ->
   workload ->
   float
-(** Cost with no AVs installed. *)
+(** Cost with no AVs installed.  [feedback] plans with the learned
+    cardinality corrections, so benefits reflect observed reality
+    rather than textbook estimates. *)
 
 val evaluate :
   ?model:Dqo_cost.Model.t ->
+  ?feedback:Dqo_cost.Feedback.t ->
+  ?cache:cache ->
   Dqo_opt.Catalog.t ->
   workload ->
   View.t list ->
@@ -35,24 +59,32 @@ val evaluate :
 
 val greedy :
   ?model:Dqo_cost.Model.t ->
+  ?feedback:Dqo_cost.Feedback.t ->
+  ?cache:cache ->
+  ?weight:(View.t -> float) ->
   budget:float ->
   Dqo_opt.Catalog.t ->
   workload ->
   View.t list ->
   selection
 (** Iteratively add the candidate with the best marginal
-    benefit-per-build-cost ratio until no candidate fits the remaining
-    budget or improves the workload. *)
+    benefit-per-weight ratio until no candidate fits the remaining
+    budget or improves the workload.  [weight] defaults to the view's
+    build cost; the advisor passes a resident-bytes estimator instead,
+    turning the budget into a memory budget.  Candidates sharing the
+    selected view's id are all removed from contention each round. *)
 
 val exact :
   ?model:Dqo_cost.Model.t ->
+  ?feedback:Dqo_cost.Feedback.t ->
+  ?cache:cache ->
   budget:float ->
   Dqo_opt.Catalog.t ->
   workload ->
   View.t list ->
   selection
 (** Exhaustive subset search — exponential; intended for ≤ ~12
-    candidates.
+    candidates.  The budget bounds total build cost.
     @raise Invalid_argument with more than 16 candidates. *)
 
 val default_candidates : Dqo_opt.Catalog.t -> View.t list

@@ -91,6 +91,80 @@ let apply catalog t =
 
 let apply_all catalog ts = List.fold_left apply catalog ts
 
+(* --- rewriting queries through materialised-grouping views ----------- *)
+
+module Logical = Dqo_plan.Logical
+module Aggregate = Dqo_exec.Aggregate
+
+let servable_agg ~key (a : Logical.aggregate) =
+  match (a.Logical.spec, a.Logical.column) with
+  | Aggregate.Count, _ -> true
+  | Aggregate.Sum, Some c -> String.equal c key
+  | (Aggregate.Sum | Aggregate.Min | Aggregate.Max | Aggregate.Avg), _ -> false
+
+(* COUNT over the base becomes SUM over the view's per-group "cnt"
+   column; SUM(key) becomes SUM over "total".  Each view key is unique,
+   so re-grouping the view by its own key yields one row per group and
+   the sums reconstruct the base aggregates exactly. *)
+let rewrite_agg (a : Logical.aggregate) =
+  match a.Logical.spec with
+  | Aggregate.Count ->
+    { a with Logical.spec = Aggregate.Sum; column = Some "cnt" }
+  | Aggregate.Sum ->
+    { a with Logical.spec = Aggregate.Sum; column = Some "total" }
+  | Aggregate.Min | Aggregate.Max | Aggregate.Avg -> assert false
+
+let rewrite_through views l =
+  let grouped =
+    List.filter_map
+      (fun v ->
+        match v.kind with
+        | Grouping_result { relation; key } -> Some (relation, key)
+        | Sorted_projection _ | Perfect_hash _ -> None)
+      views
+  in
+  match l with
+  | Logical.Group_by (Logical.Scan rel, key, aggs)
+    when List.mem (rel, key) grouped
+         && List.for_all (servable_agg ~key) aggs ->
+    Logical.Group_by
+      (Logical.Scan (grouped_name rel key), key, List.map rewrite_agg aggs)
+  | Logical.Scan _ | Logical.Select _ | Logical.Project _ | Logical.Join _
+  | Logical.Group_by _ ->
+    l
+
+(* --- resident-memory estimates --------------------------------------- *)
+
+let word = 8
+
+let estimated_bytes catalog t =
+  match t.kind with
+  | Sorted_projection { relation; _ } ->
+    let ti = Catalog.find catalog relation in
+    ti.Catalog.rows
+    * max 1 (List.length ti.Catalog.props.Props.columns)
+    * word
+  | Perfect_hash { relation; column } ->
+    let ti = Catalog.find catalog relation in
+    if Props.dense_on ti.Catalog.props column then 2 * word
+    else
+      let d =
+        match Props.distinct_of ti.Catalog.props column with
+        | Some d -> d
+        | None -> ti.Catalog.rows
+      in
+      (* FKS: expected-linear second-level tables (cells + keys) plus
+         bucket headers — about six words per distinct key. *)
+      d * 6 * word
+  | Grouping_result { relation; key } ->
+    let ti = Catalog.find catalog relation in
+    let g =
+      match Props.distinct_of ti.Catalog.props key with
+      | Some d -> d
+      | None -> ti.Catalog.rows
+    in
+    g * 3 * word
+
 type materialized =
   | M_sorted of Dqo_data.Relation.t
   | M_fks of Dqo_hash.Perfect.Fks.t

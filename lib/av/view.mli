@@ -41,6 +41,27 @@ val apply : Dqo_opt.Catalog.t -> t -> Dqo_opt.Catalog.t
 
 val apply_all : Dqo_opt.Catalog.t -> t list -> Dqo_opt.Catalog.t
 
+val servable_agg : key:string -> Dqo_plan.Logical.aggregate -> bool
+(** Can a [Grouping_result] view over [key] serve this aggregate?
+    [COUNT] always can; [SUM] only over the key itself. *)
+
+val rewrite_through : t list -> Dqo_plan.Logical.t -> Dqo_plan.Logical.t
+(** Rewrite [GROUP BY key] over a bare base-relation scan into the same
+    grouping over the matching [Grouping_result] view's relation when
+    one is in [views] and every aggregate is servable: [COUNT] becomes
+    [SUM(cnt)] and [SUM(key)] becomes [SUM(total)], keeping the query's
+    aliases.  View keys are unique, so the re-grouping collapses to one
+    row per group and the results are value-identical to the base
+    query.  Non-matching shapes pass through unchanged. *)
+
+val estimated_bytes : Dqo_opt.Catalog.t -> t -> int
+(** Resident-memory estimate for the materialised structure, from
+    catalog statistics alone (no data access): rows × recorded columns
+    × 8 for a sorted projection, ~6 words per distinct key for a sparse
+    FKS (2 words when the domain is dense), 3 words per group for a
+    grouping result.  Used by the advisor as the weight under its byte
+    budget. *)
+
 type materialized =
   | M_sorted of Dqo_data.Relation.t
   | M_fks of Dqo_hash.Perfect.Fks.t

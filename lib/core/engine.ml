@@ -33,9 +33,12 @@ type t = {
   mutable opts : opts;
   mutable relations : (string * Relation.t) list;
   mutable catalog : Catalog.t;
-  mutable avs : Dqo_av.View.t list;
-  (* Bumped whenever the physical design changes (register / install_av);
-     prepared statements snapshot it so stale plans are detectable. *)
+  (* Installed views with the resident bytes measured at install time,
+     so an advisor can enforce a memory budget against reality. *)
+  mutable avs : (Dqo_av.View.t * int) list;
+  (* Bumped whenever the physical design changes
+     (register / install_av / uninstall_av); prepared statements
+     snapshot it so stale plans are detectable. *)
   mutable generation : int;
   (* Perfect-hash structures built by AVs, keyed by column name; the
      executor consults these when a plan prescribes SPH on a column whose
@@ -73,6 +76,10 @@ let active_feedback t = if t.opts.feedback then Some t.corrections else None
 let resolve_mode t mode = Option.value ~default:t.opts.mode mode
 let resolve_threads t threads = Option.value ~default:t.opts.threads threads
 
+let installed_avs t = List.map fst t.avs
+let installed_av_sizes t = t.avs
+let av_bytes t = List.fold_left (fun acc (_, b) -> acc + b) 0 t.avs
+
 let rebuild_catalog t =
   (* Grouping-result AVs already exist as stored relations and are
      measured directly; re-applying them would duplicate the catalog
@@ -83,7 +90,7 @@ let rebuild_catalog t =
         match v.Dqo_av.View.kind with
         | Dqo_av.View.Grouping_result _ -> false
         | Dqo_av.View.Sorted_projection _ | Dqo_av.View.Perfect_hash _ -> true)
-      t.avs
+      (installed_avs t)
   in
   t.catalog <-
     Dqo_av.View.apply_all
@@ -113,6 +120,11 @@ let plan t ?pool ?threads mode l =
   let search_mode =
     match mode with SQO -> Dqo_opt.Search.Shallow | DQO -> Dqo_opt.Search.Deep
   in
+  (* A GROUP BY answerable from an installed materialised-grouping AV is
+     rewritten onto the view relation before the search, so every entry
+     point funnelling through [plan] (run, prepare, reprepare, serving)
+     realises the view's benefit. *)
+  let l = Dqo_av.View.rewrite_through (installed_avs t) l in
   let feedback = active_feedback t in
   match pool with
   | Some _ ->
@@ -606,6 +618,9 @@ let explain_analyze t ?mode ?threads l =
   in
   let threads = resolve_threads t threads in
   if threads < 1 then invalid_arg "Engine.explain_analyze: threads < 1";
+  (* Same materialised-grouping rewrite as [plan] — this path talks to
+     the search directly to collect its stats. *)
+  let l = Dqo_av.View.rewrite_through (installed_avs t) l in
   let metrics = Dqo_obs.Metrics.create () in
   (* One pool for both phases: the DP search records its [opt.dp.*]
      counters and per-level timings, then the plan executes on the same
@@ -798,7 +813,7 @@ let try_view_answer t l =
             String.equal relation rel_name && String.equal k key
           | Dqo_av.View.Sorted_projection _ | Dqo_av.View.Perfect_hash _ ->
             false)
-        t.avs
+        (installed_avs t)
     in
     let servable (a : Logical.aggregate) =
       match (a.Logical.spec, a.Logical.column) with
@@ -842,48 +857,108 @@ let explain_sql t sql =
         Dqo_opt.Explain.comparison ~model:t.model ~pool t.catalog l)
   else Dqo_opt.Explain.comparison ~model:t.model t.catalog l
 
+(* Resident bytes of one materialised structure, measured at install
+   time (8-byte words; the FKS size is per-slot bookkeeping over the
+   expected-linear two-level tables). *)
+let measure_bytes rel (m : Dqo_av.View.materialized) =
+  let word = 8 in
+  match m with
+  | Dqo_av.View.M_sorted sorted ->
+    Relation.cardinality sorted
+    * List.length (Schema.fields (Relation.schema rel))
+    * word
+  | Dqo_av.View.M_fks fks -> Fks.length fks * 6 * word
+  | Dqo_av.View.M_dense_bounds _ -> 2 * word
+  | Dqo_av.View.M_grouping g ->
+    Array.length g.Dqo_exec.Group_result.keys * 3 * word
+
 let install_av t (v : Dqo_av.View.t) =
-  (match v.Dqo_av.View.kind with
-  | Dqo_av.View.Sorted_projection { relation = rel_name; _ } ->
-    let rel = relation t rel_name in
-    (match Dqo_av.View.materialize rel v with
-    | Dqo_av.View.M_sorted sorted ->
-      t.relations <-
-        List.map
-          (fun (n, r) -> if String.equal n rel_name then (n, sorted) else (n, r))
-          t.relations
-    | Dqo_av.View.M_fks _ | Dqo_av.View.M_dense_bounds _
-    | Dqo_av.View.M_grouping _ ->
-      assert false)
-  | Dqo_av.View.Perfect_hash { relation = rel_name; column } -> (
-    let rel = relation t rel_name in
-    match Dqo_av.View.materialize rel v with
-    | Dqo_av.View.M_fks fks -> Hashtbl.replace t.fks_index column fks
-    | Dqo_av.View.M_dense_bounds _ -> ()
-    | Dqo_av.View.M_sorted _ | Dqo_av.View.M_grouping _ -> assert false)
-  | Dqo_av.View.Grouping_result { relation = rel_name; key } -> (
-    let rel = relation t rel_name in
-    match Dqo_av.View.materialize rel v with
-    | Dqo_av.View.M_grouping g ->
-      let name = rel_name ^ "__by_" ^ key in
-      let schema =
-        Schema.of_names
-          [ (key, Schema.T_int); ("cnt", Schema.T_int); ("total", Schema.T_int) ]
-      in
-      let mat =
-        Relation.create schema
-          [
-            Column.Ints g.Dqo_exec.Group_result.keys;
-            Column.Ints g.Dqo_exec.Group_result.counts;
-            Column.Ints g.Dqo_exec.Group_result.sums;
-          ]
-      in
-      t.relations <- t.relations @ [ (name, mat) ]
-    | Dqo_av.View.M_sorted _ | Dqo_av.View.M_fks _
-    | Dqo_av.View.M_dense_bounds _ ->
-      assert false));
-  t.avs <- t.avs @ [ v ];
+  if
+    List.exists
+      (fun ((v0 : Dqo_av.View.t), _) ->
+        String.equal v0.Dqo_av.View.id v.Dqo_av.View.id)
+      t.avs
+  then invalid_arg ("Engine.install_av: already installed: " ^ v.Dqo_av.View.id);
+  let bytes =
+    match v.Dqo_av.View.kind with
+    | Dqo_av.View.Sorted_projection { relation = rel_name; _ } -> (
+      let rel = relation t rel_name in
+      let m = Dqo_av.View.materialize rel v in
+      match m with
+      | Dqo_av.View.M_sorted sorted ->
+        t.relations <-
+          List.map
+            (fun (n, r) ->
+              if String.equal n rel_name then (n, sorted) else (n, r))
+            t.relations;
+        measure_bytes rel m
+      | Dqo_av.View.M_fks _ | Dqo_av.View.M_dense_bounds _
+      | Dqo_av.View.M_grouping _ ->
+        assert false)
+    | Dqo_av.View.Perfect_hash { relation = rel_name; column } -> (
+      let rel = relation t rel_name in
+      let m = Dqo_av.View.materialize rel v in
+      match m with
+      | Dqo_av.View.M_fks fks ->
+        Hashtbl.replace t.fks_index column fks;
+        measure_bytes rel m
+      | Dqo_av.View.M_dense_bounds _ -> measure_bytes rel m
+      | Dqo_av.View.M_sorted _ | Dqo_av.View.M_grouping _ -> assert false)
+    | Dqo_av.View.Grouping_result { relation = rel_name; key } -> (
+      let rel = relation t rel_name in
+      let m = Dqo_av.View.materialize rel v in
+      match m with
+      | Dqo_av.View.M_grouping g ->
+        let name = rel_name ^ "__by_" ^ key in
+        let schema =
+          Schema.of_names
+            [
+              (key, Schema.T_int); ("cnt", Schema.T_int); ("total", Schema.T_int);
+            ]
+        in
+        let mat =
+          Relation.create schema
+            [
+              Column.Ints g.Dqo_exec.Group_result.keys;
+              Column.Ints g.Dqo_exec.Group_result.counts;
+              Column.Ints g.Dqo_exec.Group_result.sums;
+            ]
+        in
+        t.relations <- t.relations @ [ (name, mat) ];
+        measure_bytes rel m
+      | Dqo_av.View.M_sorted _ | Dqo_av.View.M_fks _
+      | Dqo_av.View.M_dense_bounds _ ->
+        assert false)
+  in
+  t.avs <- t.avs @ [ (v, bytes) ];
   t.generation <- t.generation + 1;
   rebuild_catalog t
 
-let installed_avs t = t.avs
+let uninstall_av t id =
+  match
+    List.find_opt
+      (fun ((v : Dqo_av.View.t), _) -> String.equal v.Dqo_av.View.id id)
+      t.avs
+  with
+  | None -> invalid_arg ("Engine.uninstall_av: not installed: " ^ id)
+  | Some (v, _) ->
+    (match v.Dqo_av.View.kind with
+    | Dqo_av.View.Sorted_projection _ ->
+      (* The stored rows stay physically sorted — there is no "unsort";
+         only the accounting entry goes away.  The rebuilt catalog
+         re-measures the relation, so the (still true) sortedness keeps
+         being visible to the optimiser. *)
+      ()
+    | Dqo_av.View.Perfect_hash { column; _ } ->
+      Hashtbl.remove t.fks_index column
+    | Dqo_av.View.Grouping_result { relation = rel_name; key } ->
+      let name = rel_name ^ "__by_" ^ key in
+      t.relations <-
+        List.filter (fun (n, _) -> not (String.equal n name)) t.relations);
+    t.avs <-
+      List.filter
+        (fun ((v0 : Dqo_av.View.t), _) ->
+          not (String.equal v0.Dqo_av.View.id id))
+        t.avs;
+    t.generation <- t.generation + 1;
+    rebuild_catalog t

@@ -216,7 +216,7 @@ exception
 
 val av_generation : t -> int
 (** Physical-design generation: starts at 0, bumped by every
-    {!register} and {!install_av}. *)
+    {!register}, {!install_av}, and {!uninstall_av}. *)
 
 val prepare : t -> ?pool:Dqo_par.Pool.t -> ?mode:mode -> string -> prepared
 (** Parse, bind and optimise once ([mode] defaults to the handle's
@@ -291,7 +291,31 @@ val install_av : t -> Dqo_av.View.t -> unit
 (** Materialise an algorithmic view and update the catalog: a sorted
     projection physically reorders the stored relation; a perfect-hash
     AV builds (and stores) a dense-domain or FKS structure that the
-    executor uses whenever a plan calls for SPH on that column.  Bumps
-    {!av_generation}, invalidating outstanding {!prepared} plans. *)
+    executor uses whenever a plan calls for SPH on that column; a
+    grouping result stores the per-group COUNT/SUM relation.  The
+    structure's resident bytes are measured and recorded (see
+    {!av_bytes}).  Bumps {!av_generation}, invalidating outstanding
+    {!prepared} plans.  Once a [Grouping_result] view is installed,
+    {!plan} (and everything funnelling through it) rewrites servable
+    [GROUP BY] queries onto the view relation — see
+    {!Dqo_av.View.rewrite_through}.
+    @raise Invalid_argument if a view with the same id is installed. *)
+
+val uninstall_av : t -> string -> unit
+(** Evict the installed view with this id ({!Dqo_av.View.t}[.id]): a
+    perfect-hash AV drops its FKS structure, a grouping result drops
+    the materialised relation, and a sorted projection drops only its
+    accounting entry (the stored rows stay physically sorted — the
+    rebuilt catalog re-measures them, so the optimiser keeps seeing
+    the still-true order).  Bumps {!av_generation}, so outstanding
+    {!prepared} plans revalidate and replan away from the view.
+    @raise Invalid_argument for an id that is not installed. *)
 
 val installed_avs : t -> Dqo_av.View.t list
+
+val installed_av_sizes : t -> (Dqo_av.View.t * int) list
+(** Installed views with the resident bytes measured at install time. *)
+
+val av_bytes : t -> int
+(** Total resident bytes of every installed view — what an advisor's
+    memory budget is enforced against. *)

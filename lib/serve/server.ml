@@ -14,6 +14,7 @@
 module Engine = Dqo_engine.Engine
 module Metrics = Dqo_obs.Metrics
 module Pool = Dqo_par.Pool
+module Advisor = Dqo_advisor.Advisor
 
 exception Session_closed
 exception Overloaded of { limit : int }
@@ -42,17 +43,22 @@ and server = {
   pool : Pool.t;
   limit : int;
   mutex : Mutex.t;
-  have_work : Condition.t; (* queue non-empty, or stop *)
+  have_work : Condition.t; (* queue non-empty, resume after pause, or stop *)
   done_cond : Condition.t; (* some ticket completed *)
+  idle_cond : Condition.t; (* executing dropped to 0, or a pause ended *)
   queue : request Queue.t;
   cache : (string * Engine.mode, stmt) Hashtbl.t;
   m : Metrics.t;
+  advisor : Advisor.t option;
   mutable inflight : int;
+  mutable executing : int; (* requests currently inside an execution *)
+  mutable paused : bool; (* advisor quiesce: workers must not start new work *)
   mutable next_session : int;
   mutable next_stmt : int;
   mutable stop : bool;
   mutable threads_joined : bool;
   mutable exec_threads : Thread.t list;
+  mutable advisor_thread : Thread.t option;
 }
 
 type t = server
@@ -65,7 +71,9 @@ let ms_of_ns ns = Float.of_int ns /. 1e6
    publish the outcome and record the request's metrics. *)
 let rec worker_loop srv =
   Mutex.lock srv.mutex;
-  while Queue.is_empty srv.queue && not srv.stop do
+  (* [paused] keeps workers from starting new executions while the
+     advisor changes the physical design; shutdown still drains. *)
+  while (Queue.is_empty srv.queue || srv.paused) && not srv.stop do
     Condition.wait srv.have_work srv.mutex
   done;
   if Queue.is_empty srv.queue then (* stop, and the queue is drained *)
@@ -90,6 +98,7 @@ let rec worker_loop srv =
       Metrics.incr srv.m "serve.replans";
       if drifted then Metrics.incr srv.m "feedback.replans"
     end;
+    srv.executing <- srv.executing + 1;
     Mutex.unlock srv.mutex;
     (* Feedback metrics (q-error histogram, observation counts) land in
        a private registry merged under the lock below: [srv.m] is only
@@ -103,12 +112,21 @@ let rec worker_loop srv =
       | rel -> Done rel
       | exception e -> Failed e
     in
+    let latency_ms = ms_of_ns (Metrics.now_ns () - req.submitted_ns) in
+    (* Feed the advisor's workload log outside the server lock (the log
+       is a leaf lock of its own); only successful executions count as
+       observed workload. *)
+    (match (srv.advisor, outcome) with
+    | Some adv, Done _ ->
+      Advisor.observe adv ~sql:req.r_stmt.sql ~mode:req.r_stmt.mode
+        ~latency_ms
+    | (Some _ | None), _ -> ());
     Mutex.lock srv.mutex;
+    srv.executing <- srv.executing - 1;
+    if srv.executing = 0 then Condition.broadcast srv.idle_cond;
     Metrics.merge ~into:srv.m fbm;
     Metrics.incr srv.m "serve.requests";
-    Metrics.observe
-      (Metrics.hist srv.m "serve.latency_ms")
-      (ms_of_ns (Metrics.now_ns () - req.submitted_ns));
+    Metrics.observe (Metrics.hist srv.m "serve.latency_ms") latency_ms;
     (match outcome with
     | Done rel ->
       Metrics.incr srv.m ~by:(Dqo_data.Relation.cardinality rel)
@@ -121,9 +139,89 @@ let rec worker_loop srv =
     worker_loop srv
   end
 
-let create ?(max_inflight = 64) ?(workers = 4) ?threads eng =
+(* Quiesce the executors, run one advisor round against the engine, and
+   resume.  Holding [mutex] across the whole engine mutation is what
+   makes DDL safe: workers are parked on [have_work] (paused), nothing
+   is mid-execution ([executing] = 0), and prepares block on the same
+   mutex. *)
+let advisor_tick srv =
+  match srv.advisor with
+  | None -> None
+  | Some adv ->
+    Mutex.lock srv.mutex;
+    (* One tick at a time. *)
+    while srv.paused && not srv.stop do
+      Condition.wait srv.idle_cond srv.mutex
+    done;
+    if srv.stop then begin
+      Mutex.unlock srv.mutex;
+      None
+    end
+    else begin
+      srv.paused <- true;
+      while srv.executing > 0 && not srv.stop do
+        Condition.wait srv.idle_cond srv.mutex
+      done;
+      let report =
+        if srv.stop then None
+        else
+          match Advisor.tick adv with
+          | r -> Some r
+          | exception e ->
+            srv.paused <- false;
+            Condition.broadcast srv.have_work;
+            Condition.broadcast srv.idle_cond;
+            Mutex.unlock srv.mutex;
+            raise e
+      in
+      (match report with
+      | Some r ->
+        Metrics.incr srv.m "advisor.ticks";
+        Metrics.incr srv.m
+          ~by:(List.length r.Advisor.installed)
+          "advisor.installed";
+        Metrics.incr srv.m ~by:(List.length r.Advisor.evicted)
+          "advisor.evicted"
+      | None -> ());
+      srv.paused <- false;
+      Condition.broadcast srv.have_work;
+      Condition.broadcast srv.idle_cond;
+      Mutex.unlock srv.mutex;
+      report
+    end
+
+(* Background advisor: tick every [interval] seconds until shutdown.
+   The sleep is chunked so a long interval never delays shutdown by
+   more than ~50ms. *)
+let advisor_loop srv interval =
+  let stopped () =
+    Mutex.lock srv.mutex;
+    let s = srv.stop in
+    Mutex.unlock srv.mutex;
+    s
+  in
+  let rec loop () =
+    if not (stopped ()) then begin
+      let slept = ref 0.0 in
+      while !slept < interval && not (stopped ()) do
+        let chunk = Float.min 0.05 (interval -. !slept) in
+        Thread.delay chunk;
+        slept := !slept +. chunk
+      done;
+      if not (stopped ()) then begin
+        ignore (advisor_tick srv);
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let create ?(max_inflight = 64) ?(workers = 4) ?threads ?advisor
+    ?(advisor_interval = 0.0) eng =
   if max_inflight < 1 then invalid_arg "Server.create: max_inflight < 1";
   if workers < 1 then invalid_arg "Server.create: workers < 1";
+  if advisor_interval < 0.0 then
+    invalid_arg "Server.create: advisor_interval < 0";
   let domains =
     match threads with Some n -> n | None -> (Engine.opts eng).Engine.threads
   in
@@ -135,37 +233,54 @@ let create ?(max_inflight = 64) ?(workers = 4) ?threads eng =
       mutex = Mutex.create ();
       have_work = Condition.create ();
       done_cond = Condition.create ();
+      idle_cond = Condition.create ();
       queue = Queue.create ();
       cache = Hashtbl.create 32;
       m = Metrics.create ();
+      advisor = Option.map (fun config -> Advisor.create ~config eng) advisor;
       inflight = 0;
+      executing = 0;
+      paused = false;
       next_session = 0;
       next_stmt = 0;
       stop = false;
       threads_joined = false;
       exec_threads = [];
+      advisor_thread = None;
     }
   in
   srv.exec_threads <-
     List.init workers (fun _ -> Thread.create worker_loop srv);
+  (match srv.advisor with
+  | Some _ when advisor_interval > 0.0 ->
+    srv.advisor_thread <-
+      Some (Thread.create (fun () -> advisor_loop srv advisor_interval) ())
+  | Some _ | None -> ());
   srv
 
 let shutdown srv =
   Mutex.lock srv.mutex;
   srv.stop <- true;
   Condition.broadcast srv.have_work;
+  Condition.broadcast srv.idle_cond;
   let join = not srv.threads_joined in
   srv.threads_joined <- true;
   Mutex.unlock srv.mutex;
   if join then begin
     List.iter Thread.join srv.exec_threads;
     srv.exec_threads <- [];
+    (match srv.advisor_thread with
+    | Some th ->
+      Thread.join th;
+      srv.advisor_thread <- None
+    | None -> ());
     Pool.shutdown srv.pool
   end
 
 let engine srv = srv.eng
 let pool_size srv = Pool.size srv.pool
 let max_inflight srv = srv.limit
+let advisor srv = srv.advisor
 
 let in_flight srv =
   Mutex.lock srv.mutex;

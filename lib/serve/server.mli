@@ -39,10 +39,21 @@
     once its worst observed q-error crosses the engine's threshold
     (counted under both [serve.replans] and [feedback.replans]).
 
-    Engine DDL ([register] / [install_av]) is not synchronised with
-    in-flight execution; quiesce the server (await all tickets) before
-    changing the physical design, then keep serving — the statement
-    cache revalidates itself. *)
+    {b Self-tuning}: with [?advisor], the server owns a
+    [Dqo_advisor.Advisor] fed by every successful execution (SQL, mode,
+    latency).  An {!advisor_tick} — forced, or fired every
+    [advisor_interval] seconds by a background thread — {e quiesces}
+    the executors (new executions pause, in-flight ones drain), runs
+    one advisor round (evict stale views, materialise winners within
+    the byte budget), and resumes.  Each physical-design change bumps
+    the engine's AV generation, so cached statements transparently
+    replan on their next execution ([serve.replans]).  Tick outcomes
+    land in [advisor.ticks] / [advisor.installed] / [advisor.evicted].
+
+    Manual engine DDL ([register] / [install_av]) remains
+    unsynchronised with in-flight execution; quiesce the server (await
+    all tickets) before changing the physical design by hand, then keep
+    serving — the statement cache revalidates itself. *)
 
 type t
 
@@ -50,14 +61,21 @@ val create :
   ?max_inflight:int ->
   ?workers:int ->
   ?threads:int ->
+  ?advisor:Dqo_advisor.Advisor.config ->
+  ?advisor_interval:float ->
   Dqo_engine.Engine.t ->
   t
 (** [create engine] starts a server over [engine]: one pool of
     [threads] domains (default: the engine's [opts.threads]) plus
     [workers] executor threads (default 4) draining the request queue.
-    [max_inflight] (default 64) bounds admission.
-    @raise Invalid_argument if [max_inflight < 1], [workers < 1], or
-    the pool size is out of range. *)
+    [max_inflight] (default 64) bounds admission.  [advisor] enables
+    the online AV advisor with that configuration;
+    [advisor_interval > 0] (seconds, default 0) additionally starts a
+    background thread ticking at that period — with the default 0 the
+    advisor only runs when {!advisor_tick} is called (deterministic
+    mode for tests, benches, and the wire [advise] command).
+    @raise Invalid_argument if [max_inflight < 1], [workers < 1],
+    [advisor_interval < 0], or the pool size is out of range. *)
 
 val shutdown : t -> unit
 (** Drain queued requests, join the executor threads, and shut the pool
@@ -73,6 +91,16 @@ val in_flight : t -> int
 
 val metrics : t -> Dqo_obs.Metrics.t
 (** The server's registry (see the module preamble for the names). *)
+
+val advisor : t -> Dqo_advisor.Advisor.t option
+(** The online advisor, when enabled at {!create} time. *)
+
+val advisor_tick : t -> Dqo_advisor.Advisor.tick_report option
+(** Force one synchronous advisor round: quiesce the executors, run
+    [Advisor.tick] against the engine, resume, and return the report.
+    [None] when the advisor is disabled or the server is shutting
+    down.  Safe to call concurrently with serving traffic (that is the
+    point); concurrent ticks serialise. *)
 
 (** {2 Sessions} *)
 

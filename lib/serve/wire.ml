@@ -7,10 +7,14 @@ module Relation = Dqo_data.Relation
 module Value = Dqo_data.Value
 module Metrics = Dqo_obs.Metrics
 
-(* djb2-xor over a canonical rendering of every cell, in schema and
-   storage order.  Stable across runs (no [Hashtbl.hash] — its output
-   may differ between OCaml versions, and the digest lands in CI
-   transcripts). *)
+(* djb2-xor over a canonical rendering of every cell: schema order
+   within a row, rows sorted structurally first.  Sorting makes the
+   digest a {e bag} fingerprint — physical-design changes (an advisor
+   materialising or evicting an AV mid-run) may legitimately reorder
+   result rows, and the digest's job is to certify the relation's
+   content, not its storage order.  Stable across runs (no
+   [Hashtbl.hash] — its output may differ between OCaml versions, and
+   the digest lands in CI transcripts). *)
 let digest rel =
   let h = ref 5381 in
   let mix_byte b = h := ((!h * 33) lxor b) land max_int in
@@ -37,7 +41,7 @@ let digest rel =
             mix_byte 3;
             mix_string s)
         row)
-    (Relation.rows rel);
+    (List.sort compare (Relation.rows rel));
   Printf.sprintf "%016x" (!h land max_int)
 
 let result_header ?ticket rel =
@@ -89,9 +93,12 @@ let stats_line st =
      the feedback loop learned from (1.00 when feedback is off or no
      analysed execution ran yet) — it lets a wire client watch estimate
      quality converge across repeated submits. *)
+  (* New fields append at the end of the line: CI and clients grep the
+     stats line by prefix. *)
   Printf.sprintf
     "ok stats requests=%d rejected=%d replans=%d feedback_replans=%d \
-     rows_out=%d p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f last_max_q=%.2f"
+     rows_out=%d p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f last_max_q=%.2f \
+     advisor_installed=%d advisor_evicted=%d"
     (Metrics.counter m "serve.requests")
     (Metrics.counter m "serve.rejected")
     (Metrics.counter m "serve.replans")
@@ -102,6 +109,8 @@ let stats_line st =
     (q "serve.latency_ms" 0.99)
     (Dqo_cost.Feedback.last_max_q
        (Dqo_engine.Engine.corrections (Server.engine st.server)))
+    (Metrics.counter m "advisor.installed")
+    (Metrics.counter m "advisor.evicted")
 
 (* Split off the first [n] whitespace-separated tokens; the remainder
    (for [prepare]'s SQL) keeps its internal spacing. *)
@@ -159,6 +168,15 @@ let handle st line out =
     let tid = int_arg "ticket id" rest in
     let rel = Server.await (find st.tickets "ticket" tid) in
     emit (result_header ~ticket:tid rel)
+  | "advise" -> (
+    match Server.advisor_tick st.server with
+    | None -> failwith "advisor not enabled (start with --advisor)"
+    | Some r ->
+      emit
+        (Printf.sprintf "ok advisor installed=%d evicted=%d bytes=%d"
+           (List.length r.Dqo_advisor.Advisor.installed)
+           (List.length r.Dqo_advisor.Advisor.evicted)
+           r.Dqo_advisor.Advisor.av_bytes))
   | "stats" -> emit (stats_line st)
   | "quit" -> emit "ok bye"
   | other -> failwith ("unknown command " ^ other)

@@ -20,19 +20,27 @@
       sum=<digest>] (digest only — pair with [exec] to fetch rows)
     - [stats] → one [ok stats requests=... rejected=... replans=...
       feedback_replans=... rows_out=... p50_ms=... p95_ms=... p99_ms=...
-      last_max_q=...] line ([feedback_replans] counts drift-triggered
-      re-optimisations; [last_max_q] is the worst per-node q-error of
-      the latest execution the feedback loop learned from)
+      last_max_q=... advisor_installed=... advisor_evicted=...] line
+      ([feedback_replans] counts drift-triggered re-optimisations;
+      [last_max_q] is the worst per-node q-error of the latest
+      execution the feedback loop learned from; the [advisor_*]
+      counters track online AV materialisations and evictions, [0]
+      when the advisor is off)
+    - [advise] → force one advisor round and answer
+      [ok advisor installed=<n> evicted=<n> bytes=<resident>], or
+      [error ...] when the server was started without [--advisor]
     - [quit] → [ok bye] and the loop returns
 
     Malformed input answers a single [error <reason>] line and keeps
     serving.  [sum] is a deterministic hex digest of the full relation
-    (schema order, row order), so concurrent executions of the same
-    statement can be asserted identical without shipping rows. *)
+    {e as a bag}: rows are canonically sorted before hashing, so two
+    executions of the same statement digest identically even if a
+    physical-design change between them (an advisor materialisation or
+    eviction) legitimately reordered the output rows. *)
 
 val digest : Dqo_data.Relation.t -> string
 (** Deterministic content digest (row count, column count, and every
-    value, in order), rendered as hex. *)
+    value; rows canonically sorted first), rendered as hex. *)
 
 val serve : Server.t -> in_channel -> out_channel -> unit
 (** Run the command loop until [quit] or end of input.  The server is

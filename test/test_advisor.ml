@@ -1,0 +1,364 @@
+(* Tests for the online AV advisor: the sliding-window workload log,
+   candidate generation from observed plans, tick install/evict
+   behaviour under the byte budget, and the serving-layer integration
+   (quiesced ticks, transparent reprepare, stable digests). *)
+
+module Advisor = Dqo_advisor.Advisor
+module Engine = Dqo_engine.Engine
+module Server = Dqo_serve.Server
+module Wire = Dqo_serve.Wire
+module View = Dqo_av.View
+module Metrics = Dqo_obs.Metrics
+module Datagen = Dqo_data.Datagen
+module Rng = Dqo_util.Rng
+module Logical = Dqo_plan.Logical
+
+(* The hot statement is servable by a materialised grouping over S.b;
+   the cold one joins, so its candidates are projections/hashes over
+   the join and group columns. *)
+let hot_sql = "SELECT b, COUNT(*) AS c FROM S GROUP BY b"
+let cold_sql = "SELECT a, COUNT(*) AS c FROM R JOIN S ON id = r_id GROUP BY a"
+
+let demo_db () =
+  let rng = Rng.create ~seed:11 in
+  let pair =
+    Datagen.fk_pair ~rng ~r_rows:2_500 ~s_rows:9_000 ~r_groups:2_000
+      ~r_sorted:false ~s_sorted:false ~dense:true
+  in
+  let db = Engine.create () in
+  Engine.register db ~name:"R" pair.Datagen.r;
+  Engine.register db ~name:"S" pair.Datagen.s;
+  Engine.set_opts db { Engine.default_opts with Engine.mode = Engine.DQO };
+  db
+
+let canonical rel = List.sort compare (Dqo_data.Relation.rows rel)
+
+(* --- workload log ------------------------------------------------------- *)
+
+let test_log_window_slides () =
+  Alcotest.check_raises "capacity validated"
+    (Invalid_argument "Advisor.Log.create: capacity < 1") (fun () ->
+      ignore (Advisor.Log.create 0));
+  let log = Advisor.Log.create 4 in
+  Alcotest.(check int) "capacity" 4 (Advisor.Log.capacity log);
+  for i = 1 to 6 do
+    let sql = if i <= 3 then "A" else "B" in
+    Advisor.Log.observe log ~sql ~mode:Engine.DQO ~latency_ms:2.0
+  done;
+  Alcotest.(check int) "total counts every observation" 6
+    (Advisor.Log.total log);
+  Alcotest.(check int) "window capped" 4 (Advisor.Log.size log);
+  (* The window now holds observations 3..6: one A, three B, with A's
+     surviving observation the oldest. *)
+  match Advisor.Log.snapshot log with
+  | [ a; b ] ->
+    Alcotest.(check string) "oldest survivor first" "A" a.Advisor.Log.e_sql;
+    Alcotest.(check int) "A slid down to one" 1 a.Advisor.Log.freq;
+    Alcotest.(check string) "B second" "B" b.Advisor.Log.e_sql;
+    Alcotest.(check int) "B fully inside" 3 b.Advisor.Log.freq;
+    Alcotest.(check (float 1e-9)) "latency aggregated" 6.0
+      b.Advisor.Log.total_latency_ms
+  | entries ->
+    Alcotest.fail
+      (Printf.sprintf "expected 2 entries, got %d" (List.length entries))
+
+(* --- candidate generation ---------------------------------------------- *)
+
+let bind db sql = Dqo_sql.Binder.plan_of_sql (Engine.catalog db) sql
+
+let test_candidates_from_observed_plans () =
+  let db = demo_db () in
+  let workload = [ (bind db hot_sql, 4.0); (bind db cold_sql, 1.0) ] in
+  let pool = Advisor.candidates db workload in
+  Alcotest.(check bool) "non-empty pool" true (pool <> []);
+  (* A grouping view serving the hot statement is proposed... *)
+  Alcotest.(check bool) "grouping over S.b proposed" true
+    (List.exists
+       (fun v ->
+         match v.View.kind with
+         | View.Grouping_result { relation = "S"; key = "b" } -> true
+         | _ -> false)
+       pool);
+  (* ...and every other candidate targets a (relation, column) the
+     observed plans actually join or group on — not the syntactic
+     all-columns pool. *)
+  let observed = [ ("R", "id"); ("R", "a"); ("S", "r_id"); ("S", "b") ] in
+  List.iter
+    (fun v ->
+      match v.View.kind with
+      | View.Sorted_projection { relation; column }
+      | View.Perfect_hash { relation; column } ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s over an observed column" v.View.id)
+          true
+          (List.mem (relation, column) observed)
+      | View.Grouping_result { relation; key } ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s over an observed group" v.View.id)
+          true
+          (List.mem (relation, key) observed))
+    pool;
+  (* Installed views leave the pool. *)
+  (match pool with
+  | v :: _ ->
+    Engine.install_av db v;
+    let pool' = Advisor.candidates db workload in
+    Alcotest.(check bool) "installed id excluded" false
+      (List.exists (fun c -> String.equal c.View.id v.View.id) pool')
+  | [] -> Alcotest.fail "no candidates");
+  (* A workload that touches nothing yields nothing. *)
+  Alcotest.(check int) "empty workload, empty pool" 0
+    (List.length (Advisor.candidates db []))
+
+(* --- ticking ------------------------------------------------------------ *)
+
+let test_tick_installs_within_budget () =
+  let db = demo_db () in
+  let cfg = { Advisor.default_config with Advisor.min_observations = 4 } in
+  let adv = Advisor.create ~config:cfg db in
+  let before = canonical (Engine.run_sql db hot_sql) in
+  (* Below the observation floor a tick is a no-op. *)
+  let r0 = Advisor.tick adv in
+  Alcotest.(check int) "no installs before floor" 0
+    (List.length r0.Advisor.installed);
+  Alcotest.(check int) "tick still counted" 1 (Advisor.ticks adv);
+  for _ = 1 to 4 do
+    Advisor.observe adv ~sql:hot_sql ~mode:Engine.DQO ~latency_ms:5.0
+  done;
+  let r = Advisor.tick adv in
+  Alcotest.(check bool) "installs something" true (r.Advisor.installed <> []);
+  Alcotest.(check bool) "within byte budget" true
+    (r.Advisor.av_bytes <= cfg.Advisor.budget_bytes);
+  Alcotest.(check int) "report bytes = engine bytes" (Engine.av_bytes db)
+    r.Advisor.av_bytes;
+  Alcotest.(check int) "owned = installed" (List.length r.Advisor.installed)
+    (List.length (Advisor.owned adv));
+  Alcotest.(check bool) "optimiser calls were made" true
+    (r.Advisor.cache_misses > 0);
+  Alcotest.(check bool) "statements were scored" true
+    (r.Advisor.workload_statements >= 1);
+  (* The physical-design change never changes results. *)
+  Alcotest.(check bool) "results canonically equal" true
+    (canonical (Engine.run_sql db hot_sql) = before)
+
+let test_tiny_budget_installs_nothing () =
+  let db = demo_db () in
+  let cfg = { Advisor.default_config with Advisor.budget_bytes = 8;
+              min_observations = 4 } in
+  let adv = Advisor.create ~config:cfg db in
+  for _ = 1 to 4 do
+    Advisor.observe adv ~sql:hot_sql ~mode:Engine.DQO ~latency_ms:5.0
+  done;
+  let r = Advisor.tick adv in
+  Alcotest.(check int) "nothing fits" 0 (List.length r.Advisor.installed);
+  Alcotest.(check int) "no resident bytes" 0 (Engine.av_bytes db)
+
+let test_workload_shift_evicts () =
+  let db = demo_db () in
+  let cfg = { Advisor.default_config with Advisor.min_observations = 4;
+              window = 8 } in
+  let adv = Advisor.create ~config:cfg db in
+  for _ = 1 to 8 do
+    Advisor.observe adv ~sql:hot_sql ~mode:Engine.DQO ~latency_ms:5.0
+  done;
+  let r1 = Advisor.tick adv in
+  Alcotest.(check bool) "first tick installs" true (r1.Advisor.installed <> []);
+  (* Shift the whole window to the cold statement: the hot-serving
+     views lose their workload and the next tick evicts them. *)
+  for _ = 1 to 8 do
+    Advisor.observe adv ~sql:cold_sql ~mode:Engine.DQO ~latency_ms:5.0
+  done;
+  let r2 = Advisor.tick adv in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s evicted after the shift" v.View.id)
+        true
+        (List.exists
+           (fun e -> String.equal e.View.id v.View.id)
+           r2.Advisor.evicted))
+    r1.Advisor.installed;
+  (* The grouping view's backing relation is gone from the engine. *)
+  (try
+     ignore (Engine.relation db "S__by_b");
+     Alcotest.fail "S__by_b should be gone"
+   with Not_found -> ());
+  Alcotest.(check int) "evicts counted" (List.length r2.Advisor.evicted)
+    (Advisor.evicts adv);
+  (* Results for both statements survive the churn. *)
+  ignore (Engine.run_sql db hot_sql);
+  ignore (Engine.run_sql db cold_sql)
+
+(* --- serving integration ------------------------------------------------ *)
+
+(* The satellite scenario: sessions hold prepared statements across
+   advisor ticks that install and later evict views; every execution
+   transparently repreparaes and digests stay byte-identical — under
+   concurrent clients, so the quiesce path is exercised too. *)
+let test_server_tick_reprepare_digests () =
+  let db = demo_db () in
+  let cfg = { Advisor.default_config with Advisor.min_observations = 4;
+              window = 16 } in
+  let srv = Server.create ~workers:4 ~advisor:cfg db in
+  Fun.protect
+    ~finally:(fun () -> Server.shutdown srv)
+    (fun () ->
+      let s = Server.open_session srv in
+      let stmt = Server.prepare s hot_sql in
+      let d0 = Wire.digest (Server.execute s stmt) in
+      for _ = 1 to 3 do
+        ignore (Server.execute s stmt)
+      done;
+      (* Tick while concurrent clients hammer the same statement. *)
+      let diverged = ref false in
+      let client () =
+        let cs = Server.open_session srv in
+        let cstmt = Server.prepare cs hot_sql in
+        for _ = 1 to 10 do
+          if not (String.equal (Wire.digest (Server.execute cs cstmt)) d0)
+          then diverged := true
+        done;
+        Server.close_session cs
+      in
+      let clients = List.init 4 (fun _ -> Thread.create client ()) in
+      let r1 =
+        match Server.advisor_tick srv with
+        | Some r -> r
+        | None -> Alcotest.fail "advisor enabled but tick returned None"
+      in
+      List.iter Thread.join clients;
+      Alcotest.(check bool) "tick installed" true (r1.Advisor.installed <> []);
+      Alcotest.(check bool) "no digest diverged around the tick" false
+        !diverged;
+      Alcotest.(check string) "held statement still digests identically" d0
+        (Wire.digest (Server.execute s stmt));
+      let m = Server.metrics srv in
+      Alcotest.(check bool) "reprepare counted" true
+        (Metrics.counter m "serve.replans" >= 1);
+      Alcotest.(check bool) "install counted" true
+        (Metrics.counter m "advisor.installed"
+         >= List.length r1.Advisor.installed);
+      let replans_after_install = Metrics.counter m "serve.replans" in
+      (* Shift the window to the cold statement and tick again: the
+         advisor evicts the hot views while [stmt] is still held. *)
+      let stmt2 = Server.prepare s cold_sql in
+      for _ = 1 to 16 do
+        ignore (Server.execute s stmt2)
+      done;
+      let r2 =
+        match Server.advisor_tick srv with
+        | Some r -> r
+        | None -> Alcotest.fail "second tick returned None"
+      in
+      Alcotest.(check bool) "shifted workload evicts" true
+        (r2.Advisor.evicted <> []);
+      Alcotest.(check string) "digest identical after eviction" d0
+        (Wire.digest (Server.execute s stmt));
+      Alcotest.(check bool) "eviction forced another reprepare" true
+        (Metrics.counter m "serve.replans" > replans_after_install);
+      Alcotest.(check int) "ticks counted" 2
+        (Metrics.counter m "advisor.ticks");
+      Server.close_session s)
+
+(* --- wire protocol ------------------------------------------------------ *)
+
+let run_wire ?advisor script =
+  let db = demo_db () in
+  let srv = Server.create ~max_inflight:8 ?advisor db in
+  let r_in, w_in = Unix.pipe () in
+  let ic = Unix.in_channel_of_descr r_in in
+  let oc_w = Unix.out_channel_of_descr w_in in
+  output_string oc_w script;
+  close_out oc_w;
+  let buf_path = Filename.temp_file "dqo_advisor_wire" ".out" in
+  let out = open_out buf_path in
+  Fun.protect
+    ~finally:(fun () -> Server.shutdown srv)
+    (fun () -> Wire.serve srv ic out);
+  close_out out;
+  close_in ic;
+  let chan = open_in buf_path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line chan :: !lines
+     done
+   with End_of_file -> ());
+  close_in chan;
+  Sys.remove buf_path;
+  List.rev !lines
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let test_wire_advise () =
+  let script =
+    Printf.sprintf
+      "open\nprepare 1 %s\nexec 1 1\nexec 1 1\nexec 1 1\nexec 1 1\n\
+       advise\nexec 1 1\nstats\nquit\n"
+      hot_sql
+  in
+  let cfg = { Advisor.default_config with Advisor.min_observations = 4 } in
+  let lines = run_wire ~advisor:cfg script in
+  Alcotest.(check bool) "advise answers with installs" true
+    (List.exists (has_prefix "ok advisor installed=") lines);
+  let sums =
+    List.filter_map
+      (fun l ->
+        if has_prefix "result " l then
+          Some (List.hd (List.rev (String.split_on_char '=' l)))
+        else None)
+      lines
+  in
+  Alcotest.(check bool) "five results" true (List.length sums = 5);
+  List.iter
+    (fun s ->
+      Alcotest.(check string) "digests identical across the tick"
+        (List.hd sums) s)
+    sums;
+  Alcotest.(check bool) "stats reports advisor counters" true
+    (List.exists
+       (fun l ->
+         has_prefix "ok stats " l
+         && Astring.String.is_infix ~affix:" advisor_installed=" l)
+       lines)
+
+let test_wire_advise_disabled () =
+  let lines = run_wire "advise\nquit\n" in
+  match lines with
+  | e :: _ ->
+    Alcotest.(check bool) "advise without --advisor errors" true
+      (has_prefix "error " e)
+  | [] -> Alcotest.fail "no output"
+
+let () =
+  Alcotest.run "dqo_advisor"
+    [
+      ( "log",
+        [ Alcotest.test_case "window slides" `Quick test_log_window_slides ] );
+      ( "candidates",
+        [
+          Alcotest.test_case "from observed plans" `Quick
+            test_candidates_from_observed_plans;
+        ] );
+      ( "tick",
+        [
+          Alcotest.test_case "installs within budget" `Quick
+            test_tick_installs_within_budget;
+          Alcotest.test_case "tiny budget installs nothing" `Quick
+            test_tiny_budget_installs_nothing;
+          Alcotest.test_case "workload shift evicts" `Quick
+            test_workload_shift_evicts;
+        ] );
+      ( "serving",
+        [
+          Alcotest.test_case "tick + reprepare keeps digests" `Quick
+            test_server_tick_reprepare_digests;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "advise command" `Quick test_wire_advise;
+          Alcotest.test_case "advise disabled" `Quick
+            test_wire_advise_disabled;
+        ] );
+    ]

@@ -137,6 +137,96 @@ let test_default_candidates_shape () =
   (* Two AV kinds per recorded column: R has 2 columns, S has 1. *)
   Alcotest.(check int) "2 * 3 candidates" 6 (List.length candidates)
 
+(* Two physically distinct copies of the same view (same id) may land
+   in the candidate pool — e.g. regenerated per tick by the advisor.
+   Selection must remove candidates by id, not physical equality, or
+   the copy would be picked a second time for zero benefit. *)
+let test_greedy_removes_by_id () =
+  let catalog = base_catalog () in
+  let v1 = View.perfect_hash catalog ~relation:"R" ~column:"id" in
+  let v2 = View.perfect_hash catalog ~relation:"R" ~column:"id" in
+  Alcotest.(check bool) "distinct values, same id" false (v1 == v2);
+  let s = Avsp.greedy ~budget:1_000_000.0 catalog workload [ v1; v2 ] in
+  Alcotest.(check int) "the duplicate is never selected" 1
+    (List.length
+       (List.filter
+          (fun c -> String.equal c.View.id v1.View.id)
+          s.Avsp.chosen))
+
+(* ?weight redefines the budget dimension: weighting by estimated
+   resident bytes makes the same greedy pass answer "what fits in
+   memory" instead of "what can we afford to build". *)
+let test_greedy_custom_weight () =
+  let catalog = base_catalog () in
+  let candidates = Avsp.default_candidates catalog in
+  let weight v = Float.of_int (View.estimated_bytes catalog v) in
+  let budget = 2_000_000.0 in
+  let s = Avsp.greedy ~weight ~budget catalog workload candidates in
+  Alcotest.(check bool) "selected something" true (s.Avsp.chosen <> []);
+  let spent =
+    List.fold_left (fun acc v -> acc +. weight v) 0.0 s.Avsp.chosen
+  in
+  Alcotest.(check bool) "byte-weighted spend within budget" true
+    (spent <= budget);
+  (* A budget below the smallest weight selects nothing. *)
+  let s0 = Avsp.greedy ~weight ~budget:1.0 catalog workload candidates in
+  Alcotest.(check int) "no room" 0 (List.length s0.Avsp.chosen)
+
+(* The memo cache makes a repeated pass over the same workload and
+   pool cost zero optimiser calls. *)
+let test_greedy_cache_reuse () =
+  let catalog = base_catalog () in
+  let candidates = Avsp.default_candidates catalog in
+  let cache = Avsp.create_cache () in
+  let budget = 1_000_000.0 in
+  let s1 = Avsp.greedy ~cache ~budget catalog workload candidates in
+  let misses_after_first = Avsp.cache_misses cache in
+  Alcotest.(check bool) "first pass fills the cache" true
+    (misses_after_first > 0);
+  let s2 = Avsp.greedy ~cache ~budget catalog workload candidates in
+  Alcotest.(check int) "second pass is all hits" misses_after_first
+    (Avsp.cache_misses cache);
+  Alcotest.(check bool) "hits recorded" true (Avsp.cache_hits cache > 0);
+  Alcotest.(check bool) "same selection" true
+    (List.map (fun v -> v.View.id) s1.Avsp.chosen
+    = List.map (fun v -> v.View.id) s2.Avsp.chosen)
+
+(* Grouping views rewrite servable GROUP BYs onto the view relation;
+   everything else passes through untouched. *)
+let test_rewrite_through () =
+  let catalog = base_catalog () in
+  let v = View.grouping_result catalog ~relation:"R" ~key:"a" in
+  let count_q =
+    Logical.group_by (Logical.scan "R") ~key:"a"
+      [ Logical.count_star ~alias:"c" () ]
+  in
+  Alcotest.(check bool) "COUNT becomes SUM(cnt)" true
+    (View.rewrite_through [ v ] count_q
+    = Logical.group_by (Logical.scan "R__by_a") ~key:"a"
+        [ Logical.sum ~alias:"c" "cnt" ]);
+  let sum_key_q =
+    Logical.group_by (Logical.scan "R") ~key:"a"
+      [ Logical.sum ~alias:"t" "a" ]
+  in
+  Alcotest.(check bool) "SUM(key) becomes SUM(total)" true
+    (View.rewrite_through [ v ] sum_key_q
+    = Logical.group_by (Logical.scan "R__by_a") ~key:"a"
+        [ Logical.sum ~alias:"t" "total" ]);
+  (* SUM over a non-key column is not servable. *)
+  let sum_other_q =
+    Logical.group_by (Logical.scan "R") ~key:"a"
+      [ Logical.sum ~alias:"t" "id" ]
+  in
+  Alcotest.(check bool) "non-servable aggregate passes through" true
+    (View.rewrite_through [ v ] sum_other_q = sum_other_q);
+  (* A join under the group-by is not a bare scan: no rewrite. *)
+  Alcotest.(check bool) "join shape passes through" true
+    (View.rewrite_through [ v ] query = query);
+  (* Non-grouping views never rewrite. *)
+  let sp = View.sorted_projection catalog ~relation:"R" ~column:"a" in
+  Alcotest.(check bool) "sorted projection never rewrites" true
+    (View.rewrite_through [ sp ] count_q = count_q)
+
 let test_exact_candidate_cap () =
   let catalog = base_catalog () in
   let many =
@@ -274,6 +364,13 @@ let () =
           Alcotest.test_case "default candidates" `Quick
             test_default_candidates_shape;
           Alcotest.test_case "exact cap" `Quick test_exact_candidate_cap;
+          Alcotest.test_case "greedy removes by id" `Quick
+            test_greedy_removes_by_id;
+          Alcotest.test_case "greedy custom weight" `Quick
+            test_greedy_custom_weight;
+          Alcotest.test_case "greedy cache reuse" `Quick
+            test_greedy_cache_reuse;
+          Alcotest.test_case "rewrite through" `Quick test_rewrite_through;
         ] );
       ( "materialise",
         [ Alcotest.test_case "all kinds" `Quick test_materialize_kinds ] );
