@@ -19,7 +19,9 @@
    EXPERIMENTS.md for the recorded comparison. *)
 
 module Grouping = Dqo_exec.Grouping
+module Join = Dqo_exec.Join
 module Datagen = Dqo_data.Datagen
+module Int_col = Dqo_data.Int_col
 module Table_printer = Dqo_util.Table_printer
 module Timer = Dqo_util.Timer
 module Rng = Dqo_util.Rng
@@ -42,6 +44,7 @@ let opt_scaling_records : Json.t list ref = ref []
 let serve_records : Json.t list ref = ref []
 let feedback_records : Json.t list ref = ref []
 let advisor_records : Json.t list ref = ref []
+let paper_scale_records : Json.t list ref = ref []
 
 (* ------------------------------------------------------------------ *)
 (* Figure 4: grouping performance on four dataset shapes.             *)
@@ -71,8 +74,8 @@ let figure4_dataset ~rows ~sorted ~dense =
   List.iter
     (fun groups ->
       let rng = Rng.create ~seed:(groups + 1) in
-      let dataset = Datagen.grouping ~rng ~n:rows ~groups ~sorted ~dense in
-      let values = Array.make rows 1 in
+      let dataset = Datagen.grouping ~rng ~n:rows ~groups ~sorted ~dense () in
+      let values = Int_col.const rows 1 in
       let cells =
         List.map
           (fun alg ->
@@ -120,9 +123,9 @@ let figure4_crossover ~rows =
     (fun groups ->
       let rng = Rng.create ~seed:(1000 + groups) in
       let dataset =
-        Datagen.grouping ~rng ~n:rows ~groups ~sorted:false ~dense:false
+        Datagen.grouping ~rng ~n:rows ~groups ~sorted:false ~dense:false ()
       in
-      let values = Array.make rows 1 in
+      let values = Int_col.const rows 1 in
       let time f = snd (Timer.best_of ~repeats:3 f) in
       let bsg = time (fun () -> Grouping.run Grouping.BSG ~dataset ~values) in
       let hg_flat =
@@ -293,9 +296,9 @@ let ablation_hash ~rows =
     "-- Ablation A1: hash-function molecule (HG, unsorted dense) --";
   let rng = Rng.create ~seed:31 in
   let dataset =
-    Datagen.grouping ~rng ~n:rows ~groups:10_000 ~sorted:false ~dense:true
+    Datagen.grouping ~rng ~n:rows ~groups:10_000 ~sorted:false ~dense:true ()
   in
-  let values = Array.make rows 1 in
+  let values = Int_col.const rows 1 in
   let table = Table_printer.create ~header:[ "hash function"; "ms" ] in
   List.iter
     (fun hash ->
@@ -314,9 +317,9 @@ let ablation_table ~rows =
     "-- Ablation A2: hash-table molecule (HG, unsorted dense) --";
   let rng = Rng.create ~seed:32 in
   let dataset =
-    Datagen.grouping ~rng ~n:rows ~groups:10_000 ~sorted:false ~dense:true
+    Datagen.grouping ~rng ~n:rows ~groups:10_000 ~sorted:false ~dense:true ()
   in
-  let values = Array.make rows 1 in
+  let values = Int_col.const rows 1 in
   let table = Table_printer.create ~header:[ "table layout"; "ms" ] in
   List.iter
     (fun (layout, name) ->
@@ -432,9 +435,9 @@ let ablation_skew ~rows =
   List.iter
     (fun theta ->
       let rng = Rng.create ~seed:33 in
-      let keys = Datagen.zipf_keys ~rng ~n:rows ~groups ~theta in
-      let universe = Dqo_util.Int_array.distinct_sorted keys in
-      let values = Array.make rows 1 in
+      let keys = Datagen.zipf_keys ~rng ~n:rows ~groups ~theta () in
+      let universe = Dqo_util.Int_array.distinct_sorted (Int_col.to_array keys) in
+      let values = Int_col.const rows 1 in
       let time f = snd (Timer.best_of ~repeats:2 f) in
       let hg = time (fun () -> Grouping.hash_based ~expected:groups ~keys ~values ()) in
       let sphg =
@@ -465,19 +468,17 @@ let ablation_online ~rows =
   let groups = 1_000 in
   let rng = Rng.create ~seed:34 in
   let dataset =
-    Datagen.grouping ~rng ~n:rows ~groups ~sorted:false ~dense:true
+    Datagen.grouping ~rng ~n:rows ~groups ~sorted:false ~dense:true ()
   in
-  let values = Array.make rows 1 in
+  let values = Int_col.const rows 1 in
   let table =
     Table_printer.create
       ~header:[ "progress"; "mean |error| %"; "max |error| %" ]
   in
   let exact = Hashtbl.create groups in
-  Array.iter
-    (fun k ->
+  Int_col.iteri dataset.Datagen.keys ~f:(fun _ k ->
       Hashtbl.replace exact k
-        (1 + Option.value ~default:0 (Hashtbl.find_opt exact k)))
-    dataset.Datagen.keys;
+        (1 + Option.value ~default:0 (Hashtbl.find_opt exact k)));
   let report snapshot =
     match snapshot with
     | [] -> ()
@@ -525,18 +526,17 @@ let ablation_layout ~rows =
   let groups = 10_000 in
   let rng = Rng.create ~seed:35 in
   let dataset =
-    Datagen.grouping ~rng ~n:rows ~groups ~sorted:false ~dense:true
+    Datagen.grouping ~rng ~n:rows ~groups ~sorted:false ~dense:true ()
   in
   let values = Array.init rows (fun i -> i land 1023) in
   let table =
     Table_printer.create
       ~header:[ "layout"; "key-only scan ms"; "key+payload grouping ms" ]
   in
+  let layout_keys = Int_col.to_array dataset.Datagen.keys in
   List.iter
     (fun kind ->
-      let l =
-        Dqo_data.Layout.of_columns ~keys:dataset.Datagen.keys ~values kind
-      in
+      let l = Dqo_data.Layout.of_columns ~keys:layout_keys ~values kind in
       let _, keys_ms =
         Timer.best_of ~repeats:3 (fun () ->
             Dqo_data.Layout.fold_keys l ~init:0 ~f:( + ))
@@ -572,10 +572,10 @@ let parallel_scaling ~rows ~threads =
   let groups = 20_000 in
   let rng = Rng.create ~seed:41 in
   let dataset =
-    Datagen.grouping ~rng ~n:rows ~groups ~sorted:false ~dense:true
+    Datagen.grouping ~rng ~n:rows ~groups ~sorted:false ~dense:true ()
   in
   let keys = dataset.Datagen.keys in
-  let values = Array.make rows 1 in
+  let values = Int_col.const rows 1 in
   let table =
     Table_printer.create ~header:[ "domains"; "median ms"; "speedup vs 1" ]
   in
@@ -861,15 +861,16 @@ let bench_feedback ~rounds =
               ~r_groups:20_000 ~r_sorted:false ~s_sorted:false ~dense:true
           in
           let s =
-            let r_id = Dqo_data.Relation.int_column pair.Datagen.s "r_id" in
+            let r_id = Dqo_data.Relation.int_col pair.Datagen.s "r_id" in
             let b =
-              Datagen.zipf_keys ~rng ~n:(Array.length r_id) ~groups:1_000
-                ~theta
+              Datagen.zipf_keys ~rng ~n:(Int_col.length r_id) ~groups:1_000
+                ~theta ()
             in
             Dqo_data.Relation.create
               (Dqo_data.Relation.schema pair.Datagen.s)
               [
-                Dqo_data.Column.Ints (Array.copy r_id); Dqo_data.Column.Ints b;
+                Dqo_data.Column.of_ints (Int_col.to_array r_id);
+                Dqo_data.Column.of_int_col b;
               ]
           in
           let db = Dqo_engine.Engine.create () in
@@ -952,14 +953,17 @@ let bench_advisor ~requests =
         ~r_sorted:false ~s_sorted:false ~dense:true
     in
     let s =
-      let r_id = Dqo_data.Relation.int_column pair.Datagen.s "r_id" in
+      let r_id = Dqo_data.Relation.int_col pair.Datagen.s "r_id" in
       let b =
-        Datagen.zipf_keys ~rng ~n:(Array.length r_id) ~groups:1_000
-          ~theta:1.0
+        Datagen.zipf_keys ~rng ~n:(Int_col.length r_id) ~groups:1_000
+          ~theta:1.0 ()
       in
       Dqo_data.Relation.create
         (Dqo_data.Relation.schema pair.Datagen.s)
-        [ Dqo_data.Column.Ints (Array.copy r_id); Dqo_data.Column.Ints b ]
+        [
+          Dqo_data.Column.of_ints (Int_col.to_array r_id);
+          Dqo_data.Column.of_int_col b;
+        ]
     in
     let db = Dqo_engine.Engine.create () in
     Dqo_engine.Engine.register db ~name:"R" pair.Datagen.r;
@@ -1097,15 +1101,15 @@ let bechamel ~rows =
   let rng = Rng.create ~seed:71 in
   let groups = 4_096 in
   let unsorted =
-    Datagen.grouping ~rng ~n:rows ~groups ~sorted:false ~dense:true
+    Datagen.grouping ~rng ~n:rows ~groups ~sorted:false ~dense:true ()
   in
   let sorted =
-    Datagen.grouping ~rng ~n:rows ~groups ~sorted:true ~dense:true
+    Datagen.grouping ~rng ~n:rows ~groups ~sorted:true ~dense:true ()
   in
   let sparse =
-    Datagen.grouping ~rng ~n:rows ~groups ~sorted:false ~dense:false
+    Datagen.grouping ~rng ~n:rows ~groups ~sorted:false ~dense:false ()
   in
-  let values = Array.make rows 1 in
+  let values = Int_col.const rows 1 in
   let grouping_test name alg dataset =
     Test.make ~name
       (Staged.stage (fun () -> Grouping.run alg ~dataset ~values))
@@ -1155,9 +1159,284 @@ let bechamel ~rows =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Paper scale: the §4.1 sweeps at 100M rows, run on both storage      *)
+(* backends with digest parity enforced between them.                  *)
+
+(* Deterministic order-independent-enough digests: grouping results are
+   normalised by key first; join results are digested in emission
+   order, which every algorithm fixes deterministically. *)
+let fnv_fold h x =
+  let h = h lxor (x land 0xffff) in
+  let h = h * 0x100000001b3 in
+  let h = h lxor ((x lsr 16) land 0xffffffff) in
+  let h = h * 0x100000001b3 in
+  h lxor (x lsr 48)
+
+let digest_hex h = Printf.sprintf "%016x" (h land max_int)
+
+let digest_grouping (g : Dqo_exec.Group_result.t) =
+  let h =
+    List.fold_left
+      (fun h (k, (c, s)) -> fnv_fold (fnv_fold (fnv_fold h k) c) s)
+      0x3bf29ce484222325
+      (Dqo_exec.Group_result.to_sorted_alist g)
+  in
+  digest_hex h
+
+let digest_join (j : Join.result) =
+  let h = ref 0x3bf29ce484222325 in
+  Array.iter (fun x -> h := fnv_fold !h x) j.Join.left;
+  Array.iter (fun x -> h := fnv_fold !h x) j.Join.right;
+  digest_hex !h
+
+(* The paper's 4-byte unsigned keys: flat [int array] vs Bigarray
+   morsel chunks.  Same RNG consumption, so element-identical data. *)
+let paper_backends =
+  [ (Int_col.Flat, "flat"); (Int_col.Chunked Int_col.W32, "chunked32") ]
+
+let parity_failures = ref 0
+
+let check_parity ~what digests =
+  match digests with
+  | [] | [ _ ] -> ()
+  | (d0, _) :: rest ->
+    List.iter
+      (fun (d, backend) ->
+        if not (String.equal d d0) then begin
+          incr parity_failures;
+          Printf.printf "  DIGEST MISMATCH %s: %s != %s (%s)\n" what d d0
+            backend
+        end)
+      rest
+
+let record_paper ~section ~shape ~rows ~cardinality ~algorithm ~backend ~ms
+    ~digest ~threads =
+  paper_scale_records :=
+    Json.Obj
+      [
+        ("section", Json.String section);
+        ("shape", Json.String shape);
+        ("rows", Json.Int rows);
+        ("cardinality", Json.Int cardinality);
+        ("algorithm", Json.String algorithm);
+        ("backend", Json.String backend);
+        ("threads", Json.Int threads);
+        ("ms", Json.Float ms);
+        ("ns_per_row", Json.Float (ms *. 1e6 /. Float.of_int rows));
+        ("digest", Json.String digest);
+      ]
+    :: !paper_scale_records
+
+(* Grouping at paper scale: the generalist (HG) against each shape's
+   specialist, per backend.  SOG is excluded — its O(n log n) sort
+   dominates everything at 100M rows and adds nothing to the crossover
+   story (the 2M sweep still covers it). *)
+let paper_scale_grouping ~rows ~threads =
+  Printf.printf
+    "-- Paper scale: sorted x dense grouping sweep, %d rows, both \
+     backends --\n"
+    rows;
+  let counts =
+    List.filter (fun g -> g <= rows) [ 10; 10_000; 1_000_000 ]
+  in
+  let table =
+    Table_printer.create
+      ~header:[ "shape"; "#groups"; "algorithm"; "backend"; "ms"; "ns/row" ]
+  in
+  List.iter
+    (fun (sorted, dense) ->
+      let shape =
+        Printf.sprintf "%s-%s"
+          (if sorted then "sorted" else "unsorted")
+          (if dense then "dense" else "sparse")
+      in
+      let algs =
+        (Grouping.HG :: (if dense then [ Grouping.SPHG ] else []))
+        @ (if sorted then [ Grouping.OG ] else [])
+        @ if dense then [] else [ Grouping.BSG ]
+      in
+      List.iter
+        (fun groups ->
+          let values = Int_col.const rows 1 in
+          let digests = Hashtbl.create 8 in
+          List.iter
+            (fun (backend, bname) ->
+              let rng = Rng.create ~seed:(groups + 1) in
+              let dataset =
+                Datagen.grouping ~backend ~rng ~n:rows ~groups ~sorted ~dense
+                  ()
+              in
+              List.iter
+                (fun alg ->
+                  let result = ref None in
+                  let _, ms =
+                    Timer.time_ms (fun () ->
+                        result := Some (Grouping.run alg ~dataset ~values))
+                  in
+                  let d = digest_grouping (Option.get !result) in
+                  let name = Grouping.name alg in
+                  Hashtbl.replace digests name
+                    ((d, bname)
+                    :: Option.value ~default:[]
+                         (Hashtbl.find_opt digests name));
+                  record_paper ~section:"grouping" ~shape ~rows
+                    ~cardinality:groups ~algorithm:name ~backend:bname ~ms
+                    ~digest:d ~threads:1;
+                  Table_printer.add_row table
+                    [
+                      shape;
+                      string_of_int groups;
+                      name;
+                      bname;
+                      Printf.sprintf "%.0f" ms;
+                      Printf.sprintf "%.1f" (ms *. 1e6 /. Float.of_int rows);
+                    ])
+                algs;
+              (* The parallel path at the sweep's --threads setting:
+                 partition-based grouping over the NUMA-style morsel
+                 scatter, digest-checked against the same backend's
+                 sequential HG and across backends. *)
+              if (not sorted) && dense then begin
+                Dqo_par.Pool.with_pool ~domains:threads (fun pool ->
+                    let result = ref None in
+                    let _, ms =
+                      Timer.time_ms (fun () ->
+                          result :=
+                            Some
+                              (Dqo_par.Par_group.partition_based pool
+                                 ~keys:dataset.Datagen.keys ~values ()))
+                    in
+                    let d = digest_grouping (Option.get !result) in
+                    let name = Printf.sprintf "par-HG@%d" threads in
+                    Hashtbl.replace digests "HG"
+                      ((d, bname ^ "/" ^ name)
+                      :: Option.value ~default:[]
+                           (Hashtbl.find_opt digests "HG"));
+                    record_paper ~section:"grouping" ~shape ~rows
+                      ~cardinality:groups ~algorithm:name ~backend:bname ~ms
+                      ~digest:d ~threads;
+                    Table_printer.add_row table
+                      [
+                        shape;
+                        string_of_int groups;
+                        name;
+                        bname;
+                        Printf.sprintf "%.0f" ms;
+                        Printf.sprintf "%.1f" (ms *. 1e6 /. Float.of_int rows);
+                      ])
+              end)
+            paper_backends;
+          Hashtbl.iter
+            (fun name ds ->
+              check_parity
+                ~what:
+                  (Printf.sprintf "grouping %s groups=%d %s" shape groups
+                     name)
+                ds)
+            digests)
+        counts)
+    [ (true, true); (true, false); (false, true); (false, false) ];
+  Table_printer.print table
+
+(* Join crossover at paper scale: build-side cardinality sweep, probe
+   side at full scale.  Mirrors the grouping story — the binary-search
+   specialist beats the generalist hash join only while the build side
+   is tiny; the report states where the lines cross. *)
+let paper_scale_join ~rows =
+  Printf.printf
+    "-- Paper scale: join crossover sweep, %d probe rows, both backends \
+     --\n"
+    rows;
+  let build_sizes =
+    List.filter (fun r -> r * 4 <= rows) [ 16; 1_024; 65_536; 1_048_576 ]
+  in
+  let table =
+    Table_printer.create
+      ~header:[ "build rows"; "algorithm"; "backend"; "ms"; "ns/probe row" ]
+  in
+  let hj_ms = Hashtbl.create 8 and bsj_ms = Hashtbl.create 8 in
+  List.iter
+    (fun r_rows ->
+      let digests = Hashtbl.create 8 in
+      List.iter
+        (fun (backend, bname) ->
+          let rng = Rng.create ~seed:(4242 + r_rows) in
+          let build, probe =
+            Datagen.fk_keys ~backend ~rng ~r_rows ~s_rows:rows
+              ~r_sorted:false ~s_sorted:false ~dense:true ()
+          in
+          List.iter
+            (fun alg ->
+              let result = ref None in
+              let _, ms =
+                Timer.time_ms (fun () ->
+                    result := Some (Join.run alg ~left:build ~right:probe))
+              in
+              let d = digest_join (Option.get !result) in
+              result := None;
+              let name = Join.name alg in
+              if String.equal bname "flat" then begin
+                if alg = Join.HJ then Hashtbl.replace hj_ms r_rows ms;
+                if alg = Join.BSJ then Hashtbl.replace bsj_ms r_rows ms
+              end;
+              Hashtbl.replace digests name
+                ((d, bname)
+                :: Option.value ~default:[] (Hashtbl.find_opt digests name));
+              record_paper ~section:"join" ~shape:"unsorted-dense" ~rows
+                ~cardinality:r_rows ~algorithm:name ~backend:bname ~ms
+                ~digest:d ~threads:1;
+              Table_printer.add_row table
+                [
+                  string_of_int r_rows;
+                  name;
+                  bname;
+                  Printf.sprintf "%.0f" ms;
+                  Printf.sprintf "%.1f" (ms *. 1e6 /. Float.of_int rows);
+                ])
+            [ Join.HJ; Join.SPHJ; Join.BSJ ])
+        paper_backends;
+      Hashtbl.iter
+        (fun name ds ->
+          check_parity
+            ~what:(Printf.sprintf "join build=%d %s" r_rows name)
+            ds)
+        digests)
+    build_sizes;
+  Table_printer.print table;
+  let last_bsj_win =
+    List.fold_left
+      (fun acc r ->
+        match (Hashtbl.find_opt hj_ms r, Hashtbl.find_opt bsj_ms r) with
+        | Some hj, Some bsj when bsj < hj -> Some r
+        | _ -> acc)
+      None build_sizes
+  in
+  (match last_bsj_win with
+  | Some r ->
+    Printf.printf
+      "  BSJ beats HJ up to a build side of %d rows — same crossover \
+       shape as the 2M-row grouping zoom-in.\n"
+      r
+  | None -> print_endline "  HJ won at every build-side size.");
+  print_newline ()
+
+let paper_scale ~rows ~threads =
+  paper_scale_grouping ~rows ~threads;
+  paper_scale_join ~rows;
+  if !parity_failures = 0 then
+    Printf.printf
+      "digest parity: OK (flat vs chunked32 identical across the sweep, \
+       threads=%d)\n\n"
+      threads
+  else begin
+    Printf.printf "digest parity: %d FAILURES\n" !parity_failures;
+    exit 2
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let () =
-  let rows = ref 2_000_000 in
+  let rows = ref None in
   let figures = ref [] in
   let table = ref None in
   let abl = ref None in
@@ -1167,6 +1446,7 @@ let () =
   let run_serve = ref false in
   let run_feedback = ref false in
   let run_advisor = ref false in
+  let run_paper_scale = ref false in
   let feedback_rounds = ref 3 in
   let clients = ref 4 in
   let requests = ref 50 in
@@ -1175,7 +1455,16 @@ let () =
   let json_path = ref None in
   let spec =
     [
-      ("--rows", Arg.Set_int rows, "N  dataset size for Figure 4 (default 2M)");
+      ( "--rows",
+        Arg.Int (fun n -> rows := Some n),
+        "N  dataset size (default 2M; 100M under --paper-scale)" );
+      ( "--paper-scale",
+        Arg.Unit
+          (fun () ->
+            run_paper_scale := true;
+            all := false),
+        "  run the paper-scale grouping and join crossover sweeps on both \
+         storage backends with digest parity checks (default 100M rows)" );
       ( "--threads",
         Arg.Set_int threads,
         "N  max domains for the parallel-scaling sweep (default 1)" );
@@ -1255,7 +1544,12 @@ let () =
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "bench/main.exe - regenerate the paper's tables and figures";
-  let rows = !rows in
+  let rows =
+    match !rows with
+    | Some n -> n
+    | None -> if !run_paper_scale then 100_000_000 else 2_000_000
+  in
+  if !run_paper_scale then paper_scale ~rows ~threads:(max 1 !threads);
   List.iter
     (fun f ->
       match f with
@@ -1306,13 +1600,13 @@ let () =
   match !json_path with
   | None -> ()
   | Some path ->
-    (* schema_version 6: adds "advisor" (v5 added "feedback"; v4
-       "optimizer_scaling"; v3 "serving"; v2 "threads" and
-       "parallel_scaling"). *)
+    (* schema_version 7: adds "paper_scale" (v6 added "advisor"; v5
+       "feedback"; v4 "optimizer_scaling"; v3 "serving"; v2 "threads"
+       and "parallel_scaling"). *)
     Json.to_file path
       (Json.Obj
          [
-           ("schema_version", Json.Int 6);
+           ("schema_version", Json.Int 7);
            ("rows", Json.Int rows);
            ("threads", Json.Int !threads);
            ("figure4", Json.List (List.rev !fig4_records));
@@ -1322,5 +1616,6 @@ let () =
            ("serving", Json.List (List.rev !serve_records));
            ("feedback", Json.List (List.rev !feedback_records));
            ("advisor", Json.List (List.rev !advisor_records));
+           ("paper_scale", Json.List (List.rev !paper_scale_records));
          ]);
     Printf.printf "measurements written to %s\n" path

@@ -82,14 +82,18 @@ let make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~skew ~seed =
     else
       (* Replace S.b with a skewed column: same schema and row count,
          but heavy mass on the small values. *)
-      let r_id = Dqo_data.Relation.int_column pair.Dqo_data.Datagen.s "r_id" in
+      let r_id = Dqo_data.Relation.int_col pair.Dqo_data.Datagen.s "r_id" in
       let b =
-        Dqo_data.Datagen.zipf_keys ~rng ~n:(Array.length r_id) ~groups:1_000
-          ~theta:skew
+        Dqo_data.Datagen.zipf_keys ~rng
+          ~n:(Dqo_data.Int_col.length r_id)
+          ~groups:1_000 ~theta:skew ()
       in
       Dqo_data.Relation.create
         (Dqo_data.Relation.schema pair.Dqo_data.Datagen.s)
-        [ Dqo_data.Column.Ints (Array.copy r_id); Dqo_data.Column.Ints b ]
+        [
+          Dqo_data.Column.of_ints (Dqo_data.Int_col.to_array r_id);
+          Dqo_data.Column.of_int_col b;
+        ]
   in
   let db = Dqo_engine.Engine.create () in
   Dqo_engine.Engine.register db ~name:"R" pair.Dqo_data.Datagen.r;
@@ -160,9 +164,7 @@ let explain_cmd =
       let plan =
         Dqo_sql.Binder.plan_of_sql (Dqo_engine.Engine.catalog db) sql
       in
-      let analyze_once () =
-        Dqo_engine.Engine.explain_analyze db ~mode ~threads plan
-      in
+      let analyze_once () = Dqo_engine.Engine.explain_analyze db plan in
       let render a =
         print_string
           (Dqo_opt.Explain.render_analysis

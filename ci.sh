@@ -19,7 +19,7 @@ dune exec bench/main.exe -- --rows 20000 --figure 4 --figure 5 --scaling \
   --advisor --json "$out" > /dev/null
 
 test -s "$out" || { echo "ci: $out is empty" >&2; exit 1; }
-grep -q '"schema_version": 6' "$out" || { echo "ci: missing schema_version 6" >&2; exit 1; }
+grep -q '"schema_version": 7' "$out" || { echo "ci: missing schema_version 7" >&2; exit 1; }
 grep -q '"threads": 2' "$out" || { echo "ci: missing threads" >&2; exit 1; }
 grep -q '"figure4"' "$out" || { echo "ci: missing figure4" >&2; exit 1; }
 grep -q '"figure5"' "$out" || { echo "ci: missing figure5" >&2; exit 1; }
@@ -60,6 +60,24 @@ if command -v python3 > /dev/null 2>&1; then
   python3 -m json.tool "$out" > /dev/null || { echo "ci: invalid JSON" >&2; exit 1; }
 fi
 
+echo "== bench --paper-scale smoke =="
+# The paper-scale sweep at a reduced row count: flat and chunked
+# Bigarray backends must produce byte-identical digests across the
+# grouping and join sweeps, including the parallel grouping arm.
+ps_out="$(mktemp -t bench_paper_XXXXXX.json)"
+ps_log="$(mktemp -t bench_paper_XXXXXX.log)"
+trap 'rm -f "$out" "$ps_out" "$ps_log"' EXIT
+dune exec bench/main.exe -- --paper-scale --rows 2000000 --threads 2 \
+  --json "$ps_out" > "$ps_log"
+grep -q 'digest parity: OK' "$ps_log" \
+  || { echo "ci: paper-scale digest parity not confirmed" >&2; exit 1; }
+grep -q '"schema_version": 7' "$ps_out" \
+  || { echo "ci: paper-scale JSON missing schema_version 7" >&2; exit 1; }
+grep -q '"paper_scale"' "$ps_out" \
+  || { echo "ci: paper-scale JSON missing paper_scale records" >&2; exit 1; }
+grep -q '"backend": "chunked32"' "$ps_out" \
+  || { echo "ci: paper-scale sweep has no chunked records" >&2; exit 1; }
+
 echo "== dqo run --threads 2 smoke =="
 dune exec bin/dqo.exe -- run --threads 2 --r-rows 2000 --s-rows 6000 \
   --groups 1500 > /dev/null
@@ -76,7 +94,7 @@ test "$ex1" = "$ex2" \
 
 echo "== dqo serve --threads 2 smoke =="
 serve_out="$(mktemp -t serve_smoke_XXXXXX.txt)"
-trap 'rm -f "$out" "$serve_out"' EXIT
+trap 'rm -f "$out" "$ps_out" "$ps_log" "$serve_out"' EXIT
 printf 'open\nopen\nprepare 1 SELECT a, COUNT(*) AS c FROM R JOIN S ON id = r_id GROUP BY a\nprepare 2 SELECT a, COUNT(*) AS c FROM R JOIN S ON id = r_id GROUP BY a\nsubmit 1 1\nsubmit 2 1\nsubmit 1 1\nsubmit 2 1\nwait 1\nwait 2\nwait 3\nwait 4\nstats\nclose 1\nclose 2\nquit\n' \
   | dune exec bin/dqo.exe -- serve --threads 2 --r-rows 2000 --s-rows 6000 \
       --groups 1500 > "$serve_out"
@@ -97,7 +115,7 @@ echo "== dqo serve --feedback smoke =="
 # execution learns corrections, the second finds the cached statement
 # drifted and replans it server-side before running.
 fb_out="$(mktemp -t serve_feedback_XXXXXX.txt)"
-trap 'rm -f "$out" "$serve_out" "$fb_out"' EXIT
+trap 'rm -f "$out" "$ps_out" "$ps_log" "$serve_out" "$fb_out"' EXIT
 printf 'open\nprepare 1 SELECT b, COUNT(*) AS c FROM S WHERE b <= 9 GROUP BY b\nexec 1 1\nstats\nexec 1 1\nstats\nclose 1\nquit\n' \
   | dune exec bin/dqo.exe -- serve --feedback --skew 1.0 --r-rows 2000 \
       --s-rows 6000 --groups 1500 > "$fb_out"
@@ -117,7 +135,7 @@ echo "== dqo serve --advisor smoke =="
 # and the execution after it must replan transparently and digest
 # byte-identically to the ones before.
 adv_out="$(mktemp -t serve_advisor_XXXXXX.txt)"
-trap 'rm -f "$out" "$serve_out" "$fb_out" "$adv_out"' EXIT
+trap 'rm -f "$out" "$ps_out" "$ps_log" "$serve_out" "$fb_out" "$adv_out"' EXIT
 printf 'open\nprepare 1 SELECT b, COUNT(*) AS c FROM S GROUP BY b\nexec 1 1\nexec 1 1\nexec 1 1\nexec 1 1\nadvise\nexec 1 1\nstats\nclose 1\nquit\n' \
   | dune exec bin/dqo.exe -- serve --advisor --skew 1.0 --r-rows 2000 \
       --s-rows 6000 --groups 1500 > "$adv_out"

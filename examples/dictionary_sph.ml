@@ -31,6 +31,7 @@ let () =
         countries.(Dqo_util.Rng.int rng (Array.length countries)))
   in
   let dict, codes = Dictionary.encode_strings column in
+  let codes = Dqo_data.Int_col.of_array codes in
   Printf.printf "Encoded %d strings into %d dictionary codes.\n" rows
     (Dictionary.cardinality dict);
 
@@ -42,7 +43,7 @@ let () =
      exactly what static perfect hashing needs.\n\n"
     (Dictionary.cardinality dict - 1);
 
-  let values = Array.make rows 1 in
+  let values = Dqo_data.Int_col.const rows 1 in
   let hg, hg_ms =
     Dqo_util.Timer.best_of ~repeats:3 (fun () ->
         Grouping.hash_based ~keys:codes ~values ())

@@ -29,8 +29,8 @@ let () =
   List.iter
     (fun (sorted, dense) ->
       let rng = Dqo_util.Rng.create ~seed:7 in
-      let dataset = Datagen.grouping ~rng ~n:rows ~groups ~sorted ~dense in
-      let values = Array.make rows 1 in
+      let dataset = Datagen.grouping ~rng ~n:rows ~groups ~sorted ~dense () in
+      let values = Dqo_data.Int_col.const rows 1 in
       let expected = ref None in
       let cells, best =
         List.fold_left

@@ -19,9 +19,13 @@ let () =
   let rng = Dqo_util.Rng.create ~seed:123 in
   (* A skewed workload: a few popular groups dominate, as in any real
      clickstream. *)
-  let keys = Dqo_data.Datagen.zipf_keys ~rng ~n:rows ~groups ~theta:0.9 in
+  let keys =
+    Dqo_data.Int_col.to_array
+      (Dqo_data.Datagen.zipf_keys ~rng ~n:rows ~groups ~theta:0.9 ())
+  in
   Dqo_util.Rng.shuffle rng keys;
-  let values = Array.make rows 1 in
+  let keys = Dqo_data.Int_col.of_array keys in
+  let values = Dqo_data.Int_col.const rows 1 in
 
   Printf.printf "Streaming %d rows (%d groups, Zipf 0.9)...\n\n" rows groups;
   let last_decile = ref 0 in

@@ -176,14 +176,14 @@ let materialize rel t =
   | Sorted_projection { column; _ } ->
     M_sorted (Dqo_exec.Sort_op.by_column rel column)
   | Perfect_hash { column; _ } ->
-    let keys = Dqo_data.Relation.int_column rel column in
+    let keys = Dqo_data.Relation.int_col rel column in
     let stats = Dqo_data.Col_stats.analyze keys in
     if stats.Dqo_data.Col_stats.dense then
       M_dense_bounds
         { lo = stats.Dqo_data.Col_stats.lo; hi = stats.Dqo_data.Col_stats.hi }
-    else M_fks (Dqo_hash.Perfect.Fks.build keys)
+    else M_fks (Dqo_hash.Perfect.Fks.build (Dqo_data.Int_col.to_array keys))
   | Grouping_result { key; _ } ->
-    let keys = Dqo_data.Relation.int_column rel key in
+    let keys = Dqo_data.Relation.int_col rel key in
     M_grouping (Dqo_exec.Grouping.hash_based ~keys ~values:keys ())
 
 let describe t =

@@ -1,6 +1,7 @@
 module Relation = Dqo_data.Relation
 module Schema = Dqo_data.Schema
 module Column = Dqo_data.Column
+module Int_col = Dqo_data.Int_col
 module Col_stats = Dqo_data.Col_stats
 module Physical = Dqo_plan.Physical
 module Logical = Dqo_plan.Logical
@@ -113,10 +114,10 @@ let relation t name =
 let catalog t = t.catalog
 
 (* Planning honours the same parallel-runtime conventions as execution:
-   an explicit [?pool] (e.g. the server's long-lived pool) wins, then a
-   [?threads] override, then [opts.threads]; the DP search fans its
-   levels over the pool and returns byte-identical plans either way. *)
-let plan t ?pool ?threads mode l =
+   an explicit pool (the [_on] variants, e.g. the server's long-lived
+   pool) wins, otherwise [opts.threads]; the DP search fans its levels
+   over the pool and returns byte-identical plans either way. *)
+let plan_in t ?pool ?threads mode l =
   let search_mode =
     match mode with SQO -> Dqo_opt.Search.Shallow | DQO -> Dqo_opt.Search.Deep
   in
@@ -132,7 +133,6 @@ let plan t ?pool ?threads mode l =
       t.catalog l
   | None ->
     let threads = resolve_threads t threads in
-    if threads < 1 then invalid_arg "Engine.plan: threads < 1";
     if threads = 1 then
       Dqo_opt.Search.optimize ~model:t.model ?feedback search_mode t.catalog l
     else
@@ -140,8 +140,12 @@ let plan t ?pool ?threads mode l =
           Dqo_opt.Search.optimize ~model:t.model ~pool ?feedback search_mode
             t.catalog l)
 
-let plan_sql t ?pool ?threads mode sql =
-  plan t ?pool ?threads mode (Dqo_sql.Binder.plan_of_sql t.catalog sql)
+let plan t mode l = plan_in t mode l
+let plan_on t ~pool mode l = plan_in t ~pool mode l
+let plan_sql t mode sql = plan_in t mode (Dqo_sql.Binder.plan_of_sql t.catalog sql)
+
+let plan_sql_on t ~pool mode sql =
+  plan_in t ~pool mode (Dqo_sql.Binder.plan_of_sql t.catalog sql)
 
 (* ------------------------------------------------------------------ *)
 (* Execution.                                                          *)
@@ -153,16 +157,17 @@ let fks_grouping fks ~keys ~values =
   let slot_key = Array.make (max 1 g) 0 in
   let counts = Array.make (max 1 g) 0 in
   let sums = Array.make (max 1 g) 0 in
-  Array.iteri
-    (fun i k ->
-      match Fks.slot fks k with
-      | Some s ->
-        slot_key.(s) <- k;
-        counts.(s) <- counts.(s) + 1;
-        sums.(s) <- sums.(s) + values.(i)
-      | None ->
-        invalid_arg "Engine: key outside the perfect-hash AV's key set")
-    keys;
+  Int_col.iter_seg2 keys values ~f:(fun _ kb ko vb vo len ->
+      for i = 0 to len - 1 do
+        let k = kb.(ko + i) in
+        match Fks.slot fks k with
+        | Some s ->
+          slot_key.(s) <- k;
+          counts.(s) <- counts.(s) + 1;
+          sums.(s) <- sums.(s) + vb.(vo + i)
+        | None ->
+          invalid_arg "Engine: key outside the perfect-hash AV's key set"
+      done);
   (* Compact away never-hit slots (keys present in the AV build set but
      absent from this input). *)
   let hit = ref 0 in
@@ -183,10 +188,13 @@ let fks_grouping fks ~keys ~values =
 
 let fks_join fks ~left ~right =
   (* SPH join where the perfect hash comes from an AV: bucket heads are
-     indexed by FKS slot. *)
+     indexed by FKS slot.  Chain-walking needs random access to the
+     build keys, so materialise the build side once (zero-copy when
+     flat). *)
+  let larr = Int_col.unsafe_array left in
   let g = max 1 (Fks.length fks) in
   let head = Array.make g (-1) in
-  let next = Array.make (max 1 (Array.length left)) (-1) in
+  let next = Array.make (max 1 (Array.length larr)) (-1) in
   Array.iteri
     (fun i k ->
       match Fks.slot fks k with
@@ -195,23 +203,21 @@ let fks_join fks ~left ~right =
         head.(s) <- i
       | None ->
         invalid_arg "Engine: build key outside the perfect-hash AV's key set")
-    left;
+    larr;
   let lbuf = ref [] and rbuf = ref [] and count = ref 0 in
-  Array.iteri
-    (fun j k ->
+  Int_col.iteri right ~f:(fun j k ->
       match Fks.slot fks k with
       | None -> ()
       | Some s ->
         let e = ref head.(s) in
         while !e >= 0 do
-          if left.(!e) = k then begin
+          if larr.(!e) = k then begin
             lbuf := !e :: !lbuf;
             rbuf := j :: !rbuf;
             incr count
           end;
           e := next.(!e)
-        done)
-    right;
+        done);
   let l = Array.make !count 0 and r = Array.make !count 0 in
   let pos = ref (!count - 1) in
   List.iter2
@@ -228,8 +234,8 @@ let fks_join fks ~left ~right =
    into [metrics] after each barrier). *)
 let exec_join t ?pool ?metrics left_rel right_rel lc rc
     (impl : Physical.join_impl) =
-  let lk = Relation.int_column left_rel lc in
-  let rk = Relation.int_column right_rel rc in
+  let lk = Relation.int_col left_rel lc in
+  let rk = Relation.int_col right_rel rc in
   let pairs =
     match impl.Physical.j_alg with
     | Join.HJ -> (
@@ -252,7 +258,7 @@ let exec_join t ?pool ?metrics left_rel right_rel lc rc
          perfect hash built offline by an AV. *)
       let stats = Col_stats.analyze lk in
       let range = stats.Col_stats.hi - stats.Col_stats.lo + 1 in
-      if range > 0 && range <= 4 * (Array.length lk + 1024) then
+      if range > 0 && range <= 4 * (Int_col.length lk + 1024) then
         Join.sph_join ~lo:stats.Col_stats.lo ~hi:stats.Col_stats.hi ~left:lk
           ~right:rk
       else
@@ -298,11 +304,14 @@ let fast_path_payload aggs =
 
 let group_fast t ?pool ?metrics rel key aggs payload_col
     (impl : Physical.grouping_impl) =
-  let keys = Relation.int_column rel key in
+  let keys = Relation.int_col rel key in
   let values =
     match payload_col with
-    | Some c -> Relation.int_column rel c
-    | None -> Array.make (Array.length keys) 0
+    | Some c -> Relation.int_col rel c
+    (* COUNT-only grouping: an O(1) constant column instead of an
+       n-element zero array — at paper scale that is the difference
+       between nothing and 800 MB. *)
+    | None -> Int_col.const (Int_col.length keys) 0
   in
   let parallel =
     match pool with
@@ -326,7 +335,7 @@ let group_fast t ?pool ?metrics rel key aggs payload_col
     | Grouping.SOG -> Grouping.sort_order_based ~keys ~values
     | Grouping.BSG ->
       Grouping.binary_search_based
-        ~universe:(Dqo_util.Int_array.distinct_sorted keys)
+        ~universe:(Dqo_util.Int_array.distinct_sorted (Int_col.to_array keys))
         ~keys ~values
     | Grouping.SPHG -> (
       (* Same affordability rule as the SPH join: cover [lo, hi] with a
@@ -334,7 +343,7 @@ let group_fast t ?pool ?metrics rel key aggs payload_col
          the input; fall back to an FKS perfect-hash AV otherwise. *)
       let stats = Col_stats.analyze keys in
       let range = stats.Col_stats.hi - stats.Col_stats.lo + 1 in
-      if range > 0 && range <= 4 * (Array.length keys + 1024) then
+      if range > 0 && range <= 4 * (Int_col.length keys + 1024) then
         match parallel with
         | Some pool ->
           Dqo_par.Par_group.sph pool ?metrics ~lo:stats.Col_stats.lo
@@ -352,8 +361,10 @@ let group_fast t ?pool ?metrics rel key aggs payload_col
   in
   let agg_column (a : Logical.aggregate) =
     match a.Logical.spec with
-    | Aggregate.Count -> Column.Ints (Array.copy result.Dqo_exec.Group_result.counts)
-    | Aggregate.Sum -> Column.Ints (Array.copy result.Dqo_exec.Group_result.sums)
+    | Aggregate.Count ->
+      Column.of_ints (Array.copy result.Dqo_exec.Group_result.counts)
+    | Aggregate.Sum ->
+      Column.of_ints (Array.copy result.Dqo_exec.Group_result.sums)
     | Aggregate.Min | Aggregate.Max | Aggregate.Avg -> assert false
   in
   let schema =
@@ -362,14 +373,14 @@ let group_fast t ?pool ?metrics rel key aggs payload_col
       :: List.map (fun (a : Logical.aggregate) -> (a.Logical.alias, Schema.T_int)) aggs)
   in
   Relation.create schema
-    (Column.Ints result.Dqo_exec.Group_result.keys
+    (Column.of_ints result.Dqo_exec.Group_result.keys
     :: List.map agg_column aggs)
 
 (* Generic grouped aggregation: insertion-ordered slots from a linear-
    probing table, one Aggregate.state per (group, aggregate). *)
 let group_generic rel key aggs =
-  let keys = Relation.int_column rel key in
-  let n = Array.length keys in
+  let keys = Relation.int_col rel key in
+  let n = Int_col.length keys in
   let tbl = Dqo_hash.Linear_probe.create ~expected:1024 () in
   let group_keys = ref [] in
   let n_aggs = List.length aggs in
@@ -379,16 +390,17 @@ let group_generic rel key aggs =
     Array.map
       (fun (a : Logical.aggregate) ->
         match a.Logical.column with
-        | Some c -> Some (Relation.int_column rel c)
+        | Some c -> Some (Relation.int_col rel c)
         | None -> None)
       agg_arr
   in
   let groups = ref 0 in
   for i = 0 to n - 1 do
-    let slot = Dqo_hash.Linear_probe.find_or_add tbl keys.(i) in
+    let ki = Int_col.get keys i in
+    let slot = Dqo_hash.Linear_probe.find_or_add tbl ki in
     if slot = !groups then begin
       (* New group: remember its key and initialise its states. *)
-      group_keys := keys.(i) :: !group_keys;
+      group_keys := ki :: !group_keys;
       incr groups;
       if !groups * n_aggs > Array.length !states then begin
         let bigger =
@@ -404,7 +416,9 @@ let group_generic rel key aggs =
     end;
     Array.iteri
       (fun j (a : Logical.aggregate) ->
-        let v = match columns.(j) with Some c -> c.(i) | None -> 0 in
+        let v =
+          match columns.(j) with Some c -> Int_col.get c i | None -> 0
+        in
         let idx = (slot * n_aggs) + j in
         !states.(idx) <- Aggregate.step a.Logical.spec !states.(idx) v)
       agg_arr
@@ -430,7 +444,7 @@ let group_generic rel key aggs =
              values) )
     | Aggregate.Count | Aggregate.Sum | Aggregate.Min | Aggregate.Max ->
       ( Schema.T_int,
-        Column.Ints
+        Column.of_ints
           (Array.map
              (function
                | Dqo_data.Value.Int i -> i
@@ -447,7 +461,7 @@ let group_generic rel key aggs =
            (fun (a : Logical.aggregate) (ty, _) -> (a.Logical.alias, ty))
            aggs typed)
   in
-  Relation.create schema (Column.Ints key_arr :: List.map snd typed)
+  Relation.create schema (Column.of_ints key_arr :: List.map snd typed)
 
 let rec execute_in t ?pool (p : Physical.t) =
   match p with
@@ -466,14 +480,19 @@ let rec execute_in t ?pool (p : Physical.t) =
     | Some payload -> group_fast t ?pool rel key aggs payload impl
     | None -> group_generic rel key aggs)
 
-let execute t ?threads p =
-  let threads = resolve_threads t threads in
-  if threads < 1 then invalid_arg "Engine.execute: threads < 1";
+(* [run]/[run_sql] surface thread validation under the execute
+   contract, and callers pin that message. *)
+let check_threads threads =
+  if threads < 1 then invalid_arg "Engine.execute: threads < 1"
+
+let execute_threads t threads p =
+  check_threads threads;
   if threads = 1 then execute_in t p
   else
     Dqo_par.Pool.with_pool ~domains:threads (fun pool ->
         execute_in t ~pool p)
 
+let execute t p = execute_threads t t.opts.threads p
 let execute_on t ~pool p = execute_in t ~pool p
 
 (* ------------------------------------------------------------------ *)
@@ -505,7 +524,7 @@ let learn_from_analysis t ?metrics plan root =
   | None -> ());
   max_q
 
-let execute_analyzed t ?metrics ?pool:shared_pool ?threads (p : Physical.t) =
+let execute_analyzed_in t ?metrics ?pool:shared_pool ?threads (p : Physical.t) =
   let threads =
     match shared_pool with
     | Some pool -> Dqo_par.Pool.size pool
@@ -582,24 +601,29 @@ let execute_analyzed t ?metrics ?pool:shared_pool ?threads (p : Physical.t) =
   if t.opts.feedback then ignore (learn_from_analysis t ~metrics:m p root);
   (rel, root)
 
+let execute_analyzed t ?metrics p = execute_analyzed_in t ?metrics p
+
+let execute_analyzed_on t ~pool ?metrics p =
+  execute_analyzed_in t ?metrics ~pool p
+
+(* [run] is the one entry point keeping per-call [?mode]/[?threads]
+   compatibility overrides; everything else reads the handle's opts. *)
 let run t ?mode ?threads l =
   let mode = resolve_mode t mode in
   let threads = resolve_threads t threads in
-  (* execute's label: run has always surfaced thread validation under
-     the execute contract, and callers pin that message. *)
-  if threads < 1 then invalid_arg "Engine.execute: threads < 1";
+  check_threads threads;
   (* With feedback enabled, even plain [run]s execute analysed so the
      correction store keeps learning from live traffic. *)
   if threads = 1 then
-    let p = (plan t ~threads:1 mode l).Dqo_opt.Pareto.plan in
-    if t.opts.feedback then fst (execute_analyzed t ~threads:1 p)
+    let p = (plan_in t ~threads:1 mode l).Dqo_opt.Pareto.plan in
+    if t.opts.feedback then fst (execute_analyzed_in t ~threads:1 p)
     else execute_in t p
   else
     (* One pool serves both phases: the search fans DP levels over it,
        then the chosen plan executes on the same domains. *)
     Dqo_par.Pool.with_pool ~domains:threads (fun pool ->
-        let p = (plan t ~pool mode l).Dqo_opt.Pareto.plan in
-        if t.opts.feedback then fst (execute_analyzed t ~pool p)
+        let p = (plan_in t ~pool mode l).Dqo_opt.Pareto.plan in
+        if t.opts.feedback then fst (execute_analyzed_in t ~pool p)
         else execute_in t ~pool p)
 
 type analysis = {
@@ -610,14 +634,13 @@ type analysis = {
   metrics : Dqo_obs.Metrics.t;
 }
 
-let explain_analyze t ?mode ?threads l =
+let explain_analyze t l =
   let search_mode =
-    match resolve_mode t mode with
+    match t.opts.mode with
     | SQO -> Dqo_opt.Search.Shallow
     | DQO -> Dqo_opt.Search.Deep
   in
-  let threads = resolve_threads t threads in
-  if threads < 1 then invalid_arg "Engine.explain_analyze: threads < 1";
+  let threads = t.opts.threads in
   (* Same materialised-grouping rewrite as [plan] — this path talks to
      the search directly to collect its stats. *)
   let l = Dqo_av.View.rewrite_through (installed_avs t) l in
@@ -634,7 +657,7 @@ let explain_analyze t ?mode ?threads l =
     let entry = Dqo_opt.Pareto.cheapest entries in
     let result, root =
       Dqo_obs.Metrics.span metrics "execute" (fun () ->
-          execute_analyzed t ~metrics ?pool ~threads
+          execute_analyzed_in t ~metrics ?pool ~threads
             entry.Dqo_opt.Pareto.plan)
     in
     { entry; root; result; search_stats; metrics }
@@ -642,10 +665,8 @@ let explain_analyze t ?mode ?threads l =
   if threads = 1 then go ()
   else Dqo_par.Pool.with_pool ~domains:threads (fun pool -> go ~pool ())
 
-let explain_analyze_sql t ?mode ?threads sql =
-  let a =
-    explain_analyze t ?mode ?threads (Dqo_sql.Binder.plan_of_sql t.catalog sql)
-  in
+let explain_analyze_sql t sql =
+  let a = explain_analyze t (Dqo_sql.Binder.plan_of_sql t.catalog sql) in
   Dqo_opt.Explain.render_analysis ~cost:a.entry.Dqo_opt.Pareto.cost
     ~stats:a.search_stats a.root
 
@@ -728,15 +749,18 @@ exception
     engine_generation : int;
   }
 
-let prepare t ?pool ?mode sql =
+let prepare_in t ?pool ?mode sql =
   let mode = resolve_mode t mode in
   {
     p_sql = sql;
     p_mode = mode;
-    entry = plan t ?pool mode (Dqo_sql.Binder.plan_of_sql t.catalog sql);
+    entry = plan_in t ?pool mode (Dqo_sql.Binder.plan_of_sql t.catalog sql);
     p_generation = t.generation;
     p_worst_q = 1.0;
   }
+
+let prepare t ?mode sql = prepare_in t ?mode sql
+let prepare_on t ~pool ?mode sql = prepare_in t ~pool ?mode sql
 
 let prepared_entry p = p.entry
 let prepared_sql p = p.p_sql
@@ -751,11 +775,14 @@ let prepared_worst_q p = p.p_worst_q
 let prepared_drifted t p =
   t.opts.feedback && p.p_worst_q >= t.opts.qerror_threshold
 
-let reprepare t ?pool p =
+let reprepare_in t ?pool p =
   p.entry <-
-    plan t ?pool p.p_mode (Dqo_sql.Binder.plan_of_sql t.catalog p.p_sql);
+    plan_in t ?pool p.p_mode (Dqo_sql.Binder.plan_of_sql t.catalog p.p_sql);
   p.p_generation <- t.generation;
   p.p_worst_q <- 1.0
+
+let reprepare t p = reprepare_in t p
+let reprepare_on t ~pool p = reprepare_in t ~pool p
 
 (* Shared lifecycle gate: a prepared plan from an older catalog
    generation either re-optimises in place (opt-in) or raises; a plan
@@ -764,7 +791,7 @@ let reprepare t ?pool p =
    A replan triggered while serving runs on the caller's pool. *)
 let check_prepared t ?pool ~reprepare:re p =
   if prepared_stale t p then begin
-    if re then reprepare t ?pool p
+    if re then reprepare_in t ?pool p
     else
       raise
         (Stale_plan
@@ -774,22 +801,22 @@ let check_prepared t ?pool ~reprepare:re p =
              engine_generation = t.generation;
            })
   end
-  else if re && prepared_drifted t p then reprepare t ?pool p
+  else if re && prepared_drifted t p then reprepare_in t ?pool p
 
 (* With feedback on, prepared executions run analysed so the store keeps
    learning and the statement tracks its own worst q-error. *)
-let run_prepared_feedback t ?metrics ?pool ?threads p =
+let run_prepared_feedback t ?metrics ?pool p =
   let rel, root =
-    execute_analyzed t ?metrics ?pool ?threads p.entry.Dqo_opt.Pareto.plan
+    execute_analyzed_in t ?metrics ?pool p.entry.Dqo_opt.Pareto.plan
   in
   p.p_worst_q <-
     Float.max p.p_worst_q (Dqo_opt.Explain.max_q_error root);
   rel
 
-let execute_prepared t ?metrics ?(reprepare = false) ?threads p =
+let execute_prepared t ?metrics ?(reprepare = false) p =
   check_prepared t ~reprepare p;
-  if t.opts.feedback then run_prepared_feedback t ?metrics ?threads p
-  else execute t ?threads p.entry.Dqo_opt.Pareto.plan
+  if t.opts.feedback then run_prepared_feedback t ?metrics p
+  else execute t p.entry.Dqo_opt.Pareto.plan
 
 let execute_prepared_on t ~pool ?metrics ?(reprepare = false) p =
   check_prepared t ~pool ~reprepare p;
@@ -824,11 +851,11 @@ let try_view_answer t l =
     in
     if has_view && List.for_all servable aggs then begin
       let mv = relation t (rel_name ^ "__by_" ^ key) in
-      let key_col = Column.Ints (Relation.int_column mv key) in
+      let key_col = Column.of_int_col (Relation.int_col mv key) in
       let pick (a : Logical.aggregate) =
         match a.Logical.spec with
-        | Aggregate.Count -> Column.Ints (Relation.int_column mv "cnt")
-        | Aggregate.Sum -> Column.Ints (Relation.int_column mv "total")
+        | Aggregate.Count -> Column.of_int_col (Relation.int_col mv "cnt")
+        | Aggregate.Sum -> Column.of_int_col (Relation.int_col mv "total")
         | Aggregate.Min | Aggregate.Max | Aggregate.Avg -> assert false
       in
       let schema =
@@ -919,9 +946,9 @@ let install_av t (v : Dqo_av.View.t) =
         let mat =
           Relation.create schema
             [
-              Column.Ints g.Dqo_exec.Group_result.keys;
-              Column.Ints g.Dqo_exec.Group_result.counts;
-              Column.Ints g.Dqo_exec.Group_result.sums;
+              Column.of_ints g.Dqo_exec.Group_result.keys;
+              Column.of_ints g.Dqo_exec.Group_result.counts;
+              Column.of_ints g.Dqo_exec.Group_result.sums;
             ]
         in
         t.relations <- t.relations @ [ (name, mat) ];

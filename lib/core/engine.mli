@@ -40,12 +40,16 @@ type opts = {
           and auto-replans on the next opt-in execution (serving does
           this transparently).  Must be at least 1.0. *)
 }
-(** Execution options carried by the engine handle.  Every entry point
-    that used to take scattered [?mode] / [?threads] optionals now
-    defaults to the handle's options; the per-call optionals remain as
-    thin deprecated wrappers (an explicit argument overrides the handle
-    for that one call).  New code should set options once via
-    {!create} or {!set_opts}. *)
+(** Execution options carried by the engine handle.  Entry points read
+    these options instead of taking scattered [?mode] / [?threads] /
+    [?pool] optionals: set options once via {!create} or {!set_opts}.
+    Two deliberate exceptions remain.  {!run} / {!run_sql} keep
+    per-call [?mode] / [?threads] as the one thin compatibility
+    override, and {!prepare} keeps [?mode] (the optimiser choice is
+    part of the statement).  A caller-owned pool — a {e resource}, not
+    an option — is passed to the [_on] variants ({!plan_on},
+    {!prepare_on}, {!reprepare_on}, {!execute_on},
+    {!execute_analyzed_on}, {!execute_prepared_on}). *)
 
 val default_opts : opts
 (** [{ mode = DQO; threads = 1; feedback = false;
@@ -79,39 +83,32 @@ val relation : t -> string -> Dqo_data.Relation.t
 
 val catalog : t -> Dqo_opt.Catalog.t
 
-val plan :
-  t ->
-  ?pool:Dqo_par.Pool.t ->
-  ?threads:int ->
-  mode ->
-  Dqo_plan.Logical.t ->
-  Dqo_opt.Pareto.entry
-(** Optimise a logical plan without executing it.  The DP search fans
-    its per-cardinality levels over a domain pool: an explicit [?pool]
-    (e.g. a server's long-lived pool) wins, else [?threads] (a
-    per-call pool), else the handle's {!opts}.  The chosen plan is
-    byte-identical for any pool size.
-    @raise Invalid_argument if [threads < 1]. *)
+val plan : t -> mode -> Dqo_plan.Logical.t -> Dqo_opt.Pareto.entry
+(** Optimise a logical plan without executing it.  With
+    [opts.threads > 1] the DP search fans its per-cardinality levels
+    over a per-call domain pool; the chosen plan is byte-identical for
+    any pool size. *)
 
-val plan_sql :
-  t ->
-  ?pool:Dqo_par.Pool.t ->
-  ?threads:int ->
-  mode ->
-  string ->
-  Dqo_opt.Pareto.entry
+val plan_on :
+  t -> pool:Dqo_par.Pool.t -> mode -> Dqo_plan.Logical.t -> Dqo_opt.Pareto.entry
+(** {!plan} on a caller-owned pool (e.g. a server's long-lived one). *)
 
-val execute : t -> ?threads:int -> Dqo_plan.Physical.t -> Dqo_data.Relation.t
+val plan_sql : t -> mode -> string -> Dqo_opt.Pareto.entry
+
+val plan_sql_on :
+  t -> pool:Dqo_par.Pool.t -> mode -> string -> Dqo_opt.Pareto.entry
+
+val execute : t -> Dqo_plan.Physical.t -> Dqo_data.Relation.t
 (** Run a physical plan against the stored relations.  With
-    [threads = n > 1] (default: the handle's {!opts}) the hot
-    operators — hash joins, hash grouping, dense SPH grouping — run on
-    an [n]-domain {!Dqo_par.Pool}; results are identical to the
+    [opts.threads = n > 1] the hot operators — hash joins, hash
+    grouping, dense SPH grouping, the partition scatter — run on an
+    [n]-domain {!Dqo_par.Pool}; results are identical to the
     sequential path (the parallel operators are deterministic by
-    construction).  [threads = 1] takes the pure sequential code path.
-    The pool is created and torn down per call; a serving front end
-    should hold one long-lived pool and use {!execute_on} instead.
+    construction).  [opts.threads = 1] takes the pure sequential code
+    path.  The pool is created and torn down per call; a serving front
+    end should hold one long-lived pool and use {!execute_on} instead.
     @raise Not_found / Invalid_argument on plans referencing unknown
-    relations or columns, or if [threads < 1]. *)
+    relations or columns. *)
 
 val execute_on :
   t -> pool:Dqo_par.Pool.t -> Dqo_plan.Physical.t -> Dqo_data.Relation.t
@@ -135,25 +132,31 @@ val explain_sql : t -> string -> string
 val execute_analyzed :
   t ->
   ?metrics:Dqo_obs.Metrics.t ->
-  ?pool:Dqo_par.Pool.t ->
-  ?threads:int ->
   Dqo_plan.Physical.t ->
   Dqo_data.Relation.t * Dqo_opt.Explain.analyzed
 (** Like {!execute}, but annotates every plan node with its actual row
     count and cumulative wall time, and records per-operator metrics
     into [metrics] (a private registry when omitted).  With
-    [~threads:n > 1] the plan is stamped with [Physical.with_dop n]
-    (so node labels carry [[dop=n]]) and executed over an [n]-domain
-    pool; each domain records into a private registry merged into
-    [metrics] after the barrier, keeping the numbers correct under
-    parallelism.  An explicit [?pool] reuses a caller-owned pool
-    instead of creating one (its size supplies the [dop]).
+    [opts.threads = n > 1] the plan is stamped with
+    [Physical.with_dop n] (so node labels carry [[dop=n]]) and executed
+    over an [n]-domain pool; each domain records into a private
+    registry merged into [metrics] after the barrier, keeping the
+    numbers correct under parallelism.
 
     With [opts.feedback] enabled, per-node estimates fold in the learned
     corrections, and after the run the tree is diffed against the
     estimates: corrections land in {!corrections} and the q-error
     distribution in [metrics] ([feedback.qerror], per-observation;
     [feedback.observations]). *)
+
+val execute_analyzed_on :
+  t ->
+  pool:Dqo_par.Pool.t ->
+  ?metrics:Dqo_obs.Metrics.t ->
+  Dqo_plan.Physical.t ->
+  Dqo_data.Relation.t * Dqo_opt.Explain.analyzed
+(** {!execute_analyzed} on a caller-owned pool (its size supplies the
+    [dop] stamp). *)
 
 type analysis = {
   entry : Dqo_opt.Pareto.entry;  (** The chosen plan with its cost. *)
@@ -164,14 +167,13 @@ type analysis = {
 }
 (** Everything EXPLAIN ANALYZE observed about one query. *)
 
-val explain_analyze :
-  t -> ?mode:mode -> ?threads:int -> Dqo_plan.Logical.t -> analysis
-(** Optimise (default [DQO]), execute with {!execute_analyzed}, and
-    return the full analysis.  With [threads > 1] one pool serves both
-    phases; the optimiser's [opt.dp.*] counters and per-level wall
+val explain_analyze : t -> Dqo_plan.Logical.t -> analysis
+(** Optimise with [opts.mode], execute with {!execute_analyzed}, and
+    return the full analysis.  With [opts.threads > 1] one pool serves
+    both phases; the optimiser's [opt.dp.*] counters and per-level wall
     times land in [metrics] alongside the executor's. *)
 
-val explain_analyze_sql : t -> ?mode:mode -> ?threads:int -> string -> string
+val explain_analyze_sql : t -> string -> string
 (** {!explain_analyze} on parsed SQL, rendered with
     {!Dqo_opt.Explain.render_analysis}: per-node estimated vs. actual
     rows, q-error, time, and the optimiser statistics. *)
@@ -218,11 +220,15 @@ val av_generation : t -> int
 (** Physical-design generation: starts at 0, bumped by every
     {!register}, {!install_av}, and {!uninstall_av}. *)
 
-val prepare : t -> ?pool:Dqo_par.Pool.t -> ?mode:mode -> string -> prepared
+val prepare : t -> ?mode:mode -> string -> prepared
 (** Parse, bind and optimise once ([mode] defaults to the handle's
-    {!opts}).  Optimisation runs through {!plan}: it parallelises over
-    [?pool] when given, else over the handle's [opts.threads].
+    {!opts} — the optimiser choice is part of the statement, so the
+    per-call override stays).  Optimisation runs through {!plan},
+    parallelising over the handle's [opts.threads].
     @raise Dqo_sql.Parser.Error / Dqo_sql.Binder.Error on bad SQL. *)
+
+val prepare_on : t -> pool:Dqo_par.Pool.t -> ?mode:mode -> string -> prepared
+(** {!prepare} optimising on a caller-owned pool. *)
 
 val prepared_entry : prepared -> Dqo_opt.Pareto.entry
 (** The stored plan with its estimated cost and properties. *)
@@ -246,17 +252,19 @@ val prepared_drifted : t -> prepared -> bool
     now known to be off by at least that factor, and replanning against
     the corrected store is warranted. *)
 
-val reprepare : t -> ?pool:Dqo_par.Pool.t -> prepared -> unit
+val reprepare : t -> prepared -> unit
 (** Re-optimise the stored plan against the current catalog (and, with
     feedback on, the current correction store), stamp the handle with
     the current generation, and reset the statement's worst observed
-    q-error; like {!prepare}, the search runs on [?pool] when given. *)
+    q-error. *)
+
+val reprepare_on : t -> pool:Dqo_par.Pool.t -> prepared -> unit
+(** {!reprepare} optimising on a caller-owned pool. *)
 
 val execute_prepared :
   t ->
   ?metrics:Dqo_obs.Metrics.t ->
   ?reprepare:bool ->
-  ?threads:int ->
   prepared ->
   Dqo_data.Relation.t
 (** Run the stored plan; no optimiser work happens on the fresh path.
@@ -267,7 +275,7 @@ val execute_prepared :
     correct, just suboptimal).  With [opts.feedback] the execution runs
     analysed — corrections land in {!corrections}, q-errors in
     [?metrics], and the statement's {!prepared_worst_q} updates.
-    [threads] defaults to the handle's {!opts}. *)
+    Parallelism comes from the handle's [opts.threads]. *)
 
 val execute_prepared_on :
   t ->

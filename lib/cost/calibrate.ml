@@ -7,12 +7,12 @@ type measurement = { algorithm : string; per_tuple_ns : float }
 let measure ?(rows = 1_000_000) ?(groups = 1024) ?(seed = 42) () =
   let rng = Dqo_util.Rng.create ~seed in
   let unsorted =
-    Datagen.grouping ~rng ~n:rows ~groups ~sorted:false ~dense:true
+    Datagen.grouping ~rng ~n:rows ~groups ~sorted:false ~dense:true ()
   in
   let sorted =
-    Datagen.grouping ~rng ~n:rows ~groups ~sorted:true ~dense:true
+    Datagen.grouping ~rng ~n:rows ~groups ~sorted:true ~dense:true ()
   in
-  let values = Array.make rows 1 in
+  let values = Dqo_data.Int_col.const rows 1 in
   let per_tuple ms = ms *. 1e6 /. Float.of_int rows in
   let time name f =
     let _, ms = Timer.best_of ~repeats:3 f in

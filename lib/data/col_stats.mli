@@ -18,9 +18,10 @@ type t = {
           versa); order-based grouping only needs clustering. *)
 }
 
-val analyze : int array -> t
-(** [analyze a] scans [a] (plus one sort of the distinct values) and
-    measures every property exactly. *)
+val analyze : Int_col.t -> t
+(** [analyze c] measures every property exactly, streaming chunk-wise
+    over any backend (plus one sort of a materialised copy for the
+    distinct count of unsorted columns). *)
 
 val density_ratio : t -> float
 (** [distinct / (hi - lo + 1)]; 1.0 for a minimal dense domain, 0 for an

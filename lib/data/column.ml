@@ -1,7 +1,10 @@
-type t = Ints of int array | Floats of float array | Strings of string array
+type t = Ints of Int_col.t | Floats of float array | Strings of string array
+
+let of_ints a = Ints (Int_col.of_array a)
+let of_int_col c = Ints c
 
 let length = function
-  | Ints a -> Array.length a
+  | Ints c -> Int_col.length c
   | Floats a -> Array.length a
   | Strings a -> Array.length a
 
@@ -12,19 +15,36 @@ let ty = function
 
 let get c i =
   match c with
-  | Ints a -> Value.Int a.(i)
+  | Ints c -> Value.Int (Int_col.get c i)
   | Floats a -> Value.Float a.(i)
   | Strings a -> Value.String a.(i)
 
-let ints_exn = function
-  | Ints a -> a
-  | Floats _ | Strings _ -> invalid_arg "Column.ints_exn: not an int column"
+let int_col = function
+  | Ints c -> c
+  | Floats _ | Strings _ -> invalid_arg "Column.int_col: not an int column"
+
+let to_int_array c = Int_col.to_array (int_col c)
+
+let take c idx =
+  match c with
+  | Ints c -> of_ints (Array.map (fun i -> Int_col.get c i) idx)
+  | Floats a -> Floats (Array.map (fun i -> a.(i)) idx)
+  | Strings a -> Strings (Array.map (fun i -> a.(i)) idx)
+
+let sub c ~pos ~len =
+  match c with
+  | Ints c ->
+    let dst = Array.make len 0 in
+    Int_col.blit c ~pos dst ~dst_pos:0 ~len;
+    of_ints dst
+  | Floats a -> Floats (Array.sub a pos len)
+  | Strings a -> Strings (Array.sub a pos len)
 
 let of_values ty values =
   let fail () = invalid_arg "Column.of_values: type mismatch" in
   match ty with
   | Schema.T_int ->
-    Ints
+    of_ints
       (Array.of_list
          (List.map
             (function Value.Int i -> i | Null | Float _ | String _ -> fail ())
@@ -46,21 +66,9 @@ let of_values ty values =
               | Value.String s -> s | Null | Int _ | Float _ -> fail ())
             values))
 
-let take c idx =
-  match c with
-  | Ints a -> Ints (Array.map (fun i -> a.(i)) idx)
-  | Floats a -> Floats (Array.map (fun i -> a.(i)) idx)
-  | Strings a -> Strings (Array.map (fun i -> a.(i)) idx)
-
-let sub c ~pos ~len =
-  match c with
-  | Ints a -> Ints (Array.sub a pos len)
-  | Floats a -> Floats (Array.sub a pos len)
-  | Strings a -> Strings (Array.sub a pos len)
-
 let equal a b =
   match (a, b) with
-  | Ints x, Ints y -> x = y
+  | Ints x, Ints y -> Int_col.equal x y
   | Floats x, Floats y -> x = y
   | Strings x, Strings y -> x = y
   | (Ints _ | Floats _ | Strings _), _ -> false

@@ -1,13 +1,23 @@
 (** Typed columnar storage.
 
-    A column is a flat array of one scalar type.  Integer columns expose
-    their backing [int array] directly ({!ints_exn}) because every hot
-    operator in the execution engine works on raw int arrays. *)
+    A column holds one scalar type.  Integer columns are backed by
+    {!Int_col.t}, which abstracts over the physical layout (flat OCaml
+    array, chunked Bigarray morsels, mmap-ed file, constant).  Operators
+    never see the backing store: they go through {!int_col} and the
+    storage-agnostic accessors it provides (length/get/blit/segment
+    iteration), or {!to_int_array} for an explicit materialised copy on
+    cold paths. *)
 
 type t =
-  | Ints of int array
+  | Ints of Int_col.t
   | Floats of float array
   | Strings of string array
+
+val of_ints : int array -> t
+(** Flat integer column sharing the given array (caller must not mutate
+    it afterwards). *)
+
+val of_int_col : Int_col.t -> t
 
 val length : t -> int
 
@@ -16,8 +26,13 @@ val ty : t -> Schema.ty
 val get : t -> int -> Value.t
 (** [get c i] boxes the [i]-th element. *)
 
-val ints_exn : t -> int array
-(** The backing array of an integer column — shared, not copied.
+val int_col : t -> Int_col.t
+(** The storage-agnostic handle of an integer column (shared, O(1)).
+    @raise Invalid_argument on non-integer columns. *)
+
+val to_int_array : t -> int array
+(** Materialised copy of an integer column — always fresh, whatever the
+    backend.  For cold paths; hot code should iterate via {!int_col}.
     @raise Invalid_argument on non-integer columns. *)
 
 val of_values : Schema.ty -> Value.t list -> t
@@ -25,8 +40,10 @@ val of_values : Schema.ty -> Value.t list -> t
     @raise Invalid_argument on a type mismatch or [Null]. *)
 
 val take : t -> int array -> t
-(** [take c idx] gathers [c] at positions [idx] (row-id selection). *)
+(** [take c idx] gathers [c] at positions [idx] (row-id selection).  The
+    result is flat regardless of the source backend. *)
 
 val sub : t -> pos:int -> len:int -> t
 
 val equal : t -> t -> bool
+(** Content equality; integer columns compare equal across backends. *)

@@ -2,13 +2,17 @@ module Rng = Dqo_util.Rng
 module Int_array = Dqo_util.Int_array
 
 type grouping_dataset = {
-  keys : int array;
+  keys : Int_col.t;
   universe : int array;
   sorted : bool;
   dense : bool;
 }
 
 let sparse_domain = 1 lsl 30
+
+let guard_product name a b =
+  if a > 0 && b > 0 && a > max_int / b then
+    invalid_arg (name ^ ": size product overflows")
 
 let make_universe ~rng ~groups ~dense =
   if dense then Array.init groups (fun i -> i)
@@ -18,26 +22,58 @@ let make_universe ~rng ~groups ~dense =
     u
   end
 
-let grouping ~rng ~n ~groups ~sorted ~dense =
+(* Fisher-Yates over a column via get/set — random access only, so it
+   works unchanged on flat, chunked and mmap-ed storage.  Consumes the
+   RNG identically for every backend. *)
+let shuffle_col rng col =
+  let n = Int_col.length col in
+  for i = n - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = Int_col.get col i in
+    Int_col.set col i (Int_col.get col j);
+    Int_col.set col j tmp
+  done
+
+let grouping ?(backend = Int_col.Flat) ~rng ~n ~groups ~sorted ~dense () =
   if groups < 1 then invalid_arg "Datagen.grouping: groups < 1";
   if n < groups then invalid_arg "Datagen.grouping: n < groups";
+  guard_product "Datagen.grouping" n groups;
   let universe = make_universe ~rng ~groups ~dense in
-  let keys = Array.make n 0 in
-  (* One occurrence of each universe value guarantees the distinct count,
-     then uniform draws fill the rest. *)
-  for i = 0 to groups - 1 do
-    keys.(i) <- universe.(i)
-  done;
-  for i = groups to n - 1 do
-    keys.(i) <- universe.(Rng.int rng groups)
-  done;
-  if sorted then Int_array.sort keys else Rng.shuffle rng keys;
+  let keys = Int_col.init ~backend n (fun _ -> 0) in
+  if sorted then begin
+    (* Sorted keys are emitted directly as runs in universe order (one
+       guaranteed occurrence per value plus uniform extras), so no
+       whole-column sort — and no O(n) intermediate — is needed. *)
+    let counts = Array.make groups 1 in
+    for _ = 1 to n - groups do
+      let g = Rng.int rng groups in
+      counts.(g) <- counts.(g) + 1
+    done;
+    let g = ref 0 in
+    let left = ref counts.(0) in
+    Int_col.fill_range keys ~pos:0 ~len:n ~f:(fun _ ->
+        while !left = 0 do
+          incr g;
+          left := counts.(!g)
+        done;
+        decr left;
+        universe.(!g))
+  end
+  else begin
+    (* One occurrence of each universe value guarantees the distinct
+       count, then uniform draws fill the rest; the shuffle mixes the
+       guaranteed prefix in. *)
+    Int_col.fill_range keys ~pos:0 ~len:n ~f:(fun i ->
+        if i < groups then universe.(i) else universe.(Rng.int rng groups));
+    shuffle_col rng keys
+  end;
   { keys; universe; sorted; dense }
 
-let zipf_keys ~rng ~n ~groups ~theta =
+let zipf_keys ?(backend = Int_col.Flat) ~rng ~n ~groups ~theta () =
   if groups < 1 then invalid_arg "Datagen.zipf_keys: groups < 1";
   if theta < 0.0 then invalid_arg "Datagen.zipf_keys: theta < 0";
-  (* Inverse-CDF sampling over the precomputed Zipf cumulative weights. *)
+  (* Inverse-CDF sampling over the precomputed Zipf cumulative weights —
+     the table is O(groups), never O(n). *)
   let cdf = Array.make groups 0.0 in
   let acc = ref 0.0 in
   for i = 0 to groups - 1 do
@@ -54,7 +90,7 @@ let zipf_keys ~rng ~n ~groups ~theta =
     done;
     !lo
   in
-  Array.init n (fun _ -> draw ())
+  Int_col.init ~backend n (fun _ -> draw ())
 
 type fk_pair = { r : Relation.t; s : Relation.t }
 
@@ -62,6 +98,7 @@ let fk_pair ~rng ~r_rows ~s_rows ~r_groups ~r_sorted ~s_sorted ~dense =
   if r_rows < 1 || s_rows < 1 then invalid_arg "Datagen.fk_pair: sizes < 1";
   if r_groups > r_rows || r_groups < 1 then
     invalid_arg "Datagen.fk_pair: r_groups out of range";
+  guard_product "Datagen.fk_pair" r_rows r_groups;
   (* Build R in id-sorted order first; [a] is a bucketisation of the id
      rank so that sorting by id also sorts by a (the paper's DP treats
      "sorted" as a per-relation property that survives the merge join and
@@ -98,7 +135,7 @@ let fk_pair ~rng ~r_rows ~s_rows ~r_groups ~r_sorted ~s_sorted ~dense =
   let r =
     Relation.create
       (Schema.of_names [ ("id", Schema.T_int); ("a", Schema.T_int) ])
-      [ Column.Ints ids; Column.Ints a ]
+      [ Column.of_ints ids; Column.of_ints a ]
   in
   let r_id = Array.init s_rows (fun _ -> ids.(Rng.int rng r_rows)) in
   if s_sorted then Int_array.sort r_id;
@@ -106,6 +143,46 @@ let fk_pair ~rng ~r_rows ~s_rows ~r_groups ~r_sorted ~s_sorted ~dense =
   let s =
     Relation.create
       (Schema.of_names [ ("r_id", Schema.T_int); ("b", Schema.T_int) ])
-      [ Column.Ints r_id; Column.Ints b ]
+      [ Column.of_ints r_id; Column.of_ints b ]
   in
   { r; s }
+
+let fk_keys ?(backend = Int_col.Flat) ~rng ~r_rows ~s_rows ~r_sorted ~s_sorted
+    ~dense () =
+  if r_rows < 1 || s_rows < 1 then invalid_arg "Datagen.fk_keys: sizes < 1";
+  guard_product "Datagen.fk_keys" r_rows s_rows;
+  (* Ascending distinct build keys, materialised once (O(r_rows)). *)
+  let sorted_ids =
+    if dense then Array.init r_rows (fun i -> i)
+    else begin
+      let u = Rng.sample_distinct rng ~k:r_rows ~bound:sparse_domain in
+      Int_array.sort u;
+      u
+    end
+  in
+  let build = Int_col.init ~backend r_rows (fun i -> sorted_ids.(i)) in
+  if not r_sorted then shuffle_col rng build;
+  let probe = Int_col.init ~backend s_rows (fun _ -> 0) in
+  if s_sorted then begin
+    (* Emit the probe side pre-sorted as runs over the ascending build
+       keys: a multinomial count per key replaces draw-then-sort, so the
+       100M-row probe column is written once, chunk by chunk. *)
+    let counts = Array.make r_rows 0 in
+    for _ = 1 to s_rows do
+      let j = Rng.int rng r_rows in
+      counts.(j) <- counts.(j) + 1
+    done;
+    let j = ref (-1) in
+    let left = ref 0 in
+    Int_col.fill_range probe ~pos:0 ~len:s_rows ~f:(fun _ ->
+        while !left = 0 do
+          incr j;
+          left := counts.(!j)
+        done;
+        decr left;
+        sorted_ids.(!j))
+  end
+  else
+    Int_col.fill_range probe ~pos:0 ~len:s_rows ~f:(fun _ ->
+        sorted_ids.(Rng.int rng r_rows));
+  (build, probe)

@@ -5,35 +5,54 @@
     uniformly distributed and has two properties, sortedness and density."
     This module generates all four combinations plus the foreign-key pair
     used by the dynamic-programming experiment (§4.3), and Zipf-skewed
-    variants used by the ablation benches. *)
+    variants used by the ablation benches.
+
+    Every generator takes an optional [?backend] selecting the physical
+    storage of the emitted column ({!Int_col.backend}); generation
+    consumes the RNG identically for every backend, so the same seed
+    yields element-identical columns whether flat or chunked.  Columns
+    are written through the chunk fill path ({!Int_col.fill_range}) —
+    auxiliary state is O(groups), never O(n), so 100M-row generation
+    does not allocate whole-column intermediates. *)
 
 type grouping_dataset = {
-  keys : int array;  (** The grouping-key column, [n] rows. *)
+  keys : Int_col.t;  (** The grouping-key column, [n] rows. *)
   universe : int array;  (** Sorted distinct key values, [groups] many. *)
   sorted : bool;
   dense : bool;
 }
 
 val grouping :
+  ?backend:Int_col.backend ->
   rng:Dqo_util.Rng.t ->
   n:int ->
   groups:int ->
   sorted:bool ->
   dense:bool ->
+  unit ->
   grouping_dataset
-(** [grouping ~rng ~n ~groups ~sorted ~dense] draws [n] keys uniformly
+(** [grouping ~rng ~n ~groups ~sorted ~dense ()] draws [n] keys uniformly
     from a universe of exactly [groups] distinct values.  Dense universes
     are [0 .. groups-1]; sparse universes are [groups] distinct values
     sampled from [\[0, 2^30)].  Every universe value is guaranteed to
     occur at least once (so the distinct count is exact), requiring
-    [n >= groups].
-    @raise Invalid_argument if [groups < 1] or [n < groups]. *)
+    [n >= groups].  Sorted datasets are emitted directly as runs in
+    universe order (no whole-column sort).
+    @raise Invalid_argument if [groups < 1], [n < groups], or a size
+    product would overflow. *)
 
 val zipf_keys :
-  rng:Dqo_util.Rng.t -> n:int -> groups:int -> theta:float -> int array
-(** [zipf_keys ~rng ~n ~groups ~theta] draws [n] keys in
+  ?backend:Int_col.backend ->
+  rng:Dqo_util.Rng.t ->
+  n:int ->
+  groups:int ->
+  theta:float ->
+  unit ->
+  Int_col.t
+(** [zipf_keys ~rng ~n ~groups ~theta ()] draws [n] keys in
     [\[0, groups)] from a Zipf distribution with skew [theta] ([0.0] =
-    uniform).  Used by skew-sensitivity ablations.
+    uniform), via an O(groups) inverse-CDF table.  Used by
+    skew-sensitivity ablations.
     @raise Invalid_argument if [groups < 1] or [theta < 0]. *)
 
 type fk_pair = {
@@ -58,4 +77,22 @@ val fk_pair :
     [s_sorted] control the physical order of [R.id] / [S.r_id]; [a] is
     ordered consistently with [id] so that merge-join output remains
     usable by order-based grouping, matching the paper's DP setting.
-    @raise Invalid_argument if [r_groups > r_rows] or any size < 1. *)
+    @raise Invalid_argument if [r_groups > r_rows], any size < 1, or a
+    size product would overflow. *)
+
+val fk_keys :
+  ?backend:Int_col.backend ->
+  rng:Dqo_util.Rng.t ->
+  r_rows:int ->
+  s_rows:int ->
+  r_sorted:bool ->
+  s_sorted:bool ->
+  dense:bool ->
+  unit ->
+  Int_col.t * Int_col.t
+(** [(build, probe)] key columns of the §4.3 foreign-key join, without
+    the payload columns — the paper-scale join sweep's working set.
+    [build] has [r_rows] distinct keys; [probe] has [s_rows] draws from
+    them (emitted pre-sorted as runs when [s_sorted], so no whole-column
+    sort at 100M rows).
+    @raise Invalid_argument on non-positive sizes or overflow. *)

@@ -20,7 +20,7 @@ let schema t = t.schema
 let cardinality t = t.cardinality
 let column_at t i = t.columns.(i)
 let column t name = t.columns.(Schema.index_of_exn t.schema name)
-let int_column t name = Column.ints_exn (column t name)
+let int_col t name = Column.int_col (column t name)
 
 let row t i = Array.to_list (Array.map (fun c -> Column.get c i) t.columns)
 
@@ -54,7 +54,7 @@ let of_int_rows schema rows =
         invalid_arg "Relation.of_int_rows: arity mismatch";
       List.iteri (fun c v -> cols.(c).(r) <- v) vals)
     rows;
-  create schema (Array.to_list (Array.map (fun a -> Column.Ints a) cols))
+  create schema (Array.to_list (Array.map Column.of_ints cols))
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%a (%d rows)@," Schema.pp t.schema t.cardinality;

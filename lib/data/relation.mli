@@ -16,8 +16,9 @@ val column : t -> string -> Column.t
 
 val column_at : t -> int -> Column.t
 
-val int_column : t -> string -> int array
-(** Backing array of an integer field (shared, not copied).
+val int_col : t -> string -> Int_col.t
+(** Storage-agnostic handle of an integer field (shared, O(1) — no data
+    is copied whatever the backend).
     @raise Not_found / Invalid_argument as for {!column} / non-int. *)
 
 val row : t -> int -> Value.t list

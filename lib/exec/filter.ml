@@ -18,19 +18,20 @@ let eval p v =
   | Between (lo, hi) -> lo <= v && v <= hi
 
 let select column p =
-  let n = Array.length column in
+  let n = Dqo_data.Int_col.length column in
   let out = Array.make n 0 in
   let m = ref 0 in
-  for i = 0 to n - 1 do
-    if eval p column.(i) then begin
-      out.(!m) <- i;
-      incr m
-    end
-  done;
+  Dqo_data.Int_col.iter_seg column ~f:(fun pos buf off len ->
+      for k = 0 to len - 1 do
+        if eval p (Array.unsafe_get buf (off + k)) then begin
+          out.(!m) <- pos + k;
+          incr m
+        end
+      done);
   Array.sub out 0 !m
 
 let select_relation r ~column p =
-  let ids = select (Dqo_data.Relation.int_column r column) p in
+  let ids = select (Dqo_data.Relation.int_col r column) p in
   Dqo_data.Relation.take r ids
 
 let selectivity p ~lo ~hi =

@@ -1,5 +1,6 @@
 module Hash_fn = Dqo_hash.Hash_fn
 module Int_array = Dqo_util.Int_array
+module Int_col = Dqo_data.Int_col
 
 type algorithm = HG | SPHG | OG | SOG | BSG
 type table_kind = Chaining | Linear_probing | Robin_hood
@@ -29,7 +30,7 @@ let applicable alg (stats : Dqo_data.Col_stats.t) =
   | BSG -> true (* the distinct keys can always be collected beforehand *)
 
 let check_lengths keys values =
-  if Array.length keys <> Array.length values then
+  if Int_col.length keys <> Int_col.length values then
     invalid_arg "Grouping: keys/values length mismatch"
 
 (* Growable triple of parallel arrays used by HG and OG. *)
@@ -71,15 +72,15 @@ let buf_result b : Group_result.t =
 
 let hash_with (type t) (module T : Dqo_hash.Table_intf.TABLE with type t = t)
     (tbl : t) ~keys ~values =
-  let n = Array.length keys in
   let b = buf_create (max 16 (T.length tbl)) in
-  for i = 0 to n - 1 do
-    let k = keys.(i) in
-    let slot = T.find_or_add tbl k in
-    if slot = b.len then ignore (buf_push b k);
-    b.counts.(slot) <- b.counts.(slot) + 1;
-    b.sums.(slot) <- b.sums.(slot) + values.(i)
-  done;
+  Int_col.iter_seg2 keys values ~f:(fun _ kb ko vb vo len ->
+      for i = 0 to len - 1 do
+        let k = Array.unsafe_get kb (ko + i) in
+        let slot = T.find_or_add tbl k in
+        if slot = b.len then ignore (buf_push b k);
+        b.counts.(slot) <- b.counts.(slot) + 1;
+        b.sums.(slot) <- b.sums.(slot) + Array.unsafe_get vb (vo + i)
+      done);
   buf_result b
 
 let hash_based ?(hash = Hash_fn.Murmur3) ?(table = Chaining) ?(expected = 16)
@@ -100,20 +101,20 @@ let hash_based_boxed ~keys ~values =
   check_lengths keys values;
   let tbl : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let b = buf_create 64 in
-  let n = Array.length keys in
-  for i = 0 to n - 1 do
-    let k = keys.(i) in
-    let slot =
-      match Hashtbl.find_opt tbl k with
-      | Some slot -> slot
-      | None ->
-        let slot = buf_push b k in
-        Hashtbl.add tbl k slot;
-        slot
-    in
-    b.counts.(slot) <- b.counts.(slot) + 1;
-    b.sums.(slot) <- b.sums.(slot) + values.(i)
-  done;
+  Int_col.iter_seg2 keys values ~f:(fun _ kb ko vb vo len ->
+      for i = 0 to len - 1 do
+        let k = kb.(ko + i) in
+        let slot =
+          match Hashtbl.find_opt tbl k with
+          | Some slot -> slot
+          | None ->
+            let slot = buf_push b k in
+            Hashtbl.add tbl k slot;
+            slot
+        in
+        b.counts.(slot) <- b.counts.(slot) + 1;
+        b.sums.(slot) <- b.sums.(slot) + vb.(vo + i)
+      done);
   buf_result b
 
 (* Keep only slots that received at least one tuple (SPHG over a
@@ -146,54 +147,75 @@ let sph_based ~lo ~hi ~keys ~values =
   if hi < lo then invalid_arg "Grouping.sph_based: hi < lo";
   let domain = hi - lo + 1 in
   let counts = Array.make domain 0 and sums = Array.make domain 0 in
-  let n = Array.length keys in
-  for i = 0 to n - 1 do
-    let k = keys.(i) in
-    if k < lo || k > hi then
-      invalid_arg "Grouping.sph_based: key outside dense domain";
-    let slot = k - lo in
-    counts.(slot) <- counts.(slot) + 1;
-    sums.(slot) <- sums.(slot) + values.(i)
-  done;
+  Int_col.iter_seg2 keys values ~f:(fun _ kb ko vb vo len ->
+      for i = 0 to len - 1 do
+        let k = Array.unsafe_get kb (ko + i) in
+        if k < lo || k > hi then
+          invalid_arg "Grouping.sph_based: key outside dense domain";
+        let slot = k - lo in
+        counts.(slot) <- counts.(slot) + 1;
+        sums.(slot) <- sums.(slot) + Array.unsafe_get vb (vo + i)
+      done);
   compact { keys = Array.init domain (fun s -> lo + s); counts; sums }
 
 let order_based ?(expected = 16) ~keys ~values () =
   check_lengths keys values;
-  let n = Array.length keys in
   let b = buf_create expected in
-  let i = ref 0 in
-  while !i < n do
-    let k = keys.(!i) in
-    let slot = buf_push b k in
-    (* Accumulate the whole run of equal keys. *)
-    let count = ref 0 and sum = ref 0 in
-    while !i < n && keys.(!i) = k do
-      incr count;
-      sum := !sum + values.(!i);
-      incr i
-    done;
-    b.counts.(slot) <- !count;
-    b.sums.(slot) <- !sum
-  done;
+  (* The current run is carried across segment boundaries so the scan
+     stays single-pass over any backend. *)
+  let have = ref false in
+  let cur = ref 0 and cnt = ref 0 and sum = ref 0 in
+  let flush () =
+    if !have then begin
+      let slot = buf_push b !cur in
+      b.counts.(slot) <- !cnt;
+      b.sums.(slot) <- !sum
+    end
+  in
+  Int_col.iter_seg2 keys values ~f:(fun _ kb ko vb vo len ->
+      for i = 0 to len - 1 do
+        let k = Array.unsafe_get kb (ko + i) in
+        let v = Array.unsafe_get vb (vo + i) in
+        if !have && k = !cur then begin
+          incr cnt;
+          sum := !sum + v
+        end
+        else begin
+          flush ();
+          have := true;
+          cur := k;
+          cnt := 1;
+          sum := v
+        end
+      done);
+  flush ();
   buf_result b
 
 (* Co-sort a copy of (keys, values) by key.  When both fit in 31 bits we
    pack each pair into one int and radix-sort, which is what makes SOG
-   competitive at scale; otherwise fall back to a permutation sort. *)
+   competitive at scale; otherwise fall back to a permutation sort.  The
+   sort is inherently whole-column, so this is the one grouping path
+   that materialises chunked storage. *)
 let sorted_pair_copy keys values =
-  let n = Array.length keys in
+  let n = Int_col.length keys in
   let fits v = v >= 0 && v < 1 lsl 30 in
   let packable =
-    let ok = ref true in
-    let i = ref 0 in
-    while !ok && !i < n do
-      if not (fits keys.(!i) && fits values.(!i)) then ok := false;
-      incr i
-    done;
-    !ok
+    try
+      Int_col.iter_seg2 keys values ~f:(fun _ kb ko vb vo len ->
+          for i = 0 to len - 1 do
+            if not (fits kb.(ko + i) && fits vb.(vo + i)) then raise Exit
+          done);
+      true
+    with Exit -> false
   in
   if packable then begin
-    let packed = Array.init n (fun i -> (keys.(i) lsl 30) lor values.(i)) in
+    let packed = Array.make n 0 in
+    Int_col.iter_seg2 keys values ~f:(fun pos kb ko vb vo len ->
+        for i = 0 to len - 1 do
+          packed.(pos + i) <-
+            (Array.unsafe_get kb (ko + i) lsl 30)
+            lor Array.unsafe_get vb (vo + i)
+        done);
     Int_array.radix_sort packed;
     let ks = Array.make n 0 and vs = Array.make n 0 in
     for i = 0 to n - 1 do
@@ -203,7 +225,7 @@ let sorted_pair_copy keys values =
     (ks, vs)
   end
   else begin
-    let ks = Array.copy keys and vs = Array.copy values in
+    let ks = Int_col.to_array keys and vs = Int_col.to_array values in
     Int_array.sort_pairs ks vs;
     (ks, vs)
   end
@@ -211,7 +233,7 @@ let sorted_pair_copy keys values =
 let sort_order_based ~keys ~values =
   check_lengths keys values;
   let ks, vs = sorted_pair_copy keys values in
-  order_based ~keys:ks ~values:vs ()
+  order_based ~keys:(Int_col.of_array ks) ~values:(Int_col.of_array vs) ()
 
 let binary_search_based ~universe ~keys ~values =
   check_lengths keys values;
@@ -219,20 +241,20 @@ let binary_search_based ~universe ~keys ~values =
     invalid_arg "Grouping.binary_search_based: universe not sorted";
   let g = Array.length universe in
   let counts = Array.make g 0 and sums = Array.make g 0 in
-  let n = Array.length keys in
-  for i = 0 to n - 1 do
-    let k = keys.(i) in
-    (* Inlined lower-bound binary search on the hot path. *)
-    let lo = ref 0 and hi = ref g in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if universe.(mid) < k then lo := mid + 1 else hi := mid
-    done;
-    if !lo >= g || universe.(!lo) <> k then
-      invalid_arg "Grouping.binary_search_based: key not in universe";
-    counts.(!lo) <- counts.(!lo) + 1;
-    sums.(!lo) <- sums.(!lo) + values.(i)
-  done;
+  Int_col.iter_seg2 keys values ~f:(fun _ kb ko vb vo len ->
+      for i = 0 to len - 1 do
+        let k = Array.unsafe_get kb (ko + i) in
+        (* Inlined lower-bound binary search on the hot path. *)
+        let lo = ref 0 and hi = ref g in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if universe.(mid) < k then lo := mid + 1 else hi := mid
+        done;
+        if !lo >= g || universe.(!lo) <> k then
+          invalid_arg "Grouping.binary_search_based: key not in universe";
+        counts.(!lo) <- counts.(!lo) + 1;
+        sums.(!lo) <- sums.(!lo) + Array.unsafe_get vb (vo + i)
+      done);
   compact { keys = Array.copy universe; counts; sums }
 
 let run alg ~(dataset : Dqo_data.Datagen.grouping_dataset) ~values =
@@ -261,6 +283,6 @@ let run_observed ?obs alg ~dataset ~values =
   | Some m ->
     Dqo_obs.Metrics.timed m
       ~op:("grouping/" ^ name alg)
-      ~rows_in:(Array.length dataset.Dqo_data.Datagen.keys)
+      ~rows_in:(Int_col.length dataset.Dqo_data.Datagen.keys)
       ~rows_out:(fun (r : Group_result.t) -> Array.length r.Group_result.keys)
       (fun () -> run alg ~dataset ~values)

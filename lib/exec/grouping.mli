@@ -1,8 +1,10 @@
 (** The five grouping implementations of the paper (§4.1).
 
     Every implementation consumes a key column plus an integer payload
-    column of equal length and produces COUNT and SUM(payload) per
-    distinct key (a {!Group_result.t}).  Preconditions mirror the paper:
+    column of equal length ({!Dqo_data.Int_col.t} — any backend) and
+    produces COUNT and SUM(payload) per distinct key (a
+    {!Group_result.t}).  Streaming algorithms visit rows chunk by chunk;
+    only SOG's sort materialises chunked storage.  Preconditions mirror the paper:
 
     {ul
     {- HG ({!hash_based}): none.}
@@ -34,15 +36,15 @@ val hash_based :
   ?hash:Dqo_hash.Hash_fn.t ->
   ?table:table_kind ->
   ?expected:int ->
-  keys:int array ->
-  values:int array ->
+  keys:Dqo_data.Int_col.t ->
+  values:Dqo_data.Int_col.t ->
   unit ->
   Group_result.t
 (** [hash_based ~keys ~values ()] — HG.  [expected] pre-sizes the table
     (the paper assumes the number of distinct values is known).
     @raise Invalid_argument on length mismatch. *)
 
-val hash_based_boxed : keys:int array -> values:int array -> Group_result.t
+val hash_based_boxed : keys:Dqo_data.Int_col.t -> values:Dqo_data.Int_col.t -> Group_result.t
 (** Textbook HG over a node-based hash table with per-entry allocation
     ([Stdlib.Hashtbl]) — the closest analogue of the paper's
     [std::unordered_map].  Semantically identical to {!hash_based} but
@@ -50,14 +52,14 @@ val hash_based_boxed : keys:int array -> values:int array -> Group_result.t
     by the benches to reproduce the paper's BSG-vs-HG crossover.
     @raise Invalid_argument on length mismatch. *)
 
-val sph_based : lo:int -> hi:int -> keys:int array -> values:int array
+val sph_based : lo:int -> hi:int -> keys:Dqo_data.Int_col.t -> values:Dqo_data.Int_col.t
   -> Group_result.t
 (** [sph_based ~lo ~hi ~keys ~values] — SPHG.  The grouping key is used
     as the offset into the slot array.
     @raise Invalid_argument on length mismatch or a key outside
     [\[lo, hi\]]. *)
 
-val order_based : ?expected:int -> keys:int array -> values:int array
+val order_based : ?expected:int -> keys:Dqo_data.Int_col.t -> values:Dqo_data.Int_col.t
   -> unit -> Group_result.t
 (** [order_based ~keys ~values ()] — OG.  Requires the input clustered by
     key; this is {e not} checked (it is the optimiser's job to only pick
@@ -65,13 +67,13 @@ val order_based : ?expected:int -> keys:int array -> values:int array
     groups, exactly like the real algorithm would.
     @raise Invalid_argument on length mismatch. *)
 
-val sort_order_based : keys:int array -> values:int array -> Group_result.t
+val sort_order_based : keys:Dqo_data.Int_col.t -> values:Dqo_data.Int_col.t -> Group_result.t
 (** [sort_order_based ~keys ~values] — SOG: sort a copy, then OG.  The
     inputs are not modified.
     @raise Invalid_argument on length mismatch. *)
 
 val binary_search_based :
-  universe:int array -> keys:int array -> values:int array -> Group_result.t
+  universe:int array -> keys:Dqo_data.Int_col.t -> values:Dqo_data.Int_col.t -> Group_result.t
 (** [binary_search_based ~universe ~keys ~values] — BSG over the sorted
     array [universe] of distinct keys.
     @raise Invalid_argument on length mismatch, unsorted universe, or a
@@ -80,7 +82,7 @@ val binary_search_based :
 val run :
   algorithm ->
   dataset:Dqo_data.Datagen.grouping_dataset ->
-  values:int array ->
+  values:Dqo_data.Int_col.t ->
   Group_result.t
 (** [run alg ~dataset ~values] dispatches to the right implementation,
     supplying SPHG's domain bounds / BSG's universe from the dataset.
@@ -91,7 +93,7 @@ val run_observed :
   ?obs:Dqo_obs.Metrics.t ->
   algorithm ->
   dataset:Dqo_data.Datagen.grouping_dataset ->
-  values:int array ->
+  values:Dqo_data.Int_col.t ->
   Group_result.t
 (** {!run} with per-algorithm timing recorded into [obs] under the
     operator name ["grouping/<ALG>"] (input rows, output groups, wall

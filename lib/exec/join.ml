@@ -1,4 +1,5 @@
 module Int_array = Dqo_util.Int_array
+module Int_col = Dqo_data.Int_col
 
 type algorithm = HJ | SPHJ | OJ | SOJ | BSJ
 
@@ -34,22 +35,31 @@ let buf_push b li ri =
 let buf_result b =
   { left = Array.sub b.l 0 b.len; right = Array.sub b.r 0 b.len }
 
+(* Random-access element reader; flat columns read their backing array
+   directly, chunked columns go through the shift/mask lookup. *)
+let reader col =
+  match Int_col.as_flat_array col with
+  | Some a -> fun i -> a.(i)
+  | None -> Int_col.get col
+
 (* Build a multimap over [left]: key -> chain of left row ids, where
    [head] is indexed by the dense slot of the key and [next] chains
-   duplicates (most recent first). *)
+   duplicates (most recent first).  The probe side streams segment by
+   segment. *)
 let probe_chains ~head_of ~next ~right b =
-  let m = Array.length right in
-  for j = 0 to m - 1 do
-    let e = ref (head_of right.(j)) in
-    while !e >= 0 do
-      buf_push b !e j;
-      e := next.(!e)
-    done
-  done
+  Int_col.iter_seg right ~f:(fun pos buf off len ->
+      for k = 0 to len - 1 do
+        let j = pos + k in
+        let e = ref (head_of (Array.unsafe_get buf (off + k))) in
+        while !e >= 0 do
+          buf_push b !e j;
+          e := next.(!e)
+        done
+      done)
 
 let hash_join ?(hash = Dqo_hash.Hash_fn.Murmur3) ?(table = Grouping.Chaining)
     ~left ~right () =
-  let n = Array.length left in
+  let n = Int_col.length left in
   let next = Array.make (max 1 n) (-1) in
   let b = buf_create () in
   (* All three table kinds expose the same dense-slot interface; the
@@ -57,16 +67,18 @@ let hash_join ?(hash = Dqo_hash.Hash_fn.Murmur3) ?(table = Grouping.Chaining)
   let build (type t) (module T : Dqo_hash.Table_intf.TABLE with type t = t)
       (tbl : t) =
     let head = ref (Array.make (max 16 n) (-1)) in
-    for i = 0 to n - 1 do
-      let slot = T.find_or_add tbl left.(i) in
-      if slot >= Array.length !head then begin
-        let grown = Array.make (2 * Array.length !head) (-1) in
-        Array.blit !head 0 grown 0 (Array.length !head);
-        head := grown
-      end;
-      next.(i) <- !head.(slot);
-      !head.(slot) <- i
-    done;
+    Int_col.iter_seg left ~f:(fun pos buf off len ->
+        for k = 0 to len - 1 do
+          let i = pos + k in
+          let slot = T.find_or_add tbl (Array.unsafe_get buf (off + k)) in
+          if slot >= Array.length !head then begin
+            let grown = Array.make (2 * Array.length !head) (-1) in
+            Array.blit !head 0 grown 0 (Array.length !head);
+            head := grown
+          end;
+          next.(i) <- !head.(slot);
+          !head.(slot) <- i
+        done);
     let head = !head in
     let head_of key =
       match T.find tbl key with Some slot -> head.(slot) | None -> -1
@@ -88,45 +100,47 @@ let hash_join ?(hash = Dqo_hash.Hash_fn.Murmur3) ?(table = Grouping.Chaining)
 let sph_join ~lo ~hi ~left ~right =
   if hi < lo then invalid_arg "Join.sph_join: hi < lo";
   let domain = hi - lo + 1 in
-  let n = Array.length left in
+  let n = Int_col.length left in
   let head = Array.make domain (-1) in
   let next = Array.make (max 1 n) (-1) in
-  for i = 0 to n - 1 do
-    let k = left.(i) in
-    if k < lo || k > hi then
-      invalid_arg "Join.sph_join: build key outside dense domain";
-    let slot = k - lo in
-    next.(i) <- head.(slot);
-    head.(slot) <- i
-  done;
+  Int_col.iter_seg left ~f:(fun pos buf off len ->
+      for k = 0 to len - 1 do
+        let i = pos + k in
+        let key = Array.unsafe_get buf (off + k) in
+        if key < lo || key > hi then
+          invalid_arg "Join.sph_join: build key outside dense domain";
+        let slot = key - lo in
+        next.(i) <- head.(slot);
+        head.(slot) <- i
+      done);
   let b = buf_create () in
   let head_of key = if key < lo || key > hi then -1 else head.(key - lo) in
   probe_chains ~head_of ~next ~right b;
   buf_result b
 
-(* Merge join over row-id permutations: [lp]/[rp] enumerate the inputs in
-   key order; equal-key runs produce their cross product. *)
-let merge_over ~left ~right ~lp ~rp =
-  let n = Array.length lp and m = Array.length rp in
+(* Merge join over key/id accessors: [lkey]/[rkey] enumerate the inputs
+   in key order, [lid]/[rid] map merge ranks back to row ids; equal-key
+   runs produce their cross product. *)
+let merge_over ~n ~m ~lkey ~rkey ~lid ~rid =
   let b = buf_create () in
   let i = ref 0 and j = ref 0 in
   while !i < n && !j < m do
-    let lk = left.(lp.(!i)) and rk = right.(rp.(!j)) in
+    let lk = lkey !i and rk = rkey !j in
     if lk < rk then incr i
     else if lk > rk then incr j
     else begin
       (* Find both runs of the shared key. *)
       let i_end = ref (!i + 1) in
-      while !i_end < n && left.(lp.(!i_end)) = lk do
+      while !i_end < n && lkey !i_end = lk do
         incr i_end
       done;
       let j_end = ref (!j + 1) in
-      while !j_end < m && right.(rp.(!j_end)) = lk do
+      while !j_end < m && rkey !j_end = lk do
         incr j_end
       done;
       for a = !i to !i_end - 1 do
         for c = !j to !j_end - 1 do
-          buf_push b lp.(a) rp.(c)
+          buf_push b (lid a) (rid c)
         done
       done;
       i := !i_end;
@@ -135,41 +149,48 @@ let merge_over ~left ~right ~lp ~rp =
   done;
   buf_result b
 
-let identity_perm n = Array.init n (fun i -> i)
+let id = fun (i : int) -> i
 
 let merge_join ~left ~right =
-  if not (Int_array.is_sorted left) then
+  if not (Int_col.is_sorted left) then
     invalid_arg "Join.merge_join: left input not sorted";
-  if not (Int_array.is_sorted right) then
+  if not (Int_col.is_sorted right) then
     invalid_arg "Join.merge_join: right input not sorted";
-  merge_over ~left ~right
-    ~lp:(identity_perm (Array.length left))
-    ~rp:(identity_perm (Array.length right))
+  merge_over ~n:(Int_col.length left) ~m:(Int_col.length right)
+    ~lkey:(reader left) ~rkey:(reader right) ~lid:id ~rid:id
 
 let sorted_perm keys =
-  let perm = identity_perm (Array.length keys) in
+  let perm = Array.init (Array.length keys) (fun i -> i) in
   let cmp i j = Int.compare keys.(i) keys.(j) in
   Array.sort cmp perm;
   perm
 
 let sort_merge_join ~left ~right =
-  merge_over ~left ~right ~lp:(sorted_perm left) ~rp:(sorted_perm right)
+  (* The permutation sort is whole-column; materialise once. *)
+  let la = Int_col.unsafe_array left and ra = Int_col.unsafe_array right in
+  let lp = sorted_perm la and rp = sorted_perm ra in
+  merge_over ~n:(Array.length la) ~m:(Array.length ra)
+    ~lkey:(fun i -> la.(lp.(i)))
+    ~rkey:(fun j -> ra.(rp.(j)))
+    ~lid:(fun i -> lp.(i))
+    ~rid:(fun j -> rp.(j))
 
 let binary_search_join ~left ~right =
   (* Run-length index of the build side: distinct sorted keys plus, per
      key, the slice of [perm] holding its row ids. *)
-  let n = Array.length left in
-  let perm = sorted_perm left in
+  let la = Int_col.unsafe_array left in
+  let n = Array.length la in
+  let perm = sorted_perm la in
   let distinct = ref 0 in
   for i = 0 to n - 1 do
-    if i = 0 || left.(perm.(i)) <> left.(perm.(i - 1)) then incr distinct
+    if i = 0 || la.(perm.(i)) <> la.(perm.(i - 1)) then incr distinct
   done;
   let keys = Array.make (max 1 !distinct) 0 in
   let offsets = Array.make (max 1 !distinct + 1) 0 in
   let d = ref 0 in
   for i = 0 to n - 1 do
-    if i = 0 || left.(perm.(i)) <> left.(perm.(i - 1)) then begin
-      keys.(!d) <- left.(perm.(i));
+    if i = 0 || la.(perm.(i)) <> la.(perm.(i - 1)) then begin
+      keys.(!d) <- la.(perm.(i));
       offsets.(!d) <- i;
       incr d
     end
@@ -177,28 +198,31 @@ let binary_search_join ~left ~right =
   offsets.(!d) <- n;
   let g = !d in
   let b = buf_create () in
-  let m = Array.length right in
-  for j = 0 to m - 1 do
-    let k = right.(j) in
-    let lo = ref 0 and hi = ref g in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if keys.(mid) < k then lo := mid + 1 else hi := mid
-    done;
-    if !lo < g && keys.(!lo) = k then
-      for a = offsets.(!lo) to offsets.(!lo + 1) - 1 do
-        buf_push b perm.(a) j
-      done
-  done;
+  Int_col.iter_seg right ~f:(fun pos buf off len ->
+      for x = 0 to len - 1 do
+        let j = pos + x in
+        let k = Array.unsafe_get buf (off + x) in
+        let lo = ref 0 and hi = ref g in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if keys.(mid) < k then lo := mid + 1 else hi := mid
+        done;
+        if !lo < g && keys.(!lo) = k then
+          for a = offsets.(!lo) to offsets.(!lo + 1) - 1 do
+            buf_push b perm.(a) j
+          done
+      done);
   buf_result b
 
 let run alg ~left ~right =
   match alg with
   | HJ -> hash_join ~left ~right ()
   | SPHJ ->
-    (match Int_array.min_max left with
-    | None -> { left = [||]; right = [||] }
-    | Some (lo, hi) -> sph_join ~lo ~hi ~left ~right)
+    if Int_col.length left = 0 then { left = [||]; right = [||] }
+    else begin
+      let lo, hi = Int_col.min_max left in
+      sph_join ~lo ~hi ~left ~right
+    end
   | OJ -> merge_join ~left ~right
   | SOJ -> sort_merge_join ~left ~right
   | BSJ -> binary_search_join ~left ~right
@@ -211,7 +235,7 @@ let run_observed ?obs alg ~left ~right =
   | Some m ->
     Dqo_obs.Metrics.timed m
       ~op:("join/" ^ name alg)
-      ~rows_in:(Array.length left + Array.length right)
+      ~rows_in:(Int_col.length left + Int_col.length right)
       ~rows_out:cardinality
       (fun () -> run alg ~left ~right)
 
@@ -235,9 +259,10 @@ let materialize l r pairs =
 
 let nested_loop_reference ~left ~right =
   let b = buf_create () in
-  for i = 0 to Array.length left - 1 do
-    for j = 0 to Array.length right - 1 do
-      if left.(i) = right.(j) then buf_push b i j
+  let getl = reader left and getr = reader right in
+  for i = 0 to Int_col.length left - 1 do
+    for j = 0 to Int_col.length right - 1 do
+      if getl i = getr j then buf_push b i j
     done
   done;
   buf_result b

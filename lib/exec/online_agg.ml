@@ -87,13 +87,13 @@ let finalize t =
   }
 
 let run_progressive ~keys ~values ~report_every callback =
-  if Array.length keys <> Array.length values then
+  if Dqo_data.Int_col.length keys <> Dqo_data.Int_col.length values then
     invalid_arg "Online_agg.run_progressive: length mismatch";
   if report_every < 1 then
     invalid_arg "Online_agg.run_progressive: report_every < 1";
-  let t = create ~total_rows:(Array.length keys) in
+  let t = create ~total_rows:(Dqo_data.Int_col.length keys) in
   let producer =
-    Pipeline.of_arrays ~chunk_size:report_every ~keys ~values ()
+    Pipeline.of_cols ~chunk_size:report_every ~keys ~values ()
   in
   producer (fun chunk ->
       feed t chunk;

@@ -41,12 +41,12 @@ val finalize : t -> Group_result.t
     @raise Invalid_argument if fed fewer than [total_rows] tuples. *)
 
 val run_progressive :
-  keys:int array ->
-  values:int array ->
+  keys:Dqo_data.Int_col.t ->
+  values:Dqo_data.Int_col.t ->
   report_every:int ->
   (estimate list -> unit) ->
   Group_result.t
-(** Convenience driver: streams the arrays in [report_every]-row chunks,
+(** Convenience driver: streams the columns in [report_every]-row chunks,
     invoking the callback with a snapshot after each, and returns the
     exact final result.
     @raise Invalid_argument on length mismatch or [report_every < 1]. *)

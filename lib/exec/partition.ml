@@ -1,28 +1,31 @@
 module Hash_fn = Dqo_hash.Hash_fn
+module Int_col = Dqo_data.Int_col
 
 type parts = { keys : int array array; values : int array array }
 
 let scatter ~bucket_of ~buckets ~keys ~values =
-  let n = Array.length keys in
-  if Array.length values <> n then
+  if Int_col.length values <> Int_col.length keys then
     invalid_arg "Partition: keys/values length mismatch";
   (* Counting pass, then exclusive prefix sums, then scatter — the
-     classic two-pass radix partition. *)
+     classic two-pass radix partition, streaming chunk-wise. *)
   let counts = Array.make buckets 0 in
-  for i = 0 to n - 1 do
-    let b = bucket_of keys.(i) in
-    counts.(b) <- counts.(b) + 1
-  done;
+  Int_col.iter_seg keys ~f:(fun _ buf off len ->
+      for i = off to off + len - 1 do
+        let b = bucket_of (Array.unsafe_get buf i) in
+        counts.(b) <- counts.(b) + 1
+      done);
   let out_keys = Array.init buckets (fun b -> Array.make counts.(b) 0) in
   let out_values = Array.init buckets (fun b -> Array.make counts.(b) 0) in
   let cursor = Array.make buckets 0 in
-  for i = 0 to n - 1 do
-    let b = bucket_of keys.(i) in
-    let c = cursor.(b) in
-    out_keys.(b).(c) <- keys.(i);
-    out_values.(b).(c) <- values.(i);
-    cursor.(b) <- c + 1
-  done;
+  Int_col.iter_seg2 keys values ~f:(fun _ kb ko vb vo len ->
+      for i = 0 to len - 1 do
+        let k = Array.unsafe_get kb (ko + i) in
+        let b = bucket_of k in
+        let c = cursor.(b) in
+        out_keys.(b).(c) <- k;
+        out_values.(b).(c) <- Array.unsafe_get vb (vo + i);
+        cursor.(b) <- c + 1
+      done);
   { keys = out_keys; values = out_values }
 
 let by_hash ?(hash = Hash_fn.Murmur3) ~partitions ~keys ~values () =

@@ -14,15 +14,15 @@ type parts = {
 val by_hash :
   ?hash:Dqo_hash.Hash_fn.t ->
   partitions:int ->
-  keys:int array ->
-  values:int array ->
+  keys:Dqo_data.Int_col.t ->
+  values:Dqo_data.Int_col.t ->
   unit ->
   parts
 (** [by_hash ~partitions ~keys ~values ()] splits rows by hashed key.
     All rows of one key land in one partition.
     @raise Invalid_argument if [partitions < 1] or length mismatch. *)
 
-val by_dense_key : lo:int -> hi:int -> keys:int array -> values:int array
+val by_dense_key : lo:int -> hi:int -> keys:Dqo_data.Int_col.t -> values:Dqo_data.Int_col.t
   -> parts
 (** [by_dense_key ~lo ~hi] gives every domain value its own partition —
     the "42 groups, 42 producers" of Figure 2.  Partition [p] holds the

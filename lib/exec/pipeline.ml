@@ -19,6 +19,23 @@ let of_arrays ?(chunk_size = 4096) ~keys ~values () =
       pos := !pos + len
     done
 
+let of_cols ?(chunk_size = 4096) ~keys ~values () =
+  let module Int_col = Dqo_data.Int_col in
+  let n = Int_col.length keys in
+  if Int_col.length values <> n then
+    invalid_arg "Pipeline.of_cols: length mismatch";
+  if chunk_size < 1 then invalid_arg "Pipeline.of_cols: chunk_size < 1";
+  fun consume ->
+    let pos = ref 0 in
+    while !pos < n do
+      let len = min chunk_size (n - !pos) in
+      let ks = Array.make len 0 and vs = Array.make len 0 in
+      Int_col.blit keys ~pos:!pos ks ~dst_pos:0 ~len;
+      Int_col.blit values ~pos:!pos vs ~dst_pos:0 ~len;
+      consume { keys = ks; values = vs };
+      pos := !pos + len
+    done
+
 (* Wrap a producer so that every chunk flowing out of it is counted in
    [metrics] under operator [op]: chunks, rows produced, and the wall
    time of driving the producer (including downstream consumption —
@@ -79,17 +96,25 @@ let bundle_of_parts (parts : Partition.parts) : bundle =
 
 let partition_by ?(hash = Dqo_hash.Hash_fn.Murmur3) ~partitions prod =
   let keys, values = collect prod in
-  bundle_of_parts (Partition.by_hash ~hash ~partitions ~keys ~values ())
+  bundle_of_parts
+    (Partition.by_hash ~hash ~partitions
+       ~keys:(Dqo_data.Int_col.of_array keys)
+       ~values:(Dqo_data.Int_col.of_array values) ())
 
 let partition_by_dense_key ~lo ~hi prod =
   let keys, values = collect prod in
-  bundle_of_parts (Partition.by_dense_key ~lo ~hi ~keys ~values)
+  bundle_of_parts
+    (Partition.by_dense_key ~lo ~hi
+       ~keys:(Dqo_data.Int_col.of_array keys)
+       ~values:(Dqo_data.Int_col.of_array values))
 
 let aggregate_bundle (b : bundle) =
   Array.map
     (fun prod ->
       let keys, values = collect prod in
-      Grouping.hash_based ~keys ~values ())
+      Grouping.hash_based
+        ~keys:(Dqo_data.Int_col.of_array keys)
+        ~values:(Dqo_data.Int_col.of_array values) ())
     b
 
 let partition_based_grouping ?(hash = Dqo_hash.Hash_fn.Murmur3) ~partitions

@@ -26,6 +26,12 @@ val of_arrays : ?chunk_size:int -> keys:int array -> values:int array
 (** Chunked scan over column arrays (default chunk size 4096).
     @raise Invalid_argument on length mismatch or [chunk_size < 1]. *)
 
+val of_cols : ?chunk_size:int -> keys:Dqo_data.Int_col.t -> values:Dqo_data.Int_col.t
+  -> unit -> producer
+(** Chunked scan over storage-agnostic columns; chunks are copied out of
+    the backend (default chunk size 4096).
+    @raise Invalid_argument on length mismatch or [chunk_size < 1]. *)
+
 val filter : (int -> int -> bool) -> producer -> producer
 (** [filter p prod] keeps rows with [p key value]; chunks are compacted. *)
 

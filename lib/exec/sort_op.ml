@@ -1,4 +1,7 @@
 let permutation keys =
+  (* The permutation sort is whole-column: flat backends sort over their
+     backing array directly, chunked backends are materialised once. *)
+  let keys = Dqo_data.Int_col.unsafe_array keys in
   let n = Array.length keys in
   let perm = Array.init n (fun i -> i) in
   (* [Array.sort] is not stable; sort (key, index) packed comparisons so
@@ -11,5 +14,5 @@ let permutation keys =
   perm
 
 let by_column r name =
-  let keys = Dqo_data.Relation.int_column r name in
+  let keys = Dqo_data.Relation.int_col r name in
   Dqo_data.Relation.take r (permutation keys)

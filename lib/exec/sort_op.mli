@@ -5,7 +5,7 @@
     against the properties it establishes (paper §4.3: sorting R is what
     the SQO baseline must pay where DQO can go perfect-hash instead). *)
 
-val permutation : int array -> int array
+val permutation : Dqo_data.Int_col.t -> int array
 (** [permutation keys] returns a stable permutation [p] such that
     [keys.(p.(0)) <= keys.(p.(1)) <= ...]. *)
 

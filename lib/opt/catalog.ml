@@ -18,6 +18,9 @@ let table ~name ~rows ~props = { name; rows; props }
    contiguous run)?  True whenever [col] is a monotone function of [by]. *)
 let co_orders by col =
   let perm = Dqo_exec.Sort_op.permutation by in
+  (* The clustering check random-accesses [col] through the
+     permutation; materialise once (zero-copy when flat). *)
+  let col = Dqo_data.Int_col.unsafe_array col in
   let seen = Hashtbl.create 64 in
   let n = Array.length perm in
   let ok = ref true in
@@ -38,7 +41,7 @@ let of_relation name rel =
       (fun (f : Dqo_data.Schema.field) ->
         match f.ty with
         | Dqo_data.Schema.T_int ->
-          Some (f.name, Dqo_data.Relation.int_column rel f.name)
+          Some (f.name, Dqo_data.Relation.int_col rel f.name)
         | Dqo_data.Schema.T_float | Dqo_data.Schema.T_string -> None)
       (Dqo_data.Schema.fields schema)
   in

@@ -7,18 +7,50 @@
     per-partition results concatenate into the final answer with no
     locking anywhere.
 
+    The partitioning step itself is also parallel: a two-pass morsel
+    scatter (parallel per-morsel bucket counts, a sequential
+    (morsel, bucket) prefix, then parallel writes into contiguous
+    per-bucket arrays at precomputed offsets).  Because the writing
+    domain first-touches the output pages of the morsels it claims,
+    bucket memory lands near the domains that produced it — the NUMA
+    placement approximation of the paper's storage layer.
+
     Determinism: every function here returns results that are
-    byte-identical for any pool size (including 1), because work is
-    keyed by partition / bundle index and combined in index order.
-    {!partition_based} with a fixed [partitions] is byte-identical to
+    byte-identical for any pool size (including 1), because offsets and
+    chunk boundaries depend only on the data and fixed morsel/partition
+    sizes, and results combine in index order.  {!partition_based} with
+    a fixed [partitions] is byte-identical to
     [Dqo_exec.Pipeline.partition_based_grouping] with the same
     arguments; {!sph} is byte-identical to
-    [Dqo_exec.Grouping.sph_based].
+    [Dqo_exec.Grouping.sph_based]; {!by_hash_parallel} is
+    byte-identical to the sequential [Dqo_exec.Partition.by_hash].
 
     Observability: pass [?metrics] and each domain records into a
     private registry; the registries are folded into [metrics] with
     [Dqo_obs.Metrics.merge] after the barrier, so EXPLAIN ANALYZE
     numbers stay correct under parallelism. *)
+
+type payload =
+  | Col of Dqo_data.Int_col.t
+      (** Scatter this column alongside the keys. *)
+  | Row_ids
+      (** Scatter each key's global row index — the join payload,
+          without materialising an identity column. *)
+
+val by_hash_parallel :
+  Pool.t ->
+  ?reg_of:(int -> Dqo_obs.Metrics.t option) ->
+  ?hash:Dqo_hash.Hash_fn.t ->
+  partitions:int ->
+  keys:Dqo_data.Int_col.t ->
+  payload:payload ->
+  unit ->
+  Dqo_exec.Partition.parts
+(** Parallel hash partition of [keys] (with the given payload as the
+    values) into [partitions] buckets.  Layout is byte-identical to the
+    sequential [Partition.by_hash] — global row order within each
+    bucket — for any pool size.
+    @raise Invalid_argument on length mismatch or [partitions < 1]. *)
 
 val aggregate_bundle :
   Pool.t ->
@@ -34,14 +66,14 @@ val partition_based :
   ?hash:Dqo_hash.Hash_fn.t ->
   ?table:Dqo_exec.Grouping.table_kind ->
   ?partitions:int ->
-  keys:int array ->
-  values:int array ->
+  keys:Dqo_data.Int_col.t ->
+  values:Dqo_data.Int_col.t ->
   unit ->
   Dqo_exec.Group_result.t
-(** Hash-partition the input into [partitions] key-disjoint buckets
-    (default {!default_partitions}, fixed so results do not depend on
-    the pool size), aggregate each bucket privately in parallel, and
-    concatenate in bucket order.
+(** Hash-partition the input with the parallel morsel scatter into
+    [partitions] key-disjoint buckets (default {!default_partitions},
+    fixed so results do not depend on the pool size), aggregate each
+    bucket privately in parallel, and concatenate in bucket order.
     @raise Invalid_argument on length mismatch or [partitions < 1]. *)
 
 val sph :
@@ -49,8 +81,8 @@ val sph :
   ?metrics:Dqo_obs.Metrics.t ->
   lo:int ->
   hi:int ->
-  keys:int array ->
-  values:int array ->
+  keys:Dqo_data.Int_col.t ->
+  values:Dqo_data.Int_col.t ->
   unit ->
   Dqo_exec.Group_result.t
 (** Parallel single-pass perfect-hash grouping over the dense domain

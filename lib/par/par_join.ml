@@ -2,33 +2,38 @@ module Join = Dqo_exec.Join
 module Grouping = Dqo_exec.Grouping
 module Partition = Dqo_exec.Partition
 module Metrics = Dqo_obs.Metrics
+module Int_col = Dqo_data.Int_col
 
 let partitioned_hash_join pool ?metrics ?(hash = Dqo_hash.Hash_fn.Murmur3)
     ?(table = Grouping.Chaining)
     ?(partitions = Par_group.default_partitions) ~left ~right () =
   if partitions < 1 then
     invalid_arg "Par_join.partitioned_hash_join: partitions < 1";
-  (* Carry original row ids through the scatter as the payload, so the
-     per-bucket joins can be remapped to input coordinates. *)
-  let ids n = Array.init n (fun i -> i) in
-  let lparts =
-    Partition.by_hash ~hash ~partitions ~keys:left
-      ~values:(ids (Array.length left)) ()
-  in
-  let rparts =
-    Partition.by_hash ~hash ~partitions ~keys:right
-      ~values:(ids (Array.length right)) ()
-  in
   let locals =
     Array.make partitions { Join.left = [||]; Join.right = [||] }
   in
   Par_group.with_worker_metrics pool metrics (fun reg_of ->
+      (* Carry original row ids through the scatter as the payload
+         ([Row_ids] — no identity column materialised), so the
+         per-bucket joins can be remapped to input coordinates. *)
+      let lparts =
+        Par_group.by_hash_parallel pool ~reg_of ~hash ~partitions
+          ~keys:left ~payload:Par_group.Row_ids ()
+      in
+      let rparts =
+        Par_group.by_hash_parallel pool ~reg_of ~hash ~partitions
+          ~keys:right ~payload:Par_group.Row_ids ()
+      in
       Pool.parallel_for pool ~chunk:1 ~n:partitions (fun ~w ~lo ~hi ->
           for p = lo to hi do
             let t0 = Metrics.now_ns () in
             let lk = lparts.Partition.keys.(p)
             and rk = rparts.Partition.keys.(p) in
-            let pairs = Join.hash_join ~hash ~table ~left:lk ~right:rk () in
+            let pairs =
+              Join.hash_join ~hash ~table
+                ~left:(Int_col.of_array lk)
+                ~right:(Int_col.of_array rk) ()
+            in
             let lid = lparts.Partition.values.(p)
             and rid = rparts.Partition.values.(p) in
             locals.(p) <-

@@ -16,8 +16,8 @@ val partitioned_hash_join :
   ?hash:Dqo_hash.Hash_fn.t ->
   ?table:Dqo_exec.Grouping.table_kind ->
   ?partitions:int ->
-  left:int array ->
-  right:int array ->
+  left:Dqo_data.Int_col.t ->
+  right:Dqo_data.Int_col.t ->
   unit ->
   Dqo_exec.Join.result
 (** [partitioned_hash_join pool ~left ~right ()] joins on equality of

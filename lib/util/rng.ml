@@ -51,13 +51,31 @@ let sample_distinct t ~k ~bound =
   (* For small k relative to bound use a hash set of draws; otherwise use a
      partial Fisher-Yates over a materialised domain. *)
   if k * 4 <= bound && bound > 1024 then begin
-    let seen = Hashtbl.create (2 * k) in
+    (* Open-addressing int set on a flat array (empty slot = -1): no boxed
+       intermediates, so sampling sparse universes stays cheap at
+       paper-scale k. *)
+    let cap =
+      let rec pow2 c = if c >= 4 * k then c else pow2 (2 * c) in
+      pow2 64
+    in
+    let slots = Array.make cap (-1) in
+    let mask = cap - 1 in
+    let add_if_absent v =
+      let i = ref (mix64 v land mask) in
+      while slots.(!i) <> -1 && slots.(!i) <> v do
+        i := (!i + 1) land mask
+      done;
+      if slots.(!i) = v then false
+      else begin
+        slots.(!i) <- v;
+        true
+      end
+    in
     let out = Array.make k 0 in
     let filled = ref 0 in
     while !filled < k do
       let v = int t bound in
-      if not (Hashtbl.mem seen v) then begin
-        Hashtbl.add seen v ();
+      if add_if_absent v then begin
         out.(!filled) <- v;
         incr filled
       end

@@ -255,7 +255,7 @@ let test_materialize_kinds () =
    with
   | View.M_sorted sorted ->
     Alcotest.(check bool) "sorted" true
-      (Dqo_util.Int_array.is_sorted (Dqo_data.Relation.int_column sorted "id"))
+      (Dqo_data.Int_col.is_sorted (Dqo_data.Relation.int_col sorted "id"))
   | _ -> Alcotest.fail "expected M_sorted");
   (* Perfect hash over a sparse column builds an FKS structure. *)
   (match

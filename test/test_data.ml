@@ -8,7 +8,12 @@ module Relation = Dqo_data.Relation
 module Col_stats = Dqo_data.Col_stats
 module Datagen = Dqo_data.Datagen
 module Dictionary = Dqo_data.Dictionary
+module Int_col = Dqo_data.Int_col
 module Int_array = Dqo_util.Int_array
+
+(* Most stats tests are written against literal arrays; analyze is
+   storage-agnostic, so wrap them in the flat backend here. *)
+let analyze a = Col_stats.analyze (Int_col.of_array a)
 
 let qtest = QCheck_alcotest.to_alcotest
 
@@ -56,16 +61,23 @@ let test_schema_project () =
 (* --- column / relation -------------------------------------------------- *)
 
 let test_column_ops () =
-  let c = Column.Ints [| 10; 20; 30 |] in
+  let c = Column.of_ints [| 10; 20; 30 |] in
   Alcotest.(check int) "length" 3 (Column.length c);
   Alcotest.(check bool) "get" true (Column.get c 1 = Value.Int 20);
   Alcotest.(check bool) "take" true
-    (Column.take c [| 2; 0 |] = Column.Ints [| 30; 10 |]);
+    (Column.equal (Column.take c [| 2; 0 |]) (Column.of_ints [| 30; 10 |]));
   Alcotest.(check bool) "sub" true
-    (Column.sub c ~pos:1 ~len:2 = Column.Ints [| 20; 30 |]);
-  Alcotest.check_raises "ints_exn on floats"
-    (Invalid_argument "Column.ints_exn: not an int column") (fun () ->
-      ignore (Column.ints_exn (Column.Floats [| 1.0 |])))
+    (Column.equal (Column.sub c ~pos:1 ~len:2) (Column.of_ints [| 20; 30 |]));
+  Alcotest.check_raises "int_col on floats"
+    (Invalid_argument "Column.int_col: not an int column") (fun () ->
+      ignore (Column.int_col (Column.Floats [| 1.0 |])));
+  (* Cross-backend equality: same contents, different physical store. *)
+  let chunked =
+    Int_col.init ~backend:(Int_col.Chunked Int_col.W64) 3 (fun i ->
+        10 * (i + 1))
+  in
+  Alcotest.(check bool) "equal across backends" true
+    (Column.equal c (Column.of_int_col chunked))
 
 let test_relation_ops () =
   let schema = Schema.of_names [ ("k", Schema.T_int); ("v", Schema.T_int) ] in
@@ -74,36 +86,37 @@ let test_relation_ops () =
   Alcotest.(check bool) "row" true (Relation.row r 1 = [ Value.Int 2; Value.Int 20 ]);
   let p = Relation.project r [ "v" ] in
   Alcotest.(check bool) "project" true
-    (Relation.int_column p "v" = [| 10; 20; 30 |]);
+    (Int_col.to_array (Relation.int_col p "v") = [| 10; 20; 30 |]);
   let t = Relation.take r [| 2; 0 |] in
-  Alcotest.(check bool) "take" true (Relation.int_column t "k" = [| 3; 1 |]);
+  Alcotest.(check bool) "take" true
+    (Int_col.to_array (Relation.int_col t "k") = [| 3; 1 |]);
   Alcotest.check_raises "length mismatch"
     (Invalid_argument "Relation.create: column length mismatch") (fun () ->
       ignore
         (Relation.create schema
-           [ Column.Ints [| 1 |]; Column.Ints [| 1; 2 |] ]))
+           [ Column.of_ints [| 1 |]; Column.of_ints [| 1; 2 |] ]))
 
 (* --- col_stats ---------------------------------------------------------- *)
 
 let test_col_stats_detection () =
-  let s = Col_stats.analyze [| 1; 2; 2; 3 |] in
+  let s = analyze [| 1; 2; 2; 3 |] in
   Alcotest.(check bool) "sorted" true s.Col_stats.sorted;
   Alcotest.(check bool) "clustered" true s.Col_stats.clustered;
   Alcotest.(check bool) "dense" true s.Col_stats.dense;
   Alcotest.(check int) "distinct" 3 s.Col_stats.distinct;
-  let s = Col_stats.analyze [| 5; 5; 1; 1; 3 |] in
+  let s = analyze [| 5; 5; 1; 1; 3 |] in
   Alcotest.(check bool) "unsorted" false s.Col_stats.sorted;
   Alcotest.(check bool) "clustered though unsorted" true s.Col_stats.clustered;
-  let s = Col_stats.analyze [| 1; 2; 1 |] in
+  let s = analyze [| 1; 2; 1 |] in
   Alcotest.(check bool) "not clustered" false s.Col_stats.clustered;
-  let s = Col_stats.analyze [| 0; 1_000_000 |] in
+  let s = analyze [| 0; 1_000_000 |] in
   Alcotest.(check bool) "sparse" false s.Col_stats.dense;
-  let s = Col_stats.analyze [||] in
+  let s = analyze [||] in
   Alcotest.(check bool) "empty sorted" true s.Col_stats.sorted;
   Alcotest.(check int) "empty distinct" 0 s.Col_stats.distinct
 
 let test_density_ratio () =
-  let s = Col_stats.analyze [| 0; 1; 2; 3 |] in
+  let s = analyze [| 0; 1; 2; 3 |] in
   Alcotest.(check (float 1e-9)) "minimal dense" 1.0 (Col_stats.density_ratio s)
 
 (* --- datagen ------------------------------------------------------------ *)
@@ -112,41 +125,52 @@ let test_grouping_dataset_invariants () =
   List.iter
     (fun (sorted, dense) ->
       let rng = Dqo_util.Rng.create ~seed:42 in
-      let d = Datagen.grouping ~rng ~n:5_000 ~groups:100 ~sorted ~dense in
-      Alcotest.(check int) "rows" 5_000 (Array.length d.Datagen.keys);
+      let d = Datagen.grouping ~rng ~n:5_000 ~groups:100 ~sorted ~dense () in
+      Alcotest.(check int) "rows" 5_000 (Int_col.length d.Datagen.keys);
       Alcotest.(check int) "universe size" 100 (Array.length d.Datagen.universe);
       Alcotest.(check int) "distinct = groups" 100
-        (Int_array.count_distinct d.Datagen.keys);
+        (Int_array.count_distinct (Int_col.to_array d.Datagen.keys));
       Alcotest.(check bool) "sortedness as requested" sorted
-        (Int_array.is_sorted d.Datagen.keys);
+        (Int_col.is_sorted d.Datagen.keys);
       let stats = Col_stats.analyze d.Datagen.keys in
       Alcotest.(check bool) "density as requested" dense stats.Col_stats.dense;
       (* Every key drawn from the universe. *)
-      Array.iter
-        (fun k ->
+      Int_col.iteri d.Datagen.keys ~f:(fun _ k ->
           Alcotest.(check bool) "key in universe" true
-            (Int_array.binary_search d.Datagen.universe k <> None))
-        d.Datagen.keys)
+            (Int_array.binary_search d.Datagen.universe k <> None)))
     [ (true, true); (true, false); (false, true); (false, false) ]
 
 let test_grouping_dataset_deterministic () =
   let d1 =
     Datagen.grouping ~rng:(Dqo_util.Rng.create ~seed:5) ~n:1_000 ~groups:10
-      ~sorted:false ~dense:true
+      ~sorted:false ~dense:true ()
   in
   let d2 =
     Datagen.grouping ~rng:(Dqo_util.Rng.create ~seed:5) ~n:1_000 ~groups:10
-      ~sorted:false ~dense:true
+      ~sorted:false ~dense:true ()
   in
-  Alcotest.(check bool) "same data" true (d1.Datagen.keys = d2.Datagen.keys)
+  let d3 =
+    Datagen.grouping
+      ~backend:(Int_col.Chunked Int_col.W64)
+      ~rng:(Dqo_util.Rng.create ~seed:5) ~n:1_000 ~groups:10 ~sorted:false
+      ~dense:true ()
+  in
+  Alcotest.(check bool) "same data" true
+    (Int_col.equal d1.Datagen.keys d2.Datagen.keys);
+  Alcotest.(check bool) "same data across backends" true
+    (Int_col.equal d1.Datagen.keys d3.Datagen.keys)
 
 let test_zipf_skew () =
   let rng = Dqo_util.Rng.create ~seed:9 in
-  let skewed = Datagen.zipf_keys ~rng ~n:20_000 ~groups:100 ~theta:1.2 in
+  let skewed =
+    Int_col.to_array (Datagen.zipf_keys ~rng ~n:20_000 ~groups:100 ~theta:1.2 ())
+  in
   let count0 = Array.fold_left (fun a k -> if k = 0 then a + 1 else a) 0 skewed in
   (* Under theta=1.2 the head key takes far more than 1/100 of the mass. *)
   Alcotest.(check bool) "head heavy" true (count0 > 2_000);
-  let uniform = Datagen.zipf_keys ~rng ~n:20_000 ~groups:100 ~theta:0.0 in
+  let uniform =
+    Int_col.to_array (Datagen.zipf_keys ~rng ~n:20_000 ~groups:100 ~theta:0.0 ())
+  in
   let count0u =
     Array.fold_left (fun a k -> if k = 0 then a + 1 else a) 0 uniform
   in
@@ -160,9 +184,9 @@ let test_fk_pair_invariants () =
         Datagen.fk_pair ~rng ~r_rows:1_000 ~s_rows:3_000 ~r_groups:50 ~r_sorted
           ~s_sorted ~dense
       in
-      let ids = Relation.int_column p.Datagen.r "id" in
-      let a = Relation.int_column p.Datagen.r "a" in
-      let r_id = Relation.int_column p.Datagen.s "r_id" in
+      let ids = Int_col.to_array (Relation.int_col p.Datagen.r "id") in
+      let a = Int_col.to_array (Relation.int_col p.Datagen.r "a") in
+      let r_id = Int_col.to_array (Relation.int_col p.Datagen.s "r_id") in
       Alcotest.(check int) "|R|" 1_000 (Array.length ids);
       Alcotest.(check int) "|S|" 3_000 (Array.length r_id);
       Alcotest.(check int) "R.id unique" 1_000 (Int_array.count_distinct ids);
@@ -177,12 +201,12 @@ let test_fk_pair_invariants () =
           Alcotest.(check bool) "FK valid" true (Hashtbl.mem id_set k))
         r_id;
       (* Density of both R.id and R.a follows the dense flag. *)
-      let id_stats = Col_stats.analyze ids in
-      let a_stats = Col_stats.analyze a in
+      let id_stats = analyze ids in
+      let a_stats = analyze a in
       Alcotest.(check bool) "id density" dense id_stats.Col_stats.dense;
       Alcotest.(check bool) "a density" dense a_stats.Col_stats.dense;
       (* a is monotone in id: sorting by id clusters a. *)
-      let perm = Dqo_exec.Sort_op.permutation ids in
+      let perm = Dqo_exec.Sort_op.permutation (Int_col.of_array ids) in
       let a_by_id = Array.map (fun i -> a.(i)) perm in
       Alcotest.(check bool) "a monotone in id" true (Int_array.is_sorted a_by_id))
     [ (true, true, true); (false, false, true); (false, true, false) ]
@@ -265,7 +289,7 @@ let prop_dictionary_codes_dense =
     QCheck.(array_of_size (QCheck.Gen.int_range 1 100) (int_bound 1_000_000))
     (fun xs ->
       let dict, codes = Dictionary.encode_ints xs in
-      let stats = Col_stats.analyze codes in
+      let stats = analyze codes in
       stats.Col_stats.lo = 0
       && stats.Col_stats.hi = Dictionary.cardinality dict - 1
       && stats.Col_stats.dense)

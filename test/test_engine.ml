@@ -10,6 +10,9 @@ module Datagen = Dqo_data.Datagen
 module Physical = Dqo_plan.Physical
 module Pareto = Dqo_opt.Pareto
 
+(* Materialised copy of an integer column (tests index it randomly). *)
+let int_column rel name = Dqo_data.Int_col.to_array (Relation.int_col rel name)
+
 let fk_db ~r_sorted ~s_sorted ~dense ~seed =
   let rng = Dqo_util.Rng.create ~seed in
   let pair =
@@ -23,8 +26,8 @@ let fk_db ~r_sorted ~s_sorted ~dense ~seed =
 
 (* Reference: group count of the FK join, computed naively. *)
 let reference_group_counts (pair : Datagen.fk_pair) =
-  let ids = Relation.int_column pair.Datagen.r "id" in
-  let a = Relation.int_column pair.Datagen.r "a" in
+  let ids = int_column pair.Datagen.r "id" in
+  let a = int_column pair.Datagen.r "a" in
   let a_of_id = Hashtbl.create 1024 in
   Array.iteri (fun i id -> Hashtbl.replace a_of_id id a.(i)) ids;
   let counts = Hashtbl.create 1024 in
@@ -32,12 +35,12 @@ let reference_group_counts (pair : Datagen.fk_pair) =
     (fun r_id ->
       let g = Hashtbl.find a_of_id r_id in
       Hashtbl.replace counts g (1 + Option.value ~default:0 (Hashtbl.find_opt counts g)))
-    (Relation.int_column pair.Datagen.s "r_id");
+    (int_column pair.Datagen.s "r_id");
   counts
 
 let result_to_alist rel =
-  let keys = Relation.int_column rel (List.hd (List.map (fun (f : Schema.field) -> f.Schema.name) (Schema.fields (Relation.schema rel)))) in
-  let counts = Relation.int_column rel "cnt" in
+  let keys = int_column rel (List.hd (List.map (fun (f : Schema.field) -> f.Schema.name) (Schema.fields (Relation.schema rel)))) in
+  let counts = int_column rel "cnt" in
   List.sort compare
     (Array.to_list (Array.mapi (fun i k -> (k, counts.(i))) keys))
 
@@ -93,13 +96,13 @@ let test_plain_projection () =
   let db, pair = fk_db ~r_sorted:true ~s_sorted:false ~dense:true ~seed:3 in
   let rel = Engine.run_sql db "SELECT a FROM R WHERE id BETWEEN 10 AND 19" in
   Alcotest.(check int) "ten rows" 10 (Relation.cardinality rel);
-  let ids = Relation.int_column pair.Datagen.r "id" in
-  let a = Relation.int_column pair.Datagen.r "a" in
+  let ids = int_column pair.Datagen.r "id" in
+  let a = int_column pair.Datagen.r "a" in
   let expected = ref [] in
   Array.iteri
     (fun i id -> if id >= 10 && id <= 19 then expected := a.(i) :: !expected)
     ids;
-  let got = Array.to_list (Relation.int_column rel "a") in
+  let got = Array.to_list (int_column rel "a") in
   Alcotest.(check (list int))
     "values" (List.sort compare !expected) (List.sort compare got)
 
@@ -178,7 +181,7 @@ let test_sorted_projection_av () =
   (* The stored relation was physically reordered. *)
   let r = Engine.relation db "R" in
   Alcotest.(check bool) "R now physically sorted" true
-    (Dqo_util.Int_array.is_sorted (Relation.int_column r "id"))
+    (Dqo_util.Int_array.is_sorted (int_column r "id"))
 
 let test_grouping_result_av () =
   let db, pair = fk_db ~r_sorted:true ~s_sorted:true ~dense:true ~seed:44 in
@@ -187,7 +190,7 @@ let test_grouping_result_av () =
   (* The materialised view is queryable as a relation. *)
   let out = Engine.run_sql db "SELECT a, cnt FROM R__by_a WHERE a < 5" in
   let expected_groups =
-    let a = Relation.int_column pair.Datagen.r "a" in
+    let a = int_column pair.Datagen.r "a" in
     let h = Hashtbl.create 64 in
     Array.iter
       (fun v ->
@@ -218,7 +221,7 @@ let test_adaptive_discovers_density () =
     Schema.of_names [ ("a", Schema.T_int); ("v", Schema.T_int) ]
   in
   let rel =
-    Relation.create schema [ Dqo_data.Column.Ints a; Dqo_data.Column.Ints v ]
+    Relation.create schema [ Dqo_data.Column.of_ints a; Dqo_data.Column.of_ints v ]
   in
   let db = Engine.create () in
   Engine.register db ~name:"T" rel;
@@ -288,7 +291,7 @@ let test_run_with_views_uses_materialised_grouping () =
   Alcotest.(check bool) "identical results" true
     (List.sort compare (Relation.rows r1) = List.sort compare (Relation.rows r2));
   (* Sanity: counts match a direct computation. *)
-  let a = Relation.int_column pair.Datagen.r "a" in
+  let a = int_column pair.Datagen.r "a" in
   Alcotest.(check int) "group count" (Dqo_util.Int_array.count_distinct a)
     (Relation.cardinality r2)
 
@@ -351,7 +354,7 @@ let prop_engine_fuzz_single_table =
       let v = Array.init n (fun _ -> Dqo_util.Rng.int rng vmax) in
       let schema = Schema.of_names [ ("g", Schema.T_int); ("v", Schema.T_int) ] in
       let rel =
-        Relation.create schema [ Dqo_data.Column.Ints g; Dqo_data.Column.Ints v ]
+        Relation.create schema [ Dqo_data.Column.of_ints g; Dqo_data.Column.of_ints v ]
       in
       let db = Engine.create () in
       Engine.register db ~name:"T" rel;
@@ -375,9 +378,9 @@ let prop_engine_fuzz_single_table =
           (Hashtbl.fold (fun k cs acc -> (k, cs) :: acc) expected [])
       in
       let normalise rel =
-        let keys = Relation.int_column rel "g" in
-        let cnt = Relation.int_column rel "cnt" in
-        let s = Relation.int_column rel "s" in
+        let keys = int_column rel "g" in
+        let cnt = int_column rel "cnt" in
+        let s = int_column rel "s" in
         List.sort compare
           (Array.to_list (Array.mapi (fun i k -> (k, (cnt.(i), s.(i)))) keys))
       in

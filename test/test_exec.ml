@@ -11,7 +11,12 @@ module Partition = Dqo_exec.Partition
 module Pipeline = Dqo_exec.Pipeline
 module Aggregate = Dqo_exec.Aggregate
 module Datagen = Dqo_data.Datagen
+module Int_col = Dqo_data.Int_col
 module Int_array = Dqo_util.Int_array
+
+(* Shorthand: most tests are written against literal arrays; the
+   operators are storage-agnostic, so wrap in the flat backend. *)
+let ic = Int_col.of_array
 
 let qtest = QCheck_alcotest.to_alcotest
 
@@ -44,7 +49,7 @@ let dataset_gen =
 
 let make_dataset (groups, n, sorted, dense, seed) =
   let rng = Dqo_util.Rng.create ~seed in
-  let d = Datagen.grouping ~rng ~n ~groups ~sorted ~dense in
+  let d = Datagen.grouping ~rng ~n ~groups ~sorted ~dense () in
   let values = Array.init n (fun i -> (i * 37) mod 101) in
   (d, values)
 
@@ -52,7 +57,9 @@ let prop_all_groupings_agree =
   QCheck.Test.make ~name:"all applicable groupings = reference" ~count:120
     (QCheck.make dataset_gen) (fun params ->
       let d, values = make_dataset params in
-      let reference = reference_grouping d.Datagen.keys values in
+      let reference =
+        reference_grouping (Int_col.to_array d.Datagen.keys) values
+      in
       List.for_all
         (fun alg ->
           let applicable =
@@ -62,7 +69,8 @@ let prop_all_groupings_agree =
             | Grouping.HG | Grouping.SOG | Grouping.BSG -> true
           in
           (not applicable)
-          || Group_result.to_sorted_alist (Grouping.run alg ~dataset:d ~values)
+          || Group_result.to_sorted_alist
+               (Grouping.run alg ~dataset:d ~values:(ic values))
              = reference)
         Grouping.all)
 
@@ -71,13 +79,16 @@ let prop_hash_molecules_agree =
   QCheck.Test.make ~name:"HG molecule choices are semantics-preserving"
     ~count:60 (QCheck.make dataset_gen) (fun params ->
       let d, values = make_dataset params in
-      let reference = reference_grouping d.Datagen.keys values in
+      let reference =
+        reference_grouping (Int_col.to_array d.Datagen.keys) values
+      in
       List.for_all
         (fun table ->
           List.for_all
             (fun hash ->
               Group_result.to_sorted_alist
-                (Grouping.hash_based ~hash ~table ~keys:d.Datagen.keys ~values ())
+                (Grouping.hash_based ~hash ~table ~keys:d.Datagen.keys
+                   ~values:(ic values) ())
               = reference)
             Dqo_hash.Hash_fn.all)
         [ Grouping.Chaining; Grouping.Linear_probing; Grouping.Robin_hood ])
@@ -87,58 +98,65 @@ let prop_boxed_hg_agrees =
     (QCheck.make dataset_gen) (fun params ->
       let d, values = make_dataset params in
       Group_result.to_sorted_alist
-        (Grouping.hash_based_boxed ~keys:d.Datagen.keys ~values)
-      = reference_grouping d.Datagen.keys values)
+        (Grouping.hash_based_boxed ~keys:d.Datagen.keys ~values:(ic values))
+      = reference_grouping (Int_col.to_array d.Datagen.keys) values)
 
 let test_grouping_edge_cases () =
   (* Empty input. *)
-  let empty = Grouping.hash_based ~keys:[||] ~values:[||] () in
+  let empty = Grouping.hash_based ~keys:(ic [||]) ~values:(ic [||]) () in
   Alcotest.(check int) "empty groups" 0 (Group_result.groups empty);
   (* Single key repeated. *)
-  let r = Grouping.sort_order_based ~keys:[| 7; 7; 7 |] ~values:[| 1; 2; 3 |] in
+  let r =
+    Grouping.sort_order_based ~keys:(ic [| 7; 7; 7 |])
+      ~values:(ic [| 1; 2; 3 |])
+  in
   Alcotest.(check bool) "one group" true
     (Group_result.to_sorted_alist r = [ (7, (3, 6)) ]);
   (* Negative keys work in the general algorithms. *)
   let keys = [| -5; 3; -5 |] and values = [| 1; 1; 1 |] in
   check_against_reference "HG negatives"
-    (Grouping.hash_based ~keys ~values ())
+    (Grouping.hash_based ~keys:(ic keys) ~values:(ic values) ())
     keys values;
   check_against_reference "SOG negatives"
-    (Grouping.sort_order_based ~keys ~values)
+    (Grouping.sort_order_based ~keys:(ic keys) ~values:(ic values))
     keys values
 
 let test_grouping_preconditions () =
   Alcotest.check_raises "length mismatch"
     (Invalid_argument "Grouping: keys/values length mismatch") (fun () ->
-      ignore (Grouping.hash_based ~keys:[| 1 |] ~values:[||] ()));
+      ignore (Grouping.hash_based ~keys:(ic [| 1 |]) ~values:(ic [||]) ()));
   Alcotest.check_raises "sph key out of domain"
     (Invalid_argument "Grouping.sph_based: key outside dense domain")
     (fun () ->
-      ignore (Grouping.sph_based ~lo:0 ~hi:3 ~keys:[| 5 |] ~values:[| 1 |]));
+      ignore
+        (Grouping.sph_based ~lo:0 ~hi:3 ~keys:(ic [| 5 |])
+           ~values:(ic [| 1 |])));
   Alcotest.check_raises "bsg key missing"
     (Invalid_argument "Grouping.binary_search_based: key not in universe")
     (fun () ->
       ignore
-        (Grouping.binary_search_based ~universe:[| 1; 2 |] ~keys:[| 3 |]
-           ~values:[| 1 |]))
+        (Grouping.binary_search_based ~universe:[| 1; 2 |] ~keys:(ic [| 3 |])
+           ~values:(ic [| 1 |])))
 
 let test_sph_output_sorted_by_key () =
   let keys = [| 3; 1; 2; 1 |] and values = [| 1; 1; 1; 1 |] in
-  let r = Grouping.sph_based ~lo:1 ~hi:3 ~keys ~values in
+  let r = Grouping.sph_based ~lo:1 ~hi:3 ~keys:(ic keys) ~values:(ic values) in
   Alcotest.(check bool) "slot order = key order" true
     (r.Group_result.keys = [| 1; 2; 3 |])
 
 let test_og_on_clustered_unsorted_input () =
   (* OG needs clustering, not full sortedness. *)
   let keys = [| 9; 9; 2; 2; 2; 5 |] and values = [| 1; 1; 1; 1; 1; 1 |] in
-  let r = Grouping.order_based ~keys ~values () in
+  let r = Grouping.order_based ~keys:(ic keys) ~values:(ic values) () in
   check_against_reference "OG clustered" r keys values
 
 let test_applicability_matrix () =
-  let dense_sorted = Dqo_data.Col_stats.analyze [| 0; 0; 1; 2 |] in
+  let dense_sorted = Dqo_data.Col_stats.analyze (ic [| 0; 0; 1; 2 |]) in
   (* Note the repeated non-adjacent 9_999: all-distinct data would be
      trivially clustered and OG-compatible. *)
-  let sparse_unsorted = Dqo_data.Col_stats.analyze [| 9_999; 0; 123_456; 9_999 |] in
+  let sparse_unsorted =
+    Dqo_data.Col_stats.analyze (ic [| 9_999; 0; 123_456; 9_999 |])
+  in
   Alcotest.(check bool) "SPHG on dense" true
     (Grouping.applicable Grouping.SPHG dense_sorted);
   Alcotest.(check bool) "SPHG on sparse" false
@@ -168,6 +186,7 @@ let join_input_gen =
 let prop_joins_match_nested_loop =
   QCheck.Test.make ~name:"HJ/SPHJ/SOJ/BSJ = nested loop" ~count:150
     (QCheck.make join_input_gen) (fun (left, right) ->
+      let left = ic left and right = ic right in
       let expected = normalize (Join.nested_loop_reference ~left ~right) in
       List.for_all
         (fun alg ->
@@ -180,26 +199,29 @@ let prop_joins_match_nested_loop =
 let prop_merge_join_on_sorted =
   QCheck.Test.make ~name:"OJ = nested loop on sorted inputs" ~count:150
     (QCheck.make join_input_gen) (fun (left, right) ->
-      let left = Int_array.sorted_copy left in
-      let right = Int_array.sorted_copy right in
+      let left = ic (Int_array.sorted_copy left) in
+      let right = ic (Int_array.sorted_copy right) in
       normalize (Join.merge_join ~left ~right)
       = normalize (Join.nested_loop_reference ~left ~right))
 
 let test_merge_join_requires_sorted () =
   Alcotest.check_raises "left unsorted"
     (Invalid_argument "Join.merge_join: left input not sorted") (fun () ->
-      ignore (Join.merge_join ~left:[| 2; 1 |] ~right:[| 1 |]))
+      ignore (Join.merge_join ~left:(ic [| 2; 1 |]) ~right:(ic [| 1 |])))
 
 let test_join_duplicates_cross_product () =
-  let r = Join.hash_join ~left:[| 7; 7 |] ~right:[| 7; 7; 7 |] () in
+  let r = Join.hash_join ~left:(ic [| 7; 7 |]) ~right:(ic [| 7; 7; 7 |]) () in
   Alcotest.(check int) "2x3 pairs" 6 (Join.cardinality r)
 
 let test_sph_join_domain () =
   Alcotest.check_raises "build key outside domain"
     (Invalid_argument "Join.sph_join: build key outside dense domain")
-    (fun () -> ignore (Join.sph_join ~lo:0 ~hi:3 ~left:[| 9 |] ~right:[||]));
+    (fun () ->
+      ignore (Join.sph_join ~lo:0 ~hi:3 ~left:(ic [| 9 |]) ~right:(ic [||])));
   (* Probe keys outside the domain simply do not match. *)
-  let r = Join.sph_join ~lo:0 ~hi:3 ~left:[| 1; 2 |] ~right:[| 2; 99 |] in
+  let r =
+    Join.sph_join ~lo:0 ~hi:3 ~left:(ic [| 1; 2 |]) ~right:(ic [| 2; 99 |])
+  in
   Alcotest.(check bool) "one match" true (normalize r = [ (1, 0) ])
 
 let test_join_materialize () =
@@ -213,15 +235,15 @@ let test_join_materialize () =
   let r = Dqo_data.Relation.of_int_rows schema_r [ [ 2; 7 ]; [ 1; 8 ]; [ 2; 9 ] ] in
   let pairs =
     Join.hash_join
-      ~left:(Dqo_data.Relation.int_column l "id")
-      ~right:(Dqo_data.Relation.int_column r "r_id")
+      ~left:(Dqo_data.Relation.int_col l "id")
+      ~right:(Dqo_data.Relation.int_col r "r_id")
       ()
   in
   let out = Join.materialize l r pairs in
   Alcotest.(check int) "3 rows" 3 (Dqo_data.Relation.cardinality out);
   (* Every output row satisfies the join predicate. *)
-  let ids = Dqo_data.Relation.int_column out "id" in
-  let r_ids = Dqo_data.Relation.int_column out "r_id" in
+  let ids = Int_col.to_array (Dqo_data.Relation.int_col out "id") in
+  let r_ids = Int_col.to_array (Dqo_data.Relation.int_col out "r_id") in
   Array.iteri
     (fun i id -> Alcotest.(check int) "join predicate" id r_ids.(i))
     ids
@@ -230,7 +252,7 @@ let test_join_materialize () =
 
 let test_sort_op_stable () =
   let keys = [| 2; 1; 2; 1 |] in
-  let perm = Sort_op.permutation keys in
+  let perm = Sort_op.permutation (ic keys) in
   Alcotest.(check bool) "stable" true (perm = [| 1; 3; 0; 2 |])
 
 let prop_filter_matches_spec =
@@ -242,7 +264,7 @@ let prop_filter_matches_spec =
     (fun (column, x) ->
       List.for_all
         (fun p ->
-          let ids = Filter.select column p in
+          let ids = Filter.select (ic column) p in
           let expected = ref [] in
           Array.iteri
             (fun i v -> if Filter.eval p v then expected := i :: !expected)
@@ -277,7 +299,9 @@ let prop_hash_partition_covers =
         (QCheck.int_range 1 16))
     (fun (keys, partitions) ->
       let values = Array.map (fun k -> k * 2) keys in
-      let parts = Partition.by_hash ~partitions ~keys ~values () in
+      let parts =
+        Partition.by_hash ~partitions ~keys:(ic keys) ~values:(ic values) ()
+      in
       Partition.partition_count parts = partitions
       && Partition.total_rows parts = Array.length keys
       &&
@@ -300,7 +324,9 @@ let test_dense_key_partition_is_figure2 () =
      different producers." *)
   let keys = [| 2; 0; 2; 1; 0; 2 |] in
   let values = [| 1; 1; 1; 1; 1; 1 |] in
-  let parts = Partition.by_dense_key ~lo:0 ~hi:2 ~keys ~values in
+  let parts =
+    Partition.by_dense_key ~lo:0 ~hi:2 ~keys:(ic keys) ~values:(ic values)
+  in
   Alcotest.(check int) "one producer per domain value" 3
     (Partition.partition_count parts);
   Alcotest.(check bool) "partition 2 holds the three 2s" true
@@ -340,7 +366,7 @@ let prop_partition_based_grouping_equals_hg =
         Pipeline.partition_based_grouping ~partitions
           (Pipeline.of_arrays ~keys ~values ())
       in
-      let direct = Grouping.hash_based ~keys ~values () in
+      let direct = Grouping.hash_based ~keys:(ic keys) ~values:(ic values) () in
       Group_result.equal via_bundle direct)
 
 let test_bundle_aggregation_per_producer () =
@@ -371,7 +397,8 @@ let prop_online_finalize_is_exact =
     (fun (keys, chunk) ->
       let values = Array.map (fun k -> k + 1) keys in
       let result =
-        Online_agg.run_progressive ~keys ~values ~report_every:chunk
+        Online_agg.run_progressive ~keys:(ic keys) ~values:(ic values)
+          ~report_every:chunk
           (fun _ -> ())
       in
       Group_result.to_sorted_alist result = reference_grouping keys values)
@@ -383,8 +410,8 @@ let test_online_snapshots_converge () =
   let values = Array.make n 1 in
   let snapshots = ref [] in
   let result =
-    Online_agg.run_progressive ~keys ~values ~report_every:5_000 (fun s ->
-        snapshots := s :: !snapshots)
+    Online_agg.run_progressive ~keys:(ic keys) ~values:(ic values)
+      ~report_every:5_000 (fun s -> snapshots := s :: !snapshots)
   in
   Alcotest.(check int) "10 snapshots" 10 (List.length !snapshots);
   (* Early estimate: on a shuffled uniform stream, after 10% the scaled

@@ -22,14 +22,16 @@ let skewed_db () =
     Datagen.fk_pair ~rng ~r_rows:2_500 ~s_rows:9_000 ~r_groups:2_000
       ~r_sorted:false ~s_sorted:false ~dense:true
   in
-  let r_id = Relation.int_column pair.Datagen.s "r_id" in
+  let r_id =
+    Dqo_data.Int_col.to_array (Relation.int_col pair.Datagen.s "r_id")
+  in
   let b =
-    Datagen.zipf_keys ~rng ~n:(Array.length r_id) ~groups:1_000 ~theta:1.0
+    Datagen.zipf_keys ~rng ~n:(Array.length r_id) ~groups:1_000 ~theta:1.0 ()
   in
   let s =
     Relation.create
       (Relation.schema pair.Datagen.s)
-      [ Column.Ints (Array.copy r_id); Column.Ints b ]
+      [ Column.of_ints (Array.copy r_id); Column.of_int_col b ]
   in
   let db = Engine.create () in
   Engine.register db ~name:"R" pair.Datagen.r;

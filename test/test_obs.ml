@@ -164,11 +164,11 @@ let test_pipeline_observe () =
 
 let grouping_dataset () =
   let rng = Dqo_util.Rng.create ~seed:11 in
-  Datagen.grouping ~rng ~n:5_000 ~groups:50 ~sorted:false ~dense:true
+  Datagen.grouping ~rng ~n:5_000 ~groups:50 ~sorted:false ~dense:true ()
 
 let test_grouping_run_observed () =
   let dataset = grouping_dataset () in
-  let values = Array.make 5_000 1 in
+  let values = Dqo_data.Int_col.const 5_000 1 in
   let m = Metrics.create () in
   let plain = Grouping.run Grouping.HG ~dataset ~values in
   let observed = Grouping.run_observed ~obs:m Grouping.HG ~dataset ~values in
@@ -187,8 +187,10 @@ let test_grouping_run_observed () =
       (List.length (Metrics.ops none))
 
 let test_join_run_observed () =
-  let left = Array.init 100 (fun i -> i) in
-  let right = Array.init 300 (fun i -> i mod 100) in
+  let left = Dqo_data.Int_col.of_array (Array.init 100 (fun i -> i)) in
+  let right =
+    Dqo_data.Int_col.of_array (Array.init 300 (fun i -> i mod 100))
+  in
   let m = Metrics.create () in
   let r = Join.run_observed ~obs:m Join.HJ ~left ~right in
   Alcotest.(check int) "all probes match" 300 (Join.cardinality r);

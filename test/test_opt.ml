@@ -789,7 +789,7 @@ let test_parallel_serve_pool_prepare () =
       (Format.asprintf "%a" Physical.pp e.Pareto.plan)
       e.Pareto.cost
   in
-  let sequential = entry_fp (Engine.plan_sql (mk_db ()) ~threads:1 Engine.DQO sql) in
+  let sequential = entry_fp (Engine.plan_sql (mk_db ()) Engine.DQO sql) in
   let db = mk_db () in
   Engine.set_opts db
     { Engine.default_opts with Engine.mode = Engine.DQO; threads = 2 };

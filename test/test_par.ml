@@ -183,7 +183,8 @@ let test_pool_reuse_byte_identical () =
 
 (* --- grouping determinism --------------------------------------------- *)
 
-let payloads rng n = Array.init n (fun _ -> Rng.int rng 1_000)
+let ic = Dqo_data.Int_col.of_array
+let payloads rng n = ic (Array.init n (fun _ -> Rng.int rng 1_000))
 
 let check_result = Alcotest.testable Group_result.pp Group_result.equal
 
@@ -196,7 +197,7 @@ let test_grouping_matches_all_variants () =
         (fun (sorted, dense) ->
           let rng = Rng.create ~seed in
           let n = 5_000 in
-          let dataset = Datagen.grouping ~rng ~n ~groups:97 ~sorted ~dense in
+          let dataset = Datagen.grouping ~rng ~n ~groups:97 ~sorted ~dense () in
           let values = payloads rng n in
           let keys = dataset.Datagen.keys in
           let reference =
@@ -242,14 +243,16 @@ let test_grouping_matches_all_variants () =
 let test_grouping_byte_identical () =
   let n = 4_000 in
   let rng = Rng.create ~seed:5 in
-  let dataset = Datagen.grouping ~rng ~n ~groups:211 ~sorted:false ~dense:true in
+  let dataset =
+    Datagen.grouping ~rng ~n ~groups:211 ~sorted:false ~dense:true ()
+  in
   let values = payloads rng n in
   let keys = dataset.Datagen.keys in
   List.iter
     (fun partitions ->
       let sequential =
         Pipeline.partition_based_grouping ~partitions
-          (Pipeline.of_arrays ~keys ~values ())
+          (Pipeline.of_cols ~keys ~values ())
       in
       List.iter
         (fun domains ->
@@ -277,10 +280,10 @@ let test_grouping_byte_identical () =
 let test_bundle_matches_sequential () =
   let n = 3_000 in
   let rng = Rng.create ~seed:13 in
-  let keys = Array.init n (fun _ -> Rng.int rng 500) in
+  let keys = ic (Array.init n (fun _ -> Rng.int rng 500)) in
   let values = payloads rng n in
   let bundle () =
-    Pipeline.partition_by ~partitions:11 (Pipeline.of_arrays ~keys ~values ())
+    Pipeline.partition_by ~partitions:11 (Pipeline.of_cols ~keys ~values ())
   in
   let sequential = Pipeline.aggregate_bundle (bundle ()) in
   List.iter
@@ -309,8 +312,8 @@ let test_join_matches_all_variants () =
             if sorted then Array.sort compare a;
             a
           in
-          let left = gen 600 200 in
-          let right = gen 1_800 220 in
+          let left = ic (gen 600 200) in
+          let right = ic (gen 1_800 220) in
           let reference = sorted_pairs (Join.nested_loop_reference ~left ~right) in
           List.iter
             (fun alg ->
@@ -341,8 +344,8 @@ let test_join_matches_all_variants () =
 
 let test_join_byte_identical_across_domains () =
   let rng = Rng.create ~seed:29 in
-  let left = Array.init 700 (fun _ -> Rng.int rng 150) in
-  let right = Array.init 2_100 (fun _ -> Rng.int rng 160) in
+  let left = ic (Array.init 700 (fun _ -> Rng.int rng 150)) in
+  let right = ic (Array.init 2_100 (fun _ -> Rng.int rng 160)) in
   let at domains =
     Pool.with_pool ~domains (fun pool ->
         Par_join.partitioned_hash_join pool ~left ~right ())
@@ -361,7 +364,7 @@ let test_join_byte_identical_across_domains () =
 let test_parallel_metrics_merge () =
   let n = 2_000 in
   let rng = Rng.create ~seed:31 in
-  let keys = Array.init n (fun _ -> Rng.int rng 300) in
+  let keys = ic (Array.init n (fun _ -> Rng.int rng 300)) in
   let values = payloads rng n in
   List.iter
     (fun domains ->
@@ -413,8 +416,10 @@ let test_engine_threads_identical () =
 
 let test_explain_analyze_dop () =
   let db = demo_db () in
+  Dqo_engine.Engine.set_opts db
+    { (Dqo_engine.Engine.opts db) with Dqo_engine.Engine.threads = 3 };
   let a =
-    Dqo_engine.Engine.explain_analyze db ~threads:3
+    Dqo_engine.Engine.explain_analyze db
       (Dqo_sql.Binder.plan_of_sql (Dqo_engine.Engine.catalog db) demo_sql)
   in
   let root = a.Dqo_engine.Engine.root in

@@ -259,8 +259,8 @@ let test_physical_names_and_operators () =
   Alcotest.(check bool) "sph detected" true (Physical.uses_sph sph_plan)
 
 let test_props_of_stats () =
-  let sorted = Col_stats.analyze [| 1; 2; 3 |] in
-  let unsorted = Col_stats.analyze [| 3; 1; 2 |] in
+  let sorted = Col_stats.analyze (Dqo_data.Int_col.of_array [| 1; 2; 3 |]) in
+  let unsorted = Col_stats.analyze (Dqo_data.Int_col.of_array [| 3; 1; 2 |]) in
   let p = Props.of_stats [ ("u", unsorted); ("s", sorted) ] in
   Alcotest.(check bool) "first sorted column wins" true (Props.sorted_on p "s");
   let p2 = Props.of_stats ~name:"s" [ ("s", sorted); ("u", unsorted) ] in

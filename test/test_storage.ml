@@ -1,0 +1,345 @@
+(* Byte-identity suite for the storage-agnostic data plane: every
+   operator must produce digest-identical results whether a column is
+   backed by a flat [int array], chunked Bigarray morsels (either
+   width), a constant, or an mmap-ed file — and, for the parallel
+   operators, for any pool size from 1 to 8.
+
+   "Digest" here is a canonical serialisation of the full result, so
+   equality means the results are indistinguishable bit for bit, not
+   merely equal up to slot order. *)
+
+module Int_col = Dqo_data.Int_col
+module Datagen = Dqo_data.Datagen
+module Grouping = Dqo_exec.Grouping
+module Group_result = Dqo_exec.Group_result
+module Join = Dqo_exec.Join
+module Filter = Dqo_exec.Filter
+module Partition = Dqo_exec.Partition
+module Par_group = Dqo_par.Par_group
+module Par_join = Dqo_par.Par_join
+module Pool = Dqo_par.Pool
+module Rng = Dqo_util.Rng
+
+let backends =
+  [
+    ("flat", Int_col.Flat);
+    ("chunked64", Int_col.Chunked Int_col.W64);
+    ("chunked32", Int_col.Chunked Int_col.W32);
+  ]
+
+(* Tiny chunks so multi-chunk paths run even on small test inputs. *)
+let small_chunk = 64
+
+let with_backend backend arr =
+  match backend with
+  | Int_col.Flat -> Int_col.of_array arr
+  | Int_col.Chunked w ->
+    let n = Array.length arr in
+    let c = Int_col.create_chunked ~chunk_rows:small_chunk w n in
+    Int_col.blit_from_array arr ~src_pos:0 c ~dst_pos:0 ~len:n;
+    c
+
+(* Canonical serialisations: exact, order-sensitive. *)
+let digest_ints a =
+  String.concat "," (List.map string_of_int (Array.to_list a))
+
+let digest_grouping (g : Group_result.t) =
+  String.concat ";"
+    (List.map
+       (fun (k, (c, s)) -> Printf.sprintf "%d:%d:%d" k c s)
+       (Group_result.to_sorted_alist g))
+
+let digest_grouping_raw (g : Group_result.t) =
+  (* Slot order included: used where byte-identity across pool sizes is
+     the claim, not just canonical equality. *)
+  Printf.sprintf "%s|%s|%s"
+    (digest_ints g.Group_result.keys)
+    (digest_ints g.Group_result.counts)
+    (digest_ints g.Group_result.sums)
+
+let digest_join (j : Join.result) =
+  digest_ints j.Join.left ^ "|" ^ digest_ints j.Join.right
+
+let check_all_equal name digests =
+  match digests with
+  | [] -> Alcotest.fail (name ^ ": no digests")
+  | (d0, b0) :: rest ->
+    List.iter
+      (fun (d, b) ->
+        Alcotest.(check string)
+          (Printf.sprintf "%s: %s = %s" name b b0)
+          d0 d)
+      rest
+
+let test_data ~n ~range ~seed =
+  let rng = Rng.create ~seed in
+  Array.init n (fun _ -> Rng.int rng range)
+
+(* --- sequential operators across backends ----------------------------- *)
+
+let test_filter_identity () =
+  let arr = test_data ~n:1_000 ~range:500 ~seed:1 in
+  check_all_equal "filter"
+    (List.map
+       (fun (name, b) ->
+         ( digest_ints (Filter.select (with_backend b arr) (Filter.Le 250)),
+           name ))
+       backends)
+
+let test_grouping_identity () =
+  let keys_arr = test_data ~n:2_000 ~range:97 ~seed:2 in
+  let values_arr = test_data ~n:2_000 ~range:1_000 ~seed:3 in
+  let universe = Dqo_util.Int_array.distinct_sorted keys_arr in
+  let lo = universe.(0) and hi = universe.(Array.length universe - 1) in
+  List.iter
+    (fun (alg_name, run) ->
+      check_all_equal ("grouping " ^ alg_name)
+        (List.map
+           (fun (name, b) ->
+             let keys = with_backend b keys_arr in
+             let values = with_backend b values_arr in
+             (digest_grouping (run ~keys ~values), name))
+           backends))
+    [
+      ("HG", fun ~keys ~values -> Grouping.hash_based ~keys ~values ());
+      ("SPHG", fun ~keys ~values -> Grouping.sph_based ~lo ~hi ~keys ~values);
+      ("SOG", fun ~keys ~values -> Grouping.sort_order_based ~keys ~values);
+      ( "BSG",
+        fun ~keys ~values ->
+          Grouping.binary_search_based ~universe ~keys ~values );
+    ]
+
+let test_join_identity () =
+  let left_arr = test_data ~n:400 ~range:150 ~seed:4 in
+  let right_arr = test_data ~n:1_200 ~range:170 ~seed:5 in
+  List.iter
+    (fun alg ->
+      check_all_equal ("join " ^ Join.name alg)
+        (List.map
+           (fun (name, b) ->
+             let left = with_backend b left_arr in
+             let right = with_backend b right_arr in
+             (digest_join (Join.run alg ~left ~right), name))
+           backends))
+    [ Join.HJ; Join.SPHJ; Join.SOJ; Join.BSJ ]
+
+let test_aggregate_identity () =
+  (* COUNT/SUM over grouping, the aggregate path the engine executes. *)
+  let keys_arr = test_data ~n:1_500 ~range:31 ~seed:6 in
+  let values_arr = test_data ~n:1_500 ~range:100 ~seed:7 in
+  check_all_equal "aggregate"
+    (List.map
+       (fun (name, b) ->
+         let g =
+           Grouping.hash_based
+             ~keys:(with_backend b keys_arr)
+             ~values:(with_backend b values_arr)
+             ()
+         in
+         (digest_grouping g, name))
+       backends)
+
+let test_const_backend_identity () =
+  let keys_arr = test_data ~n:800 ~range:50 ~seed:8 in
+  let flat =
+    Grouping.hash_based
+      ~keys:(Int_col.of_array keys_arr)
+      ~values:(Int_col.of_array (Array.make 800 1))
+      ()
+  in
+  let const =
+    Grouping.hash_based
+      ~keys:(Int_col.of_array keys_arr)
+      ~values:(Int_col.const 800 1)
+      ()
+  in
+  Alcotest.(check string) "const = materialised ones"
+    (digest_grouping_raw flat) (digest_grouping_raw const)
+
+let test_mmap_backend_identity () =
+  let arr = test_data ~n:3_000 ~range:2_000 ~seed:9 in
+  let path = Filename.temp_file "dqo_test_col" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let m =
+        Int_col.map_file ~chunk_rows:small_chunk path Int_col.W32 3_000
+      in
+      Int_col.blit_from_array arr ~src_pos:0 m ~dst_pos:0 ~len:3_000;
+      Alcotest.(check bool) "mmap contents equal flat" true
+        (Int_col.equal m (Int_col.of_array arr));
+      let g_flat =
+        Grouping.sort_order_based
+          ~keys:(Int_col.of_array arr)
+          ~values:(Int_col.const 3_000 1)
+      in
+      let g_mmap =
+        Grouping.sort_order_based ~keys:m ~values:(Int_col.const 3_000 1)
+      in
+      Alcotest.(check string) "grouping over mmap identical"
+        (digest_grouping_raw g_flat)
+        (digest_grouping_raw g_mmap))
+
+(* --- datagen equivalence across backends ------------------------------- *)
+
+let test_datagen_backend_equivalence () =
+  List.iter
+    (fun (sorted, dense) ->
+      let gen backend =
+        Datagen.grouping ~backend
+          ~rng:(Rng.create ~seed:77)
+          ~n:4_000 ~groups:64 ~sorted ~dense ()
+      in
+      let reference = gen Int_col.Flat in
+      List.iter
+        (fun (name, b) ->
+          let d = gen b in
+          Alcotest.(check bool)
+            (Printf.sprintf "sorted=%b dense=%b %s keys" sorted dense name)
+            true
+            (Int_col.equal reference.Datagen.keys d.Datagen.keys);
+          Alcotest.(check bool)
+            (Printf.sprintf "sorted=%b dense=%b %s universe" sorted dense name)
+            true
+            (reference.Datagen.universe = d.Datagen.universe))
+        backends)
+    [ (true, true); (true, false); (false, true); (false, false) ]
+
+(* --- parallel operators: backends x domains 1..8 ----------------------- *)
+
+let domain_counts = [ 1; 2; 3; 5; 8 ]
+
+let test_parallel_grouping_identity () =
+  let keys_arr = test_data ~n:6_000 ~range:300 ~seed:10 in
+  let values_arr = test_data ~n:6_000 ~range:1_000 ~seed:11 in
+  (* Sequential flat partition-based grouping is the reference; both
+     grouping strategies (partition-based and SPH) must match it across
+     every backend and every pool size. *)
+  let reference =
+    digest_grouping_raw
+      (Dqo_exec.Pipeline.partition_based_grouping
+         ~partitions:Par_group.default_partitions
+         (Dqo_exec.Pipeline.of_cols
+            ~keys:(Int_col.of_array keys_arr)
+            ~values:(Int_col.of_array values_arr)
+            ()))
+  in
+  let sph_reference =
+    digest_grouping
+      (Grouping.hash_based
+         ~keys:(Int_col.of_array keys_arr)
+         ~values:(Int_col.of_array values_arr)
+         ())
+  in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          List.iter
+            (fun (name, b) ->
+              let keys = with_backend b keys_arr in
+              let values = with_backend b values_arr in
+              Alcotest.(check string)
+                (Printf.sprintf "partition_based %s domains=%d" name domains)
+                reference
+                (digest_grouping_raw
+                   (Par_group.partition_based pool ~keys ~values ()));
+              Alcotest.(check string)
+                (Printf.sprintf "sph %s domains=%d" name domains)
+                sph_reference
+                (digest_grouping
+                   (Par_group.sph pool ~lo:0 ~hi:299 ~keys ~values ())))
+            backends))
+    domain_counts
+
+let test_parallel_join_identity () =
+  let left_arr = test_data ~n:900 ~range:200 ~seed:12 in
+  let right_arr = test_data ~n:2_700 ~range:220 ~seed:13 in
+  let reference =
+    Pool.with_pool ~domains:1 (fun pool ->
+        digest_join
+          (Par_join.partitioned_hash_join pool
+             ~left:(Int_col.of_array left_arr)
+             ~right:(Int_col.of_array right_arr)
+             ()))
+  in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          List.iter
+            (fun (name, b) ->
+              Alcotest.(check string)
+                (Printf.sprintf "par join %s domains=%d" name domains)
+                reference
+                (digest_join
+                   (Par_join.partitioned_hash_join pool
+                      ~left:(with_backend b left_arr)
+                      ~right:(with_backend b right_arr)
+                      ())))
+            backends))
+    domain_counts
+
+let test_parallel_scatter_identity () =
+  (* The two-pass morsel scatter must reproduce the sequential partition
+     layout exactly — global row order within each bucket — for every
+     backend and pool size. *)
+  let keys_arr = test_data ~n:5_000 ~range:777 ~seed:14 in
+  let values_arr = test_data ~n:5_000 ~range:99 ~seed:15 in
+  let digest_parts (p : Partition.parts) =
+    String.concat "#"
+      (Array.to_list (Array.map digest_ints p.Partition.keys))
+    ^ "@"
+    ^ String.concat "#"
+        (Array.to_list (Array.map digest_ints p.Partition.values))
+  in
+  let reference =
+    digest_parts
+      (Partition.by_hash ~partitions:16
+         ~keys:(Int_col.of_array keys_arr)
+         ~values:(Int_col.of_array values_arr)
+         ())
+  in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          List.iter
+            (fun (name, b) ->
+              Alcotest.(check string)
+                (Printf.sprintf "scatter %s domains=%d" name domains)
+                reference
+                (digest_parts
+                   (Par_group.by_hash_parallel pool ~partitions:16
+                      ~keys:(with_backend b keys_arr)
+                      ~payload:
+                        (Par_group.Col (with_backend b values_arr))
+                      ())))
+            backends))
+    domain_counts
+
+let () =
+  Alcotest.run "dqo_storage"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "filter" `Quick test_filter_identity;
+          Alcotest.test_case "grouping" `Quick test_grouping_identity;
+          Alcotest.test_case "join" `Quick test_join_identity;
+          Alcotest.test_case "aggregate" `Quick test_aggregate_identity;
+          Alcotest.test_case "const backend" `Quick
+            test_const_backend_identity;
+          Alcotest.test_case "mmap backend" `Quick test_mmap_backend_identity;
+        ] );
+      ( "datagen",
+        [
+          Alcotest.test_case "backend equivalence" `Quick
+            test_datagen_backend_equivalence;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "grouping 1-8 domains" `Quick
+            test_parallel_grouping_identity;
+          Alcotest.test_case "join 1-8 domains" `Quick
+            test_parallel_join_identity;
+          Alcotest.test_case "scatter 1-8 domains" `Quick
+            test_parallel_scatter_identity;
+        ] );
+    ]
