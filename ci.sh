@@ -19,7 +19,7 @@ dune exec bench/main.exe -- --rows 20000 --figure 4 --figure 5 --scaling \
   --advisor --json "$out" > /dev/null
 
 test -s "$out" || { echo "ci: $out is empty" >&2; exit 1; }
-grep -q '"schema_version": 7' "$out" || { echo "ci: missing schema_version 7" >&2; exit 1; }
+grep -q '"schema_version": 8' "$out" || { echo "ci: missing schema_version 8" >&2; exit 1; }
 grep -q '"threads": 2' "$out" || { echo "ci: missing threads" >&2; exit 1; }
 grep -q '"figure4"' "$out" || { echo "ci: missing figure4" >&2; exit 1; }
 grep -q '"figure5"' "$out" || { echo "ci: missing figure5" >&2; exit 1; }
@@ -33,6 +33,7 @@ grep -q '"plan_identical": true' "$out" || { echo "ci: optimiser sweep recorded 
 if grep -q '"plan_identical": false' "$out"; then
   echo "ci: parallel DP search diverged" >&2; exit 1
 fi
+grep -q '"beam_pruned"' "$out" || { echo "ci: optimiser sweep has no per-level stats" >&2; exit 1; }
 grep -q '"serving"' "$out" || { echo "ci: missing serving sweep" >&2; exit 1; }
 grep -q '"p95_ms"' "$out" || { echo "ci: serving sweep has no latencies" >&2; exit 1; }
 grep -q '"feedback"' "$out" || { echo "ci: missing feedback sweep" >&2; exit 1; }
@@ -60,19 +61,47 @@ if command -v python3 > /dev/null 2>&1; then
   python3 -m json.tool "$out" > /dev/null || { echo "ci: invalid JSON" >&2; exit 1; }
 fi
 
+echo "== bench --learned smoke =="
+# The beam-gated search must enumerate >= 3x fewer candidates than
+# exhaustive DP on the 7-relation star, choose a plan within the cost
+# guardrail, execute to identical result digests, and stay
+# byte-identical across pool sizes.
+ln_out="$(mktemp -t bench_learned_XXXXXX.json)"
+trap 'rm -f "$out" "$ln_out"' EXIT
+dune exec bench/main.exe -- --learned --threads 2 --json "$ln_out" > /dev/null
+
+grep -q '"learned"' "$ln_out" || { echo "ci: missing learned sweep" >&2; exit 1; }
+grep -q '"shape": "star"' "$ln_out" || { echo "ci: learned sweep has no star record" >&2; exit 1; }
+if grep -q '"fewer_candidates": false' "$ln_out"; then
+  echo "ci: learned gate did not reduce the candidate count" >&2; exit 1
+fi
+if grep -q '"cost_ok": false' "$ln_out"; then
+  echo "ci: learned plan cost exceeds 1.1x the exhaustive optimum" >&2; exit 1
+fi
+if grep -q '"digests_identical": false' "$ln_out"; then
+  echo "ci: learned and exhaustive plans produced different results" >&2; exit 1
+fi
+if grep -q '"pooled_identical": false' "$ln_out"; then
+  echo "ci: beam-gated search diverged across pool sizes" >&2; exit 1
+fi
+# The first record is the 7-relation star: require the >= 3x reduction.
+sed 's/.*"reduction_factor": \([0-9.eE+-]*\).*/\1/;t;d' "$ln_out" | head -1 \
+  | awk '{exit !($1 >= 3.0)}' \
+  || { echo "ci: star candidate reduction below 3x" >&2; exit 1; }
+
 echo "== bench --paper-scale smoke =="
 # The paper-scale sweep at a reduced row count: flat and chunked
 # Bigarray backends must produce byte-identical digests across the
 # grouping and join sweeps, including the parallel grouping arm.
 ps_out="$(mktemp -t bench_paper_XXXXXX.json)"
 ps_log="$(mktemp -t bench_paper_XXXXXX.log)"
-trap 'rm -f "$out" "$ps_out" "$ps_log"' EXIT
+trap 'rm -f "$out" "$ln_out" "$ps_out" "$ps_log"' EXIT
 dune exec bench/main.exe -- --paper-scale --rows 2000000 --threads 2 \
   --json "$ps_out" > "$ps_log"
 grep -q 'digest parity: OK' "$ps_log" \
   || { echo "ci: paper-scale digest parity not confirmed" >&2; exit 1; }
-grep -q '"schema_version": 7' "$ps_out" \
-  || { echo "ci: paper-scale JSON missing schema_version 7" >&2; exit 1; }
+grep -q '"schema_version": 8' "$ps_out" \
+  || { echo "ci: paper-scale JSON missing schema_version 8" >&2; exit 1; }
 grep -q '"paper_scale"' "$ps_out" \
   || { echo "ci: paper-scale JSON missing paper_scale records" >&2; exit 1; }
 grep -q '"backend": "chunked32"' "$ps_out" \
@@ -81,6 +110,18 @@ grep -q '"backend": "chunked32"' "$ps_out" \
 echo "== dqo run --threads 2 smoke =="
 dune exec bin/dqo.exe -- run --threads 2 --r-rows 2000 --s-rows 6000 \
   --groups 1500 > /dev/null
+
+echo "== dqo explain --analyze --learned smoke =="
+# Round 1 plans cold (exhaustive); round 2 replans with the trained
+# value model and must render the beam gate's activity.
+lx="$(dune exec bin/dqo.exe -- explain --analyze --learned --beam 2 \
+  --r-rows 2000 --s-rows 6000 --groups 1500)"
+printf '%s\n' "$lx" | grep -q 'learner: cold - exhaustive enumeration' \
+  || { echo "ci: learned explain did not report the cold round" >&2; exit 1; }
+printf '%s\n' "$lx" | grep -q 'learner: beam=2, [0-9]* scored, [0-9]* pruned by learner' \
+  || { echo "ci: learned explain did not report the gated round" >&2; exit 1; }
+printf '%s\n' "$lx" | grep -q 'after training ([0-9]* observations' \
+  || { echo "ci: learned explain did not report training" >&2; exit 1; }
 
 echo "== dqo explain --threads 2 smoke =="
 # The parallel plan search must produce byte-identical reports.
@@ -94,7 +135,7 @@ test "$ex1" = "$ex2" \
 
 echo "== dqo serve --threads 2 smoke =="
 serve_out="$(mktemp -t serve_smoke_XXXXXX.txt)"
-trap 'rm -f "$out" "$ps_out" "$ps_log" "$serve_out"' EXIT
+trap 'rm -f "$out" "$ln_out" "$ps_out" "$ps_log" "$serve_out"' EXIT
 printf 'open\nopen\nprepare 1 SELECT a, COUNT(*) AS c FROM R JOIN S ON id = r_id GROUP BY a\nprepare 2 SELECT a, COUNT(*) AS c FROM R JOIN S ON id = r_id GROUP BY a\nsubmit 1 1\nsubmit 2 1\nsubmit 1 1\nsubmit 2 1\nwait 1\nwait 2\nwait 3\nwait 4\nstats\nclose 1\nclose 2\nquit\n' \
   | dune exec bin/dqo.exe -- serve --threads 2 --r-rows 2000 --s-rows 6000 \
       --groups 1500 > "$serve_out"
@@ -115,7 +156,7 @@ echo "== dqo serve --feedback smoke =="
 # execution learns corrections, the second finds the cached statement
 # drifted and replans it server-side before running.
 fb_out="$(mktemp -t serve_feedback_XXXXXX.txt)"
-trap 'rm -f "$out" "$ps_out" "$ps_log" "$serve_out" "$fb_out"' EXIT
+trap 'rm -f "$out" "$ln_out" "$ps_out" "$ps_log" "$serve_out" "$fb_out"' EXIT
 printf 'open\nprepare 1 SELECT b, COUNT(*) AS c FROM S WHERE b <= 9 GROUP BY b\nexec 1 1\nstats\nexec 1 1\nstats\nclose 1\nquit\n' \
   | dune exec bin/dqo.exe -- serve --feedback --skew 1.0 --r-rows 2000 \
       --s-rows 6000 --groups 1500 > "$fb_out"
@@ -135,7 +176,7 @@ echo "== dqo serve --advisor smoke =="
 # and the execution after it must replan transparently and digest
 # byte-identically to the ones before.
 adv_out="$(mktemp -t serve_advisor_XXXXXX.txt)"
-trap 'rm -f "$out" "$ps_out" "$ps_log" "$serve_out" "$fb_out" "$adv_out"' EXIT
+trap 'rm -f "$out" "$ln_out" "$ps_out" "$ps_log" "$serve_out" "$fb_out" "$adv_out"' EXIT
 printf 'open\nprepare 1 SELECT b, COUNT(*) AS c FROM S GROUP BY b\nexec 1 1\nexec 1 1\nexec 1 1\nexec 1 1\nadvise\nexec 1 1\nstats\nclose 1\nquit\n' \
   | dune exec bin/dqo.exe -- serve --advisor --skew 1.0 --r-rows 2000 \
       --s-rows 6000 --groups 1500 > "$adv_out"

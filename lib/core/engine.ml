@@ -18,15 +18,25 @@ type opts = {
   threads : int;
   feedback : bool;
   qerror_threshold : float;
+  learner : bool;
+  beam_width : int;
 }
 
 let default_opts =
-  { mode = DQO; threads = 1; feedback = false; qerror_threshold = 2.0 }
+  {
+    mode = DQO;
+    threads = 1;
+    feedback = false;
+    qerror_threshold = 2.0;
+    learner = false;
+    beam_width = 4;
+  }
 
 let check_opts o =
   if o.threads < 1 then invalid_arg "Engine.opts: threads < 1";
   if o.qerror_threshold < 1.0 then
     invalid_arg "Engine.opts: qerror_threshold < 1.0";
+  if o.beam_width < 1 then invalid_arg "Engine.opts: beam_width < 1";
   o
 
 type t = {
@@ -50,6 +60,13 @@ type t = {
      execution writes it, so toggling the option never loses what was
      already learned. *)
   corrections : Dqo_cost.Feedback.t;
+  (* The learned value model gating the join DP.  Same lifecycle rule
+     as [corrections]: always allocated, [opts.learner] gates use. *)
+  value_model : Dqo_learn.Learner.t;
+  (* Guardrail state: each time a beam-gated plan's execution regresses
+     past [qerror_threshold], the beam doubles; past [beam_cap] the
+     search goes back to exhaustive for good. *)
+  mutable beam_widenings : int;
 }
 
 let create ?(model = Dqo_cost.Model.table2) ?(opts = default_opts) () =
@@ -62,15 +79,38 @@ let create ?(model = Dqo_cost.Model.table2) ?(opts = default_opts) () =
     generation = 0;
     fks_index = Hashtbl.create 8;
     corrections = Dqo_cost.Feedback.create ();
+    value_model = Dqo_learn.Learner.create ();
+    beam_widenings = 0;
   }
 
 let opts t = t.opts
 let set_opts t o = t.opts <- check_opts o
 let av_generation t = t.generation
 let corrections t = t.corrections
+let learner t = t.value_model
+let beam_widenings t = t.beam_widenings
 
 (* The store the planner / analyser should consult right now. *)
 let active_feedback t = if t.opts.feedback then Some t.corrections else None
+
+(* The beam width planning should gate with right now: the configured
+   width doubled per guardrail widening, [None] (exhaustive) once that
+   escalation passes the cap — a workload the model keeps misjudging
+   stops being gated at all. *)
+let beam_cap = 32
+
+let effective_beam t =
+  if not t.opts.learner then None
+  else
+    let b = t.opts.beam_width lsl t.beam_widenings in
+    if b > beam_cap then None else Some b
+
+(* Whether a search started now would actually cut candidates: the gate
+   is configured, not widened past the cap, and the model is warm.
+   Captured per plan so the guardrail only reacts to executions of
+   genuinely gated plans. *)
+let gated_planning t =
+  effective_beam t <> None && Dqo_learn.Learner.ready t.value_model
 
 (* Per-call [?mode] / [?threads] overrides fall back to the handle's
    execution options. *)
@@ -127,18 +167,24 @@ let plan_in t ?pool ?threads mode l =
      realises the view's benefit. *)
   let l = Dqo_av.View.rewrite_through (installed_avs t) l in
   let feedback = active_feedback t in
+  let learner, beam =
+    match effective_beam t with
+    | Some b -> (Some t.value_model, Some b)
+    | None -> (None, None)
+  in
   match pool with
   | Some _ ->
-    Dqo_opt.Search.optimize ~model:t.model ?pool ?feedback search_mode
-      t.catalog l
+    Dqo_opt.Search.optimize ~model:t.model ?pool ?feedback ?learner ?beam
+      search_mode t.catalog l
   | None ->
     let threads = resolve_threads t threads in
     if threads = 1 then
-      Dqo_opt.Search.optimize ~model:t.model ?feedback search_mode t.catalog l
+      Dqo_opt.Search.optimize ~model:t.model ?feedback ?learner ?beam
+        search_mode t.catalog l
     else
       Dqo_par.Pool.with_pool ~domains:threads (fun pool ->
-          Dqo_opt.Search.optimize ~model:t.model ~pool ?feedback search_mode
-            t.catalog l)
+          Dqo_opt.Search.optimize ~model:t.model ~pool ?feedback ?learner
+            ?beam search_mode t.catalog l)
 
 let plan t mode l = plan_in t mode l
 let plan_on t ~pool mode l = plan_in t ~pool mode l
@@ -524,7 +570,39 @@ let learn_from_analysis t ?metrics plan root =
   | None -> ());
   max_q
 
-let execute_analyzed_in t ?metrics ?pool:shared_pool ?threads (p : Physical.t) =
+(* Fold one analysed execution into the learned value model: one NLMS
+   step per plan node, each on the features/estimate the search scored
+   with (or would have — [training_samples] re-estimates under the
+   {e current} correction store, which is why this must run before
+   [learn_from_analysis] shifts that store).  When the executed plan
+   was beam-gated, a worst-case q-error past the threshold trips the
+   guardrail: the beam doubles, and past [beam_cap] planning reverts to
+   exhaustive. *)
+let train_value_model t ?metrics ~gated plan root =
+  let samples =
+    Dqo_opt.Explain.training_samples ?feedback:(active_feedback t) t.catalog
+      plan root
+  in
+  List.iter
+    (fun (props, est, actual) ->
+      Dqo_learn.Learner.observe t.value_model
+        (Dqo_learn.Learner.featurize ~props ~rows:est)
+        ~est ~actual)
+    samples;
+  (match metrics with
+  | Some m ->
+    Dqo_obs.Metrics.incr ~by:(List.length samples) m "learn.observations"
+  | None -> ());
+  if gated && Dqo_opt.Explain.max_q_error root >= t.opts.qerror_threshold
+  then begin
+    t.beam_widenings <- t.beam_widenings + 1;
+    match metrics with
+    | Some m -> Dqo_obs.Metrics.incr m "learn.guardrail_widenings"
+    | None -> ()
+  end
+
+let execute_analyzed_in t ?metrics ?pool:shared_pool ?threads
+    ?(gated = false) (p : Physical.t) =
   let threads =
     match shared_pool with
     | Some pool -> Dqo_par.Pool.size pool
@@ -597,7 +675,10 @@ let execute_analyzed_in t ?metrics ?pool:shared_pool ?threads (p : Physical.t) =
         Dqo_par.Pool.with_pool ~domains:threads (fun pool -> analyze ~pool ())
   in
   (* Learning happens after the whole tree is built: per-node estimation
-     above must read a store that does not change mid-analysis. *)
+     above must read a store that does not change mid-analysis.  The
+     value model trains first, on estimates consistent with the store
+     the plan was ranked under. *)
+  if t.opts.learner then train_value_model t ~metrics:m ~gated p root;
   if t.opts.feedback then ignore (learn_from_analysis t ~metrics:m p root);
   (rel, root)
 
@@ -612,18 +693,22 @@ let run t ?mode ?threads l =
   let mode = resolve_mode t mode in
   let threads = resolve_threads t threads in
   check_threads threads;
-  (* With feedback enabled, even plain [run]s execute analysed so the
-     correction store keeps learning from live traffic. *)
+  (* With feedback or the learner enabled, even plain [run]s execute
+     analysed so the stores keep learning from live traffic.  Whether
+     this plan is beam-gated is captured before planning: training
+     during execution must not change how the guardrail judges it. *)
+  let learning = t.opts.feedback || t.opts.learner in
+  let gated = gated_planning t in
   if threads = 1 then
     let p = (plan_in t ~threads:1 mode l).Dqo_opt.Pareto.plan in
-    if t.opts.feedback then fst (execute_analyzed_in t ~threads:1 p)
+    if learning then fst (execute_analyzed_in t ~threads:1 ~gated p)
     else execute_in t p
   else
     (* One pool serves both phases: the search fans DP levels over it,
        then the chosen plan executes on the same domains. *)
     Dqo_par.Pool.with_pool ~domains:threads (fun pool ->
         let p = (plan_in t ~pool mode l).Dqo_opt.Pareto.plan in
-        if t.opts.feedback then fst (execute_analyzed_in t ~pool p)
+        if learning then fst (execute_analyzed_in t ~pool ~gated p)
         else execute_in t ~pool p)
 
 type analysis = {
@@ -648,16 +733,23 @@ let explain_analyze t l =
   (* One pool for both phases: the DP search records its [opt.dp.*]
      counters and per-level timings, then the plan executes on the same
      domains. *)
+  let learner, beam =
+    match effective_beam t with
+    | Some b -> (Some t.value_model, Some b)
+    | None -> (None, None)
+  in
+  let gated = gated_planning t in
   let go ?pool () =
     let entries, search_stats =
       Dqo_obs.Metrics.span metrics "optimize" (fun () ->
           Dqo_opt.Search.optimize_entries ~model:t.model ?pool ~metrics
-            ?feedback:(active_feedback t) search_mode t.catalog l)
+            ?feedback:(active_feedback t) ?learner ?beam search_mode
+            t.catalog l)
     in
     let entry = Dqo_opt.Pareto.cheapest entries in
     let result, root =
       Dqo_obs.Metrics.span metrics "execute" (fun () ->
-          execute_analyzed_in t ~metrics ?pool ~threads
+          execute_analyzed_in t ~metrics ?pool ~threads ~gated
             entry.Dqo_opt.Pareto.plan)
     in
     { entry; root; result; search_stats; metrics }
@@ -740,6 +832,10 @@ type prepared = {
   (* Worst per-node q-error observed while executing this plan since it
      was last (re-)prepared; 1.0 = every estimate was perfect. *)
   mutable p_worst_q : float;
+  (* Whether the plan came out of a beam-gated search: only then does a
+     q-error regression implicate the learner (drift-replan and
+     guardrail both key off this). *)
+  mutable p_gated : bool;
 }
 
 exception
@@ -757,6 +853,7 @@ let prepare_in t ?pool ?mode sql =
     entry = plan_in t ?pool mode (Dqo_sql.Binder.plan_of_sql t.catalog sql);
     p_generation = t.generation;
     p_worst_q = 1.0;
+    p_gated = gated_planning t;
   }
 
 let prepare t ?mode sql = prepare_in t ?mode sql
@@ -768,18 +865,23 @@ let prepared_mode p = p.p_mode
 let prepared_generation p = p.p_generation
 let prepared_stale t p = p.p_generation <> t.generation
 let prepared_worst_q p = p.p_worst_q
+let prepared_gated p = p.p_gated
 
 (* The plan has drifted: its observed misestimation crossed the
-   threshold, so replanning (against the corrected store) is warranted
-   even though the physical design is unchanged. *)
+   threshold, so replanning is warranted even though the physical
+   design is unchanged — either against the corrected feedback store,
+   or because a beam-gated plan regressed (the guardrail has widened
+   the beam by now, so the replan searches a larger space). *)
 let prepared_drifted t p =
-  t.opts.feedback && p.p_worst_q >= t.opts.qerror_threshold
+  (t.opts.feedback || (t.opts.learner && p.p_gated))
+  && p.p_worst_q >= t.opts.qerror_threshold
 
 let reprepare_in t ?pool p =
   p.entry <-
     plan_in t ?pool p.p_mode (Dqo_sql.Binder.plan_of_sql t.catalog p.p_sql);
   p.p_generation <- t.generation;
-  p.p_worst_q <- 1.0
+  p.p_worst_q <- 1.0;
+  p.p_gated <- gated_planning t
 
 let reprepare t p = reprepare_in t p
 let reprepare_on t ~pool p = reprepare_in t ~pool p
@@ -803,24 +905,28 @@ let check_prepared t ?pool ~reprepare:re p =
   end
   else if re && prepared_drifted t p then reprepare_in t ?pool p
 
-(* With feedback on, prepared executions run analysed so the store keeps
-   learning and the statement tracks its own worst q-error. *)
+(* With feedback or the learner on, prepared executions run analysed so
+   the stores keep learning and the statement tracks its own worst
+   q-error. *)
 let run_prepared_feedback t ?metrics ?pool p =
   let rel, root =
-    execute_analyzed_in t ?metrics ?pool p.entry.Dqo_opt.Pareto.plan
+    execute_analyzed_in t ?metrics ?pool ~gated:p.p_gated
+      p.entry.Dqo_opt.Pareto.plan
   in
   p.p_worst_q <-
     Float.max p.p_worst_q (Dqo_opt.Explain.max_q_error root);
   rel
 
+let learning_opts t = t.opts.feedback || t.opts.learner
+
 let execute_prepared t ?metrics ?(reprepare = false) p =
   check_prepared t ~reprepare p;
-  if t.opts.feedback then run_prepared_feedback t ?metrics p
+  if learning_opts t then run_prepared_feedback t ?metrics p
   else execute t p.entry.Dqo_opt.Pareto.plan
 
 let execute_prepared_on t ~pool ?metrics ?(reprepare = false) p =
   check_prepared t ~pool ~reprepare p;
-  if t.opts.feedback then run_prepared_feedback t ?metrics ~pool p
+  if learning_opts t then run_prepared_feedback t ?metrics ~pool p
   else execute_on t ~pool p.entry.Dqo_opt.Pareto.plan
 
 (* ------------------------------------------------------------------ *)

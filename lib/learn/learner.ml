@@ -1,0 +1,166 @@
+(* Online-learned value model gating the deep join-DP search.  See
+   learner.mli for the contract; the model is a linear predictor of
+   log(actual / estimated) rows over property-vector features, trained
+   by normalised LMS — one mutex-protected step per analysed plan
+   node. *)
+
+module Props = Dqo_plan.Props
+module Json = Dqo_obs.Json
+
+let dim = 9
+
+let feature_names =
+  [|
+    "bias"; "log_rows"; "sorted"; "clustered"; "co_ordered"; "dense_frac";
+    "log_cols"; "mean_log_distinct"; "mean_log_span";
+  |]
+
+(* Log features share one scale so the bias term does not dominate the
+   NLMS normalisation; 20 covers log(1 + n) up to ~4.8e8 rows within
+   [0, 1]. *)
+let log_scaled x = log (1.0 +. Float.max 0.0 x) /. 20.0
+
+let featurize ~(props : Props.t) ~rows =
+  let cols = props.Props.columns in
+  let ncols = List.length cols in
+  let dense =
+    List.fold_left
+      (fun acc (_, (c : Props.column)) -> if c.Props.dense then acc + 1 else acc)
+      0 cols
+  in
+  let sum_distinct =
+    List.fold_left
+      (fun acc (_, (c : Props.column)) ->
+        acc +. log_scaled (Float.of_int c.Props.distinct))
+      0.0 cols
+  in
+  (* Domain span of the dense columns — the granule-level term that
+     decides whether perfect-hash slots are affordable.  [hi < lo]
+     means the bounds are unknown (shallow projection) and contributes
+     nothing. *)
+  let span_count = ref 0 and span_sum = ref 0.0 in
+  List.iter
+    (fun (_, (c : Props.column)) ->
+      if c.Props.dense && c.Props.hi >= c.Props.lo then begin
+        incr span_count;
+        span_sum := !span_sum +. log_scaled (Float.of_int (c.Props.hi - c.Props.lo + 1))
+      end)
+    cols;
+  [|
+    1.0;
+    log_scaled (Float.of_int rows);
+    (if props.Props.sorted_by <> None then 1.0 else 0.0);
+    (if props.Props.clustered_by <> None then 1.0 else 0.0);
+    (if props.Props.co_ordered <> [] then 1.0 else 0.0);
+    (if ncols = 0 then 0.0 else Float.of_int dense /. Float.of_int ncols);
+    log_scaled (Float.of_int ncols);
+    (if ncols = 0 then 0.0 else sum_distinct /. Float.of_int ncols);
+    (if !span_count = 0 then 0.0 else !span_sum /. Float.of_int !span_count);
+  |]
+
+type t = {
+  lr : float;
+  min_observations : int;
+  mutex : Mutex.t;
+  weights : float array; (* mutated in place, under the mutex *)
+  mutable count : int;
+  mutable sq_err : float; (* running sum of squared residuals *)
+}
+
+type snapshot = { s_weights : float array; s_ready : bool }
+
+let create ?(learning_rate = 0.5) ?(min_observations = 4) () =
+  if learning_rate <= 0.0 || learning_rate >= 2.0 then
+    invalid_arg "Learner.create: learning_rate outside (0, 2)";
+  if min_observations < 1 then
+    invalid_arg "Learner.create: min_observations < 1";
+  {
+    lr = learning_rate;
+    min_observations;
+    mutex = Mutex.create ();
+    weights = Array.make dim 0.0;
+    count = 0;
+    sq_err = 0.0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let clamp lo hi x = Float.min hi (Float.max lo x)
+
+(* Same range the feedback store clamps its correction factors to. *)
+let max_log = log 1000.0
+
+(* Zero counts score as half a row, mirroring [Feedback.q_error]. *)
+let target ~est ~actual =
+  let e = Float.max 0.5 (Float.of_int est) in
+  let a = Float.max 0.5 (Float.of_int actual) in
+  clamp (-.max_log) max_log (log (a /. e))
+
+let dot w f =
+  let acc = ref 0.0 in
+  for i = 0 to dim - 1 do
+    acc := !acc +. (w.(i) *. f.(i))
+  done;
+  !acc
+
+let check_dim who f =
+  if Array.length f <> dim then
+    invalid_arg (Printf.sprintf "Learner.%s: expected %d features" who dim)
+
+let observe t f ~est ~actual =
+  check_dim "observe" f;
+  let y = target ~est ~actual in
+  locked t (fun () ->
+      let err = y -. dot t.weights f in
+      (* Normalised LMS: the step is scale-free in the features, so the
+         update is stable for any input as long as lr lies in (0, 2). *)
+      let norm = Array.fold_left (fun acc x -> acc +. (x *. x)) 1e-6 f in
+      let g = t.lr *. err /. norm in
+      Array.iteri (fun i x -> t.weights.(i) <- t.weights.(i) +. (g *. x)) f;
+      t.count <- t.count + 1;
+      t.sq_err <- t.sq_err +. (err *. err))
+
+let observations t = locked t (fun () -> t.count)
+let ready t = observations t >= t.min_observations
+let weights t = locked t (fun () -> Array.copy t.weights)
+
+let clear t =
+  locked t (fun () ->
+      Array.fill t.weights 0 dim 0.0;
+      t.count <- 0;
+      t.sq_err <- 0.0)
+
+let snapshot t =
+  locked t (fun () ->
+      {
+        s_weights = Array.copy t.weights;
+        s_ready = t.count >= t.min_observations;
+      })
+
+let snapshot_ready s = s.s_ready
+
+let predict s f =
+  check_dim "predict" f;
+  clamp (-.max_log) max_log (dot s.s_weights f)
+
+let score s ~cost f = Float.max 0.0 cost *. exp (predict s f)
+
+let to_json t =
+  locked t (fun () ->
+      Json.Obj
+        [
+          ("observations", Json.Int t.count);
+          ( "rmse",
+            Json.Float
+              (if t.count = 0 then 0.0 else sqrt (t.sq_err /. Float.of_int t.count))
+          );
+          ("ready", Json.Bool (t.count >= t.min_observations));
+          ( "weights",
+            Json.Obj
+              (Array.to_list
+                 (Array.mapi
+                    (fun i w -> (feature_names.(i), Json.Float w))
+                    t.weights)) );
+        ])

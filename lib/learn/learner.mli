@@ -1,0 +1,93 @@
+(** Online-learned value model for the deep join-DP search.
+
+    DQO's fine-granular enumeration explodes combinatorially; DQ
+    (Krishnan et al.) and Neo (Marcus et al.) show a learned value
+    model can stand in for exhaustive enumeration.  This is the
+    lightweight, dependency-free OCaml version: a linear model over a
+    fixed feature vector extracted from a candidate's property vector
+    ({!Dqo_plan.Props.t}), its cardinality estimate, and cost-model
+    terms (log-scale row counts, domain spans).  It predicts the
+    log-ratio [actual / estimated] of an operator's output — the same
+    per-node estimated-vs-actual signal the cardinality-feedback loop
+    consumes — and the search ranks candidate entries by
+    [cost * exp prediction], keeping only the top-k per DP subset (the
+    beam).
+
+    Training is {e online}: every analysed execution folds one
+    normalised-LMS step per plan node into the weights.  Updates are
+    mutex-protected (executor threads learn while other threads plan),
+    and deterministic for a fixed observation order.
+
+    Searches never read the live weights: they take a {!snapshot} —
+    an immutable copy — up front, so a pooled DP search stays
+    byte-identical to the sequential one even while training continues
+    concurrently. *)
+
+val dim : int
+(** Dimension of the feature vector. *)
+
+val feature_names : string array
+(** Human-readable name per feature slot, [dim] entries. *)
+
+val featurize : props:Dqo_plan.Props.t -> rows:int -> float array
+(** Extract the feature vector of one candidate / plan node from its
+    property vector and estimated output rows.  Total: every
+    {!Dqo_plan.Props.t} shape (no columns, unknown bounds [hi < lo],
+    zero or huge distinct counts, negative row estimates) maps to a
+    finite vector of length {!dim}. *)
+
+type t
+(** The mutable model: weights, observation count, training error. *)
+
+type snapshot
+(** An immutable copy of the weights taken at one instant — what a
+    search scores against. *)
+
+val create : ?learning_rate:float -> ?min_observations:int -> unit -> t
+(** Fresh model with zero weights.  [learning_rate] is the normalised-
+    LMS step size (default [0.5]; must lie in [(0, 2)], the NLMS
+    stability region).  [min_observations] (default [4], at least [1])
+    is the cold-start threshold: below it {!ready} is false and the
+    search falls back to exhaustive enumeration.
+    @raise Invalid_argument outside those ranges. *)
+
+val observe : t -> float array -> est:int -> actual:int -> unit
+(** One online update: fold the sample ([features],
+    [log (actual / est)] clamped to the feedback store's
+    [[0.001, 1000]] ratio range, zero counts scored as half a row)
+    into the weights with a normalised-LMS step.
+    @raise Invalid_argument if the vector is not of length {!dim}. *)
+
+val observations : t -> int
+(** Samples learned from so far. *)
+
+val ready : t -> bool
+(** [observations t >= min_observations] — the model has seen enough
+    to gate a search. *)
+
+val weights : t -> float array
+(** Copy of the current weights ({!dim} entries). *)
+
+val clear : t -> unit
+(** Reset to the freshly-created state (weights, count, error). *)
+
+val snapshot : t -> snapshot
+(** Frozen copy of the weights and readiness.  A search scores every
+    candidate against one snapshot, so concurrent {!observe} calls
+    cannot make pooled and sequential runs diverge. *)
+
+val snapshot_ready : snapshot -> bool
+(** Whether the model was {!ready} when the snapshot was taken. *)
+
+val predict : snapshot -> float array -> float
+(** Predicted [log (actual / est)] for a feature vector, clamped to
+    [±log 1000].
+    @raise Invalid_argument if the vector is not of length {!dim}. *)
+
+val score : snapshot -> cost:float -> float array -> float
+(** [score s ~cost f] — the candidate's estimated cost scaled by the
+    predicted misestimation factor, [max cost 0 * exp (predict s f)].
+    Lower is better; the beam gate keeps the k lowest. *)
+
+val to_json : t -> Dqo_obs.Json.t
+(** Weights (named), observation count, and training RMSE. *)

@@ -1,0 +1,444 @@
+(* The online-learned value model and the beam gate it drives: feature
+   extraction is total over every property-vector shape, normalised-LMS
+   training converges on a synthetic linear signal, the gated search
+   stays byte-identical across pool sizes, a cold model falls back to
+   exhaustive enumeration, and the engine's q-error guardrail widens
+   the beam until it gives the search back to exhaustive DP. *)
+
+module Learner = Dqo_learn.Learner
+module Engine = Dqo_engine.Engine
+module Props = Dqo_plan.Props
+module Logical = Dqo_plan.Logical
+module Physical = Dqo_plan.Physical
+module Catalog = Dqo_opt.Catalog
+module Search = Dqo_opt.Search
+module Pareto = Dqo_opt.Pareto
+module Model = Dqo_cost.Model
+module Pool = Dqo_par.Pool
+module Datagen = Dqo_data.Datagen
+module Relation = Dqo_data.Relation
+module Column = Dqo_data.Column
+module Rng = Dqo_util.Rng
+
+let col ~dense ~lo ~hi ~distinct : Props.column = { dense; lo; hi; distinct }
+
+(* --- featurize totality ---------------------------------------------- *)
+
+let test_featurize_total () =
+  let shapes =
+    [
+      ("none", Props.none, 10_000);
+      ( "empty columns",
+        { Props.sorted_by = Some "a"; clustered_by = Some "a"; columns = [];
+          co_ordered = [ ("a", "b") ] },
+        0 );
+      ( "unknown bounds (hi < lo)",
+        { Props.sorted_by = None; clustered_by = None;
+          columns = [ ("a", col ~dense:true ~lo:10 ~hi:0 ~distinct:5) ];
+          co_ordered = [] },
+        123 );
+      ( "zero distinct",
+        { Props.sorted_by = None; clustered_by = None;
+          columns = [ ("a", col ~dense:false ~lo:0 ~hi:0 ~distinct:0) ];
+          co_ordered = [] },
+        1 );
+      ( "huge distinct and span",
+        { Props.sorted_by = Some "a"; clustered_by = None;
+          columns =
+            [ ("a", col ~dense:true ~lo:0 ~hi:max_int ~distinct:max_int) ];
+          co_ordered = [] },
+        max_int );
+      ( "negative rows",
+        { Props.sorted_by = None; clustered_by = Some "a";
+          columns = [ ("a", col ~dense:true ~lo:0 ~hi:9 ~distinct:10) ];
+          co_ordered = [] },
+        -42 );
+    ]
+  in
+  List.iter
+    (fun (label, props, rows) ->
+      let f = Learner.featurize ~props ~rows in
+      Alcotest.(check int) (label ^ ": length") Learner.dim (Array.length f);
+      Array.iteri
+        (fun i x ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s finite" label Learner.feature_names.(i))
+            true (Float.is_finite x))
+        f)
+    shapes;
+  Alcotest.(check int) "feature_names matches dim" Learner.dim
+    (Array.length Learner.feature_names)
+
+(* --- training convergence -------------------------------------------- *)
+
+(* Random-but-reproducible property vectors spanning the feature
+   space. *)
+let random_props_rows rng =
+  let ncols = Rng.int rng 4 in
+  let columns =
+    List.init ncols (fun i ->
+        ( Printf.sprintf "c%d" i,
+          col
+            ~dense:(Rng.int rng 2 = 0)
+            ~lo:0
+            ~hi:(Rng.int rng 100_000 - 10)
+            ~distinct:(Rng.int rng 1_000_000) ))
+  in
+  let props =
+    {
+      Props.sorted_by = (if Rng.int rng 2 = 0 then Some "c0" else None);
+      clustered_by = (if Rng.int rng 2 = 0 then Some "c0" else None);
+      columns;
+      co_ordered = (if Rng.int rng 2 = 0 then [ ("c0", "c1") ] else []);
+    }
+  in
+  (props, Rng.int rng 1_000_000)
+
+let test_converges_on_linear_signal () =
+  let rng = Rng.create ~seed:7 in
+  (* Ground truth: a fixed linear map from features to the log
+     misestimation ratio.  Every feature lies in [0, 1], so the signal
+     stays far from the ±log 1000 clamps. *)
+  let truth = [| 0.3; -0.2; 0.4; 0.1; -0.3; 0.2; 0.1; -0.1; 0.2 |] in
+  let signal f =
+    let acc = ref 0.0 in
+    Array.iteri (fun i x -> acc := !acc +. (truth.(i) *. x)) f;
+    !acc
+  in
+  let samples =
+    List.init 50 (fun _ ->
+        let props, rows = random_props_rows rng in
+        Learner.featurize ~props ~rows)
+  in
+  let lrn = Learner.create () in
+  Alcotest.(check bool) "fresh model not ready" false (Learner.ready lrn);
+  let est = 10_000 in
+  for _ = 1 to 40 do
+    List.iter
+      (fun f ->
+        let actual =
+          int_of_float (Float.round (Float.of_int est *. exp (signal f)))
+        in
+        Learner.observe lrn f ~est ~actual)
+      samples
+  done;
+  Alcotest.(check int) "observation count" 2_000 (Learner.observations lrn);
+  Alcotest.(check bool) "trained model ready" true (Learner.ready lrn);
+  let snap = Learner.snapshot lrn in
+  List.iter
+    (fun f ->
+      let err = Float.abs (Learner.predict snap f -. signal f) in
+      Alcotest.(check bool)
+        (Printf.sprintf "prediction within 0.1 (err %.4f)" err)
+        true (err < 0.1))
+    samples;
+  (* [score] ranks by predicted true cost: a candidate the model says
+     under-estimates must score above its raw cost. *)
+  let f = List.hd samples in
+  let expected = if Learner.predict snap f > 0.0 then 1 else -1 in
+  Alcotest.(check int) "score moves with prediction" expected
+    (compare (Learner.score snap ~cost:100.0 f) 100.0);
+  Learner.clear lrn;
+  Alcotest.(check int) "clear resets" 0 (Learner.observations lrn)
+
+(* --- the beam gate in the search ------------------------------------- *)
+
+(* A 6-relation star (hub connects to every satellite): the densest
+   join graph, plural Pareto frontiers thanks to alternating leaf
+   sortedness — the shape where the gate has real work to do. *)
+let star_catalog ~relations =
+  let hub_props =
+    {
+      Props.sorted_by = Some "hub_k";
+      clustered_by = Some "hub_k";
+      columns =
+        ("hub_k", col ~dense:true ~lo:0 ~hi:9_999 ~distinct:10_000)
+        :: List.init (relations - 1) (fun i ->
+               ( Printf.sprintf "hub_f%d" (i + 1),
+                 col ~dense:true ~lo:0 ~hi:9_999 ~distinct:10_000 ));
+      co_ordered = [];
+    }
+  in
+  let sat_props i =
+    let name = Printf.sprintf "sat%d_k" i in
+    {
+      Props.sorted_by = (if i mod 2 = 0 then Some name else None);
+      clustered_by = (if i mod 2 = 0 then Some name else None);
+      columns = [ (name, col ~dense:true ~lo:0 ~hi:9_999 ~distinct:10_000) ];
+      co_ordered = [];
+    }
+  in
+  Catalog.create
+    (Catalog.table ~name:"Hub" ~rows:10_000 ~props:hub_props
+    :: List.init (relations - 1) (fun i ->
+           Catalog.table
+             ~name:(Printf.sprintf "Sat%d" (i + 1))
+             ~rows:(20_000 + (10_000 * i))
+             ~props:(sat_props (i + 1))))
+
+let star_query ~relations =
+  let rec build acc i =
+    if i >= relations then acc
+    else
+      build
+        (Logical.join acc
+           (Logical.scan (Printf.sprintf "Sat%d" i))
+           ~on:(Printf.sprintf "hub_f%d" i, Printf.sprintf "sat%d_k" i))
+        (i + 1)
+  in
+  Logical.group_by
+    (build (Logical.scan "Hub") 1)
+    ~key:"hub_k"
+    [ Logical.count_star () ]
+
+(* Everything the search returns except wall-clock times: chosen plan,
+   frontier costs, counters (including the learner's), the trace, and
+   the per-level breakdown.  Two runs are equivalent iff equal. *)
+let fingerprint (entries, (stats : Search.stats)) =
+  let best = Pareto.cheapest entries in
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Format.asprintf "%a" Physical.pp best.Pareto.plan);
+  Buffer.add_string b
+    (Printf.sprintf "|cost=%.3f|frontier=%d" best.Pareto.cost
+       (List.length entries));
+  List.iter
+    (fun (e : Pareto.entry) ->
+      Buffer.add_string b (Printf.sprintf ";%.3f" e.Pareto.cost))
+    entries;
+  Buffer.add_string b
+    (Printf.sprintf "|considered=%d|kept=%d|pruned=%d|beam=%s|scored=%d|bpruned=%d|cold=%b"
+       stats.Search.plans_considered stats.Search.pareto_kept
+       stats.Search.candidates_pruned
+       (match stats.Search.beam_width with
+       | Some k -> string_of_int k
+       | None -> "-")
+       stats.Search.learner_scored stats.Search.learner_pruned
+       stats.Search.learner_cold);
+  List.iter
+    (fun (t : Search.trace_step) ->
+      Buffer.add_string b
+        (Printf.sprintf "|%s:%d:%d:%d:%d" t.Search.step t.Search.generated
+           t.Search.enforcers t.Search.kept t.Search.pruned))
+    stats.Search.trace;
+  List.iter
+    (fun (lv : Search.level_stat) ->
+      Buffer.add_string b
+        (Printf.sprintf "|L%d:%d:%d:%d:%d:%d" lv.Search.level
+           lv.Search.subproblems lv.Search.level_generated lv.Search.level_kept
+           lv.Search.level_pruned lv.Search.level_beam_pruned))
+    stats.Search.levels;
+  Buffer.contents b
+
+(* A model with enough varied observations to be ready, with non-zero
+   weights so the gate's ranking is non-trivial. *)
+let warmed_learner () =
+  let rng = Rng.create ~seed:11 in
+  let lrn = Learner.create () in
+  for _ = 1 to 16 do
+    let props, rows = random_props_rows rng in
+    Learner.observe lrn
+      (Learner.featurize ~props ~rows)
+      ~est:(1 + Rng.int rng 100_000)
+      ~actual:(1 + Rng.int rng 100_000)
+  done;
+  lrn
+
+let test_beam_deterministic_across_pools () =
+  let relations = 6 in
+  let catalog = star_catalog ~relations and query = star_query ~relations in
+  let lrn = warmed_learner () in
+  let gated ?pool () =
+    Search.optimize_entries ~model:Model.deep ?pool ~learner:lrn ~beam:2
+      Search.Deep catalog query
+  in
+  let exhaustive =
+    Search.optimize_entries ~model:Model.deep Search.Deep catalog query
+  in
+  let seq_entries, seq_stats = gated () in
+  Alcotest.(check bool) "gate engaged (fewer candidates)" true
+    (seq_stats.Search.plans_considered
+    < (snd exhaustive).Search.plans_considered);
+  Alcotest.(check bool) "gate pruned something" true
+    (seq_stats.Search.learner_pruned > 0);
+  Alcotest.(check bool) "gate scored candidates" true
+    (seq_stats.Search.learner_scored > 0);
+  (match seq_stats.Search.beam_width with
+  | Some 2 -> ()
+  | Some k -> Alcotest.failf "beam width %d, expected 2" k
+  | None -> Alcotest.fail "beam width missing from stats");
+  let base = fingerprint (seq_entries, seq_stats) in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          Alcotest.(check string)
+            (Printf.sprintf "domains=%d byte-identical" domains)
+            base
+            (fingerprint (gated ~pool ()))))
+    [ 1; 2; 3; 4; 8 ]
+
+let test_beam_one_keeps_single_entry_per_subset () =
+  let relations = 5 in
+  let catalog = star_catalog ~relations and query = star_query ~relations in
+  let lrn = warmed_learner () in
+  let _, stats =
+    Search.optimize_entries ~model:Model.deep ~learner:lrn ~beam:1 Search.Deep
+      catalog query
+  in
+  List.iter
+    (fun (lv : Search.level_stat) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "level %d kept <= subproblems" lv.Search.level)
+        true
+        (lv.Search.level_kept <= lv.Search.subproblems))
+    stats.Search.levels;
+  Alcotest.(check bool) "beam=0 rejected" true
+    (match
+       Search.optimize_entries ~learner:lrn ~beam:0 Search.Deep catalog query
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- cold start ------------------------------------------------------- *)
+
+let test_cold_model_is_exhaustive () =
+  let relations = 5 in
+  let catalog = star_catalog ~relations and query = star_query ~relations in
+  let cold = Learner.create () in
+  let exhaustive =
+    Search.optimize_entries ~model:Model.deep Search.Deep catalog query
+  in
+  let entries, stats =
+    Search.optimize_entries ~model:Model.deep ~learner:cold ~beam:2 Search.Deep
+      catalog query
+  in
+  Alcotest.(check bool) "cold flag set" true stats.Search.learner_cold;
+  Alcotest.(check bool) "no beam width reported" true
+    (stats.Search.beam_width = None);
+  Alcotest.(check int) "nothing scored" 0 stats.Search.learner_scored;
+  (* Same enumeration as a learner-free search, bar the cold flag. *)
+  Alcotest.(check int) "same candidates as exhaustive"
+    (snd exhaustive).Search.plans_considered stats.Search.plans_considered;
+  Alcotest.(check string) "same chosen plan"
+    (Format.asprintf "%a" Physical.pp
+       (Pareto.cheapest (fst exhaustive)).Pareto.plan)
+    (Format.asprintf "%a" Physical.pp (Pareto.cheapest entries).Pareto.plan);
+  Alcotest.(check bool) "no cold flag without a learner" true
+    (not (snd exhaustive).Search.learner_cold)
+
+(* --- the engine guardrail -------------------------------------------- *)
+
+(* S.b drawn from Zipf(1.0): the measured catalog assumes b is uniform,
+   so [b <= 9] is misestimated ~39x — every gated execution trips the
+   q-error guardrail. *)
+let skewed_db () =
+  let rng = Rng.create ~seed:2020 in
+  let pair =
+    Datagen.fk_pair ~rng ~r_rows:2_500 ~s_rows:9_000 ~r_groups:2_000
+      ~r_sorted:false ~s_sorted:false ~dense:true
+  in
+  let r_id =
+    Dqo_data.Int_col.to_array (Relation.int_col pair.Datagen.s "r_id")
+  in
+  let b =
+    Datagen.zipf_keys ~rng ~n:(Array.length r_id) ~groups:1_000 ~theta:1.0 ()
+  in
+  let s =
+    Relation.create
+      (Relation.schema pair.Datagen.s)
+      [ Column.of_ints (Array.copy r_id); Column.of_int_col b ]
+  in
+  let db = Engine.create () in
+  Engine.register db ~name:"R" pair.Datagen.r;
+  Engine.register db ~name:"S" s;
+  db
+
+let misestimated_sql = "SELECT b, COUNT(*) AS c FROM S WHERE b <= 9 GROUP BY b"
+
+let test_guardrail_widens_to_exhaustive () =
+  let db = skewed_db () in
+  let expected = Dqo_serve.Wire.digest (Engine.run_sql db misestimated_sql) in
+  Engine.set_opts db
+    {
+      Engine.default_opts with
+      Engine.learner = true;
+      beam_width = 2;
+      qerror_threshold = 1.5;
+    };
+  Alcotest.(check int) "no widenings yet" 0 (Engine.beam_widenings db);
+  Alcotest.(check bool) "beam configured" true
+    (Engine.effective_beam db = Some 2);
+  (* Each analysed run trains the model; once it is ready, every gated
+     execution of this misestimated query regresses past the threshold
+     and doubles the beam — 2, 4, ..., 32, then off the cap entirely. *)
+  for i = 1 to 10 do
+    Alcotest.(check string)
+      (Printf.sprintf "run %d result correct" i)
+      expected
+      (Dqo_serve.Wire.digest (Engine.run_sql db misestimated_sql))
+  done;
+  Alcotest.(check bool) "model trained" true
+    (Learner.observations (Engine.learner db) > 0);
+  Alcotest.(check bool) "guardrail widened" true (Engine.beam_widenings db > 0);
+  Alcotest.(check bool) "widened past the cap: exhaustive again" true
+    (Engine.effective_beam db = None);
+  (* Learner off: the widening state is ignored, nothing is gated. *)
+  Engine.set_opts db Engine.default_opts;
+  Alcotest.(check bool) "learner off: no beam" true
+    (Engine.effective_beam db = None);
+  Alcotest.(check string) "learner off result" expected
+    (Dqo_serve.Wire.digest (Engine.run_sql db misestimated_sql))
+
+let test_engine_gates_when_warm () =
+  let db = skewed_db () in
+  Engine.set_opts db
+    { Engine.default_opts with Engine.learner = true; beam_width = 4 }
+  (* qerror_threshold stays at the default 2.0 — but the misestimate
+     still trips it, so keep the beam wide and count runs instead. *);
+  Alcotest.(check bool) "cold engine not gated" true
+    (Engine.effective_beam db = Some 4
+    && not (Learner.ready (Engine.learner db)));
+  ignore (Engine.run_sql db misestimated_sql);
+  ignore (Engine.run_sql db misestimated_sql);
+  Alcotest.(check bool) "engine learner warm after analysed runs" true
+    (Learner.ready (Engine.learner db));
+  (* Toggling the learner off and on preserves what was learned — same
+     lifecycle contract as the feedback corrections store. *)
+  let n = Learner.observations (Engine.learner db) in
+  Engine.set_opts db Engine.default_opts;
+  ignore (Engine.run_sql db misestimated_sql);
+  Alcotest.(check int) "off: no training" n
+    (Learner.observations (Engine.learner db));
+  Engine.set_opts db
+    { Engine.default_opts with Engine.learner = true; beam_width = 4 };
+  Alcotest.(check bool) "observations survive the toggle" true
+    (Learner.observations (Engine.learner db) = n
+    && Learner.ready (Engine.learner db))
+
+let () =
+  Alcotest.run "dqo_learn"
+    [
+      ( "features",
+        [ Alcotest.test_case "total over props shapes" `Quick
+            test_featurize_total ] );
+      ( "training",
+        [
+          Alcotest.test_case "converges on linear signal" `Quick
+            test_converges_on_linear_signal;
+        ] );
+      ( "beam-gate",
+        [
+          Alcotest.test_case "deterministic across pools" `Quick
+            test_beam_deterministic_across_pools;
+          Alcotest.test_case "beam=1 and beam=0 edges" `Quick
+            test_beam_one_keeps_single_entry_per_subset;
+          Alcotest.test_case "cold model is exhaustive" `Quick
+            test_cold_model_is_exhaustive;
+        ] );
+      ( "guardrail",
+        [
+          Alcotest.test_case "widens to exhaustive under skew" `Quick
+            test_guardrail_widens_to_exhaustive;
+          Alcotest.test_case "engine gates when warm" `Quick
+            test_engine_gates_when_warm;
+        ] );
+    ]
