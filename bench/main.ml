@@ -30,6 +30,7 @@ module Logical = Dqo_plan.Logical
 module Physical = Dqo_plan.Physical
 module Catalog = Dqo_opt.Catalog
 module Search = Dqo_opt.Search
+module Hier = Dqo_opt.Hier
 module Pareto = Dqo_opt.Pareto
 module Model = Dqo_cost.Model
 module Json = Dqo_obs.Json
@@ -46,6 +47,7 @@ let feedback_records : Json.t list ref = ref []
 let advisor_records : Json.t list ref = ref []
 let paper_scale_records : Json.t list ref = ref []
 let learned_records : Json.t list ref = ref []
+let hier_records : Json.t list ref = ref []
 
 (* ------------------------------------------------------------------ *)
 (* Figure 4: grouping performance on four dataset shapes.             *)
@@ -938,6 +940,260 @@ let bench_learned () =
      gated search is byte-identical across pool sizes.\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* Hierarchical planning: graph-partitioned DP vs the exhaustive one.  *)
+
+(* Real-data snowflake: a hub with one fk column per chain, each chain
+   a fk -> pk path of dense-keyed tables.  Every join is fk -> pk, so
+   intermediates stay at hub size and the small shapes are cheap to
+   execute and digest-compare.  Alternate tables get shuffled keys so
+   sortedness differs per leaf and Pareto frontiers stay plural.
+   Column names are globally unique (c<chain>t<pos>_...). *)
+let snowflake_db ~chains ~hub_rows ~rows =
+  let rng = Rng.create ~seed:77 in
+  let db = Dqo_engine.Engine.create () in
+  let hub_schema =
+    Dqo_data.Schema.of_names
+      (("snow_k", Dqo_data.Schema.T_int)
+      :: List.mapi
+           (fun c _ -> (Printf.sprintf "snow_f%d" c, Dqo_data.Schema.T_int))
+           chains)
+  in
+  let hub_cols =
+    Dqo_data.Column.of_ints (Array.init hub_rows (fun i -> i))
+    :: List.map
+         (fun _ ->
+           Dqo_data.Column.of_ints
+             (Array.init hub_rows (fun _ -> Rng.int rng rows)))
+         chains
+  in
+  Dqo_engine.Engine.register db ~name:"Snow"
+    (Dqo_data.Relation.create hub_schema hub_cols);
+  List.iteri
+    (fun c len ->
+      for j = 1 to len do
+        let keys = Array.init rows (fun i -> i) in
+        if (c + j) mod 2 = 1 then Rng.shuffle rng keys;
+        let names, cols =
+          if j < len then
+            ( [
+                (Printf.sprintf "c%dt%d_k" c j, Dqo_data.Schema.T_int);
+                (Printf.sprintf "c%dt%d_f" c j, Dqo_data.Schema.T_int);
+              ],
+              [
+                Dqo_data.Column.of_ints keys;
+                Dqo_data.Column.of_ints
+                  (Array.init rows (fun _ -> Rng.int rng rows));
+              ] )
+          else
+            ([ (Printf.sprintf "c%dt%d_k" c j, Dqo_data.Schema.T_int) ],
+             [ Dqo_data.Column.of_ints keys ])
+        in
+        Dqo_engine.Engine.register db
+          ~name:(Printf.sprintf "C%dT%d" c j)
+          (Dqo_data.Relation.create (Dqo_data.Schema.of_names names) cols)
+      done)
+    chains;
+  db
+
+let snowflake_query ~chains =
+  let q = ref (Logical.scan "Snow") in
+  List.iteri
+    (fun c len ->
+      q :=
+        Logical.join !q
+          (Logical.scan (Printf.sprintf "C%dT1" c))
+          ~on:(Printf.sprintf "snow_f%d" c, Printf.sprintf "c%dt1_k" c);
+      for j = 2 to len do
+        q :=
+          Logical.join !q
+            (Logical.scan (Printf.sprintf "C%dT%d" c j))
+            ~on:
+              ( Printf.sprintf "c%dt%d_f" c (j - 1),
+                Printf.sprintf "c%dt%d_k" c j )
+      done)
+    chains;
+  Logical.group_by !q ~key:"snow_k" [ Logical.count_star () ]
+
+(* hub + chains: 1 + sum = relations. *)
+let snowflake_shapes =
+  [
+    (16, [ 5; 5; 5 ]);
+    (24, [ 8; 8; 7 ]);
+    (40, [ 8; 8; 8; 8; 7 ]);
+    (80, [ 10; 10; 10; 10; 10; 10; 10; 9 ]);
+  ]
+
+let bench_hier ~exhaustive_cap ~max_relations =
+  Printf.printf
+    "-- Hierarchical planning: graph-partitioned DP vs exhaustive --\n";
+  let renders entries =
+    List.map
+      (fun (e : Pareto.entry) ->
+        Format.asprintf "%a" Physical.pp e.Pareto.plan)
+      entries
+  in
+  let digest_of db (e : Pareto.entry) =
+    Dqo_serve.Wire.digest (Dqo_engine.Engine.execute db e.Pareto.plan)
+  in
+  (* Identity: one partition must be byte-identical to the exhaustive
+     search — same frontier, same plans, same execution digest — for
+     any pool size; and a forced multi-partition split must still
+     execute to the same digest at near-exhaustive cost. *)
+  let chains = [ 3; 3; 3 ] in
+  let db = snowflake_db ~chains ~hub_rows:2_000 ~rows:1_000 in
+  let catalog = Dqo_engine.Engine.catalog db in
+  let query = snowflake_query ~chains in
+  let ex_entries, _ =
+    Search.optimize_entries Search.Deep catalog query
+  in
+  let hi_entries, _, one_report =
+    Hier.optimize_entries ~partition_max:16 Search.Deep catalog query
+  in
+  let plan_identical = renders ex_entries = renders hi_entries in
+  let ex_best = Pareto.cheapest ex_entries in
+  let hi_best = Pareto.cheapest hi_entries in
+  let digests_identical =
+    String.equal (digest_of db ex_best) (digest_of db hi_best)
+  in
+  let pooled_identical =
+    List.for_all
+      (fun domains ->
+        Dqo_par.Pool.with_pool ~domains (fun pool ->
+            let entries, _, _ =
+              Hier.optimize_entries ~pool ~partition_max:16 Search.Deep
+                catalog query
+            in
+            renders entries = renders hi_entries))
+      [ 2; 4 ]
+  in
+  let sp_entries, _, sp_report =
+    Hier.optimize_entries ~partition_max:4 Search.Deep catalog query
+  in
+  let sp_best = Pareto.cheapest sp_entries in
+  let split_digest_identical =
+    String.equal (digest_of db ex_best) (digest_of db sp_best)
+  in
+  let split_cost_ratio =
+    sp_best.Pareto.cost /. Float.max 1.0 ex_best.Pareto.cost
+  in
+  hier_records :=
+    Json.Obj
+      [
+        ("kind", Json.String "identity");
+        ("relations", Json.Int 10);
+        ("partitions", Json.Int (List.length one_report.Hier.partitions));
+        ("plan_identical", Json.Bool plan_identical);
+        ("digests_identical", Json.Bool digests_identical);
+        ("pooled_identical", Json.Bool pooled_identical);
+        ("split_partitions", Json.Int (List.length sp_report.Hier.partitions));
+        ("split_digest_identical", Json.Bool split_digest_identical);
+        ("split_cost_ratio", Json.Float split_cost_ratio);
+      ]
+    :: !hier_records;
+  Printf.printf
+    "   identity (10 rel): 1-partition plans %s, digests %s, pooled %s; \
+     %d-partition split digest %s (cost ratio %.3f)\n"
+    (if plan_identical then "identical" else "DIVERGED")
+    (if digests_identical then "identical" else "DIVERGED")
+    (if pooled_identical then "identical" else "DIVERGED")
+    (List.length sp_report.Hier.partitions)
+    (if split_digest_identical then "identical" else "DIVERGED")
+    split_cost_ratio;
+  (* Sweep: planning time hierarchical vs exhaustive as the snowflake
+     grows.  The exhaustive arm is skipped past --hier-exhaustive-cap
+     (the 3^n wall is the point), the whole shape past
+     --hier-max-relations (CI time bound). *)
+  let table =
+    Table_printer.create
+      ~header:
+        [ "relations"; "parts"; "hier ms"; "exhaustive ms"; "speedup";
+          "cost ratio" ]
+  in
+  List.iter
+    (fun (relations, chains) ->
+      if relations <= max_relations then begin
+        let db = snowflake_db ~chains ~hub_rows:2_000 ~rows:1_000 in
+        let catalog = Dqo_engine.Engine.catalog db in
+        let query = snowflake_query ~chains in
+        let (hi_entries, hi_stats, report), hi_samples =
+          Timer.times
+            ~repeats:(if relations >= 40 then 1 else 3)
+            (fun () ->
+              Hier.optimize_entries ~partition_max:12 Search.Deep catalog
+                query)
+        in
+        let hi_best = Pareto.cheapest hi_entries in
+        let hier_ms = Stats.median hi_samples in
+        let exhaustive =
+          if relations > exhaustive_cap then None
+          else
+            let (ex_entries, ex_stats), ex_samples =
+              Timer.times
+                ~repeats:(if relations >= 20 then 1 else 3)
+                (fun () ->
+                  Search.optimize_entries Search.Deep catalog query)
+            in
+            Some (Pareto.cheapest ex_entries, ex_stats, Stats.median ex_samples)
+        in
+        let record =
+          [
+            ("kind", Json.String "sweep");
+            ("relations", Json.Int relations);
+            ("partition_max", Json.Int 12);
+            ("partitions", Json.Int (List.length report.Hier.partitions));
+            ("cut_predicates", Json.Int report.Hier.cut_predicates);
+            ("hier_ms", Json.Float hier_ms);
+            ("hier_cost", Json.Float hi_best.Pareto.cost);
+            ("hier_candidates", Json.Int hi_stats.Search.plans_considered);
+          ]
+          @
+          match exhaustive with
+          | None ->
+            [
+              ("exhaustive_ms", Json.Null); ("exhaustive_cost", Json.Null);
+              ("speedup", Json.Null); ("cost_ratio", Json.Null);
+            ]
+          | Some (ex_best, ex_stats, ex_ms) ->
+            let speedup = ex_ms /. Float.max 0.001 hier_ms in
+            let cost_ratio =
+              hi_best.Pareto.cost /. Float.max 1.0 ex_best.Pareto.cost
+            in
+            [
+              ("exhaustive_ms", Json.Float ex_ms);
+              ("exhaustive_cost", Json.Float ex_best.Pareto.cost);
+              ( "exhaustive_candidates",
+                Json.Int ex_stats.Search.plans_considered );
+              ("speedup", Json.Float speedup);
+              ("cost_ratio", Json.Float cost_ratio);
+              ("cost_ok", Json.Bool (cost_ratio <= 1.1));
+            ]
+        in
+        hier_records := Json.Obj record :: !hier_records;
+        Table_printer.add_row table
+          ([
+             string_of_int relations;
+             string_of_int (List.length report.Hier.partitions);
+             Printf.sprintf "%.1f" hier_ms;
+           ]
+          @
+          match exhaustive with
+          | None -> [ "(skipped)"; "-"; "-" ]
+          | Some (ex_best, _, ex_ms) ->
+            [
+              Printf.sprintf "%.1f" ex_ms;
+              Printf.sprintf "%.1fx" (ex_ms /. Float.max 0.001 hier_ms);
+              Printf.sprintf "%.3f"
+                (hi_best.Pareto.cost /. Float.max 1.0 ex_best.Pareto.cost);
+            ])
+      end)
+    snowflake_shapes;
+  Table_printer.print table;
+  Printf.printf
+    "Hierarchical planning stays near-linear in partition count while the\n\
+     exhaustive DP hits the 3^n wall; past 63 relations only the\n\
+     hierarchical route plans at all.\n\n"
+
+(* ------------------------------------------------------------------ *)
 (* Serving throughput: closed-loop clients against one shared server.  *)
 
 let serve_quantile sorted q =
@@ -1637,6 +1893,9 @@ let () =
   let run_scaling = ref false in
   let run_opt_scaling = ref false in
   let run_learned = ref false in
+  let run_hier = ref false in
+  let hier_exhaustive_cap = ref 24 in
+  let hier_max_relations = ref 80 in
   let run_serve = ref false in
   let run_feedback = ref false in
   let run_advisor = ref false in
@@ -1682,6 +1941,22 @@ let () =
             all := false),
         "  run the learned-pruning sweep: beam-gated join DP vs exhaustive \
          on the 7-relation star and 8/10-relation chains" );
+      ( "--hier",
+        Arg.Unit
+          (fun () ->
+            run_hier := true;
+            all := false),
+        "  run the hierarchical-planning sweep: graph-partitioned DP vs \
+         exhaustive on 16/24/40/80-relation snowflakes, plus the \
+         10-relation one-partition identity check" );
+      ( "--hier-exhaustive-cap",
+        Arg.Set_int hier_exhaustive_cap,
+        "N  largest snowflake the --hier sweep also plans exhaustively \
+         (default 24; the 3^n wall is the point)" );
+      ( "--hier-max-relations",
+        Arg.Set_int hier_max_relations,
+        "N  largest snowflake the --hier sweep plans at all (default 80; \
+         lower it to bound CI time)" );
       ( "--figure",
         Arg.Int
           (fun i ->
@@ -1776,6 +2051,9 @@ let () =
   if !run_scaling then parallel_scaling ~rows:(min rows 4_000_000) ~threads:!threads;
   if !run_opt_scaling then optimizer_scaling ~threads:!threads;
   if !run_learned then bench_learned ();
+  if !run_hier then
+    bench_hier ~exhaustive_cap:!hier_exhaustive_cap
+      ~max_relations:!hier_max_relations;
   if !run_serve then
     bench_serve ~threads:(max 1 !threads) ~clients:!clients
       ~requests:!requests;
@@ -1797,20 +2075,23 @@ let () =
     parallel_scaling ~rows:(min rows 4_000_000) ~threads:!threads;
     optimizer_scaling ~threads:!threads;
     bench_learned ();
+    bench_hier ~exhaustive_cap:!hier_exhaustive_cap
+      ~max_relations:!hier_max_relations;
     bench_feedback ~rounds:(max 2 !feedback_rounds);
     bechamel ~rows:(min rows 200_000)
   end;
   match !json_path with
   | None -> ()
   | Some path ->
-    (* schema_version 8: adds "learned" and per-level stats in
-       "optimizer_scaling" (v7 added "paper_scale"; v6 "advisor"; v5
-       "feedback"; v4 "optimizer_scaling"; v3 "serving"; v2 "threads"
-       and "parallel_scaling"). *)
+    (* schema_version 9: adds "hierarchical_planning" (v8 added
+       "learned" and per-level stats in "optimizer_scaling"; v7
+       "paper_scale"; v6 "advisor"; v5 "feedback"; v4
+       "optimizer_scaling"; v3 "serving"; v2 "threads" and
+       "parallel_scaling"). *)
     Json.to_file path
       (Json.Obj
          [
-           ("schema_version", Json.Int 8);
+           ("schema_version", Json.Int 9);
            ("rows", Json.Int rows);
            ("threads", Json.Int !threads);
            ("figure4", Json.List (List.rev !fig4_records));
@@ -1818,6 +2099,7 @@ let () =
            ("parallel_scaling", Json.List (List.rev !scaling_records));
            ("optimizer_scaling", Json.List (List.rev !opt_scaling_records));
            ("learned", Json.List (List.rev !learned_records));
+           ("hierarchical_planning", Json.List (List.rev !hier_records));
            ("serving", Json.List (List.rev !serve_records));
            ("feedback", Json.List (List.rev !feedback_records));
            ("advisor", Json.List (List.rev !advisor_records));

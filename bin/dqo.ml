@@ -141,11 +141,39 @@ let threads_arg =
            domains.  Results are identical to $(docv)=1; speedup needs \
            multicore hardware.")
 
+let hier_arg =
+  Arg.(
+    value & flag
+    & info [ "hier" ]
+        ~doc:
+          "Plan joins hierarchically: partition the join graph (partitions \
+           of at most $(b,--partition-max) relations), solve each partition \
+           with the exact DP, and stitch the partition plans over the \
+           quotient graph.  Queries joining more than \
+           $(b,--hier-threshold) relations take this route even without \
+           the flag.")
+
+let partition_max_arg =
+  Arg.(
+    value & opt int 12
+    & info [ "partition-max" ] ~docv:"K"
+        ~doc:
+          "Largest partition the hierarchical planner's greedy partitioner \
+           may grow (bounds per-partition DP cost).")
+
+let hier_threshold_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "hier-threshold" ] ~docv:"N"
+        ~doc:
+          "Queries joining more than $(docv) relations plan hierarchically \
+           even without $(b,--hier).")
+
 (* ------------------------------------------------------------------ *)
 
 let run_cmd =
-  let action sql mode threads feedback learned beam r_rows s_rows groups
-      sorted sparse skew seed =
+  let action sql mode threads feedback learned beam hier partition_max
+      hier_threshold r_rows s_rows groups sorted sparse skew seed =
     let db = make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~skew ~seed in
     Dqo_engine.Engine.set_opts db
       {
@@ -155,6 +183,9 @@ let run_cmd =
         feedback;
         learner = learned;
         beam_width = beam;
+        hier;
+        partition_max;
+        hier_threshold;
       };
     let result, ms =
       Dqo_util.Timer.time_ms (fun () ->
@@ -185,12 +216,14 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Optimise and execute a SQL query.")
     Term.(
       const action $ sql_arg $ mode_arg $ threads_arg $ feedback_arg
-      $ learned_arg $ beam_arg $ r_rows $ s_rows $ groups $ sorted $ sparse
+      $ learned_arg $ beam_arg $ hier_arg $ partition_max_arg
+      $ hier_threshold_arg $ r_rows $ s_rows $ groups $ sorted $ sparse
       $ skew $ seed)
 
 let explain_cmd =
-  let action sql analyze mode threads feedback learned beam json r_rows
-      s_rows groups sorted sparse skew seed =
+  let action sql analyze mode threads feedback learned beam hier
+      partition_max hier_threshold json r_rows s_rows groups sorted sparse
+      skew seed =
     let db = make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~skew ~seed in
     (* [--threads n] also parallelises the plan search itself: the
        SQO-vs-DQO comparison below picks the option up from the engine
@@ -203,6 +236,9 @@ let explain_cmd =
         feedback;
         learner = learned;
         beam_width = beam;
+        hier;
+        partition_max;
+        hier_threshold;
       };
     if analyze then begin
       let plan =
@@ -213,7 +249,8 @@ let explain_cmd =
         print_string
           (Dqo_opt.Explain.render_analysis
              ~cost:a.Dqo_engine.Engine.entry.Dqo_opt.Pareto.cost
-             ~stats:a.Dqo_engine.Engine.search_stats a.Dqo_engine.Engine.root)
+             ~stats:a.Dqo_engine.Engine.search_stats
+             ?hier:a.Dqo_engine.Engine.hier a.Dqo_engine.Engine.root)
       in
       let a = analyze_once () in
       render a;
@@ -274,7 +311,8 @@ let explain_cmd =
           actual per-node cardinalities.")
     Term.(
       const action $ sql_arg $ analyze $ mode_arg $ threads_arg $ feedback_arg
-      $ learned_arg $ beam_arg $ json $ r_rows $ s_rows $ groups $ sorted
+      $ learned_arg $ beam_arg $ hier_arg $ partition_max_arg
+      $ hier_threshold_arg $ json $ r_rows $ s_rows $ groups $ sorted
       $ sparse $ skew $ seed)
 
 let granules_cmd =
@@ -374,9 +412,9 @@ let avsp_cmd =
       $ seed)
 
 let serve_cmd =
-  let action mode threads feedback qerror_threshold learned beam workers
-      max_inflight advisor av_budget advisor_interval r_rows s_rows groups
-      sorted sparse skew seed =
+  let action mode threads feedback qerror_threshold learned beam hier
+      partition_max hier_threshold workers max_inflight advisor av_budget
+      advisor_interval r_rows s_rows groups sorted sparse skew seed =
     let db = make_db ~r_rows ~s_rows ~groups ~sorted ~sparse ~skew ~seed in
     Dqo_engine.Engine.set_opts db
       {
@@ -386,6 +424,9 @@ let serve_cmd =
         qerror_threshold;
         learner = learned;
         beam_width = beam;
+        hier;
+        partition_max;
+        hier_threshold;
       };
     let advisor_cfg =
       if advisor then
@@ -467,7 +508,8 @@ let serve_cmd =
           advise, stats, quit.")
     Term.(
       const action $ mode_arg $ threads_arg $ feedback_arg
-      $ qerror_threshold_arg $ learned_arg $ beam_arg $ workers $ max_inflight
+      $ qerror_threshold_arg $ learned_arg $ beam_arg $ hier_arg
+      $ partition_max_arg $ hier_threshold_arg $ workers $ max_inflight
       $ advisor $ av_budget $ advisor_interval $ r_rows $ s_rows $ groups
       $ sorted $ sparse $ skew $ seed)
 

@@ -19,7 +19,7 @@ dune exec bench/main.exe -- --rows 20000 --figure 4 --figure 5 --scaling \
   --advisor --json "$out" > /dev/null
 
 test -s "$out" || { echo "ci: $out is empty" >&2; exit 1; }
-grep -q '"schema_version": 8' "$out" || { echo "ci: missing schema_version 8" >&2; exit 1; }
+grep -q '"schema_version": 9' "$out" || { echo "ci: missing schema_version 9" >&2; exit 1; }
 grep -q '"threads": 2' "$out" || { echo "ci: missing threads" >&2; exit 1; }
 grep -q '"figure4"' "$out" || { echo "ci: missing figure4" >&2; exit 1; }
 grep -q '"figure5"' "$out" || { echo "ci: missing figure5" >&2; exit 1; }
@@ -89,19 +89,56 @@ sed 's/.*"reduction_factor": \([0-9.eE+-]*\).*/\1/;t;d' "$ln_out" | head -1 \
   | awk '{exit !($1 >= 3.0)}' \
   || { echo "ci: star candidate reduction below 3x" >&2; exit 1; }
 
+echo "== bench --hier smoke =="
+# Hierarchical planning: the one-partition run must be byte-identical
+# to the exhaustive search (plans, execution digests, pooled parity),
+# a forced multi-partition split must still execute to the same
+# digest, and the 40-relation snowflake must plan in bounded time
+# (the exhaustive arm is capped at the 10-relation identity schema).
+hr_out="$(mktemp -t bench_hier_XXXXXX.json)"
+trap 'rm -f "$out" "$ln_out" "$hr_out"' EXIT
+dune exec bench/main.exe -- --hier --hier-exhaustive-cap 10 \
+  --hier-max-relations 40 --json "$hr_out" > /dev/null
+
+grep -q '"hierarchical_planning"' "$hr_out" \
+  || { echo "ci: missing hierarchical_planning records" >&2; exit 1; }
+grep -q '"kind": "identity"' "$hr_out" \
+  || { echo "ci: hier sweep has no identity record" >&2; exit 1; }
+grep -q '"plan_identical": true' "$hr_out" \
+  || { echo "ci: hier one-partition identity not confirmed" >&2; exit 1; }
+if grep -q '"plan_identical": false' "$hr_out"; then
+  echo "ci: one-partition hierarchical plan diverged from exhaustive" >&2; exit 1
+fi
+if grep -q '"digests_identical": false' "$hr_out"; then
+  echo "ci: hierarchical and exhaustive plans produced different results" >&2; exit 1
+fi
+if grep -q '"pooled_identical": false' "$hr_out"; then
+  echo "ci: hierarchical search diverged across pool sizes" >&2; exit 1
+fi
+if grep -q '"split_digest_identical": false' "$hr_out"; then
+  echo "ci: multi-partition hierarchical plan changed the result" >&2; exit 1
+fi
+grep -q '"relations": 40' "$hr_out" \
+  || { echo "ci: hier sweep is missing the 40-relation snowflake" >&2; exit 1; }
+# The 40-relation hierarchical plan must land in bounded time (< 60 s;
+# exhaustive DP would not finish at all).
+awk '/"relations": 40/{f=1} f && /"hier_ms":/{gsub(/[",]/,""); print $2; exit}' "$hr_out" \
+  | awk 'NR==1{exit !($1 < 60000)} END{if (NR==0) exit 1}' \
+  || { echo "ci: 40-relation hierarchical planning took over 60s (or no timing)" >&2; exit 1; }
+
 echo "== bench --paper-scale smoke =="
 # The paper-scale sweep at a reduced row count: flat and chunked
 # Bigarray backends must produce byte-identical digests across the
 # grouping and join sweeps, including the parallel grouping arm.
 ps_out="$(mktemp -t bench_paper_XXXXXX.json)"
 ps_log="$(mktemp -t bench_paper_XXXXXX.log)"
-trap 'rm -f "$out" "$ln_out" "$ps_out" "$ps_log"' EXIT
+trap 'rm -f "$out" "$ln_out" "$hr_out" "$ps_out" "$ps_log"' EXIT
 dune exec bench/main.exe -- --paper-scale --rows 2000000 --threads 2 \
   --json "$ps_out" > "$ps_log"
 grep -q 'digest parity: OK' "$ps_log" \
   || { echo "ci: paper-scale digest parity not confirmed" >&2; exit 1; }
-grep -q '"schema_version": 8' "$ps_out" \
-  || { echo "ci: paper-scale JSON missing schema_version 8" >&2; exit 1; }
+grep -q '"schema_version": 9' "$ps_out" \
+  || { echo "ci: paper-scale JSON missing schema_version 9" >&2; exit 1; }
 grep -q '"paper_scale"' "$ps_out" \
   || { echo "ci: paper-scale JSON missing paper_scale records" >&2; exit 1; }
 grep -q '"backend": "chunked32"' "$ps_out" \
@@ -135,7 +172,7 @@ test "$ex1" = "$ex2" \
 
 echo "== dqo serve --threads 2 smoke =="
 serve_out="$(mktemp -t serve_smoke_XXXXXX.txt)"
-trap 'rm -f "$out" "$ln_out" "$ps_out" "$ps_log" "$serve_out"' EXIT
+trap 'rm -f "$out" "$ln_out" "$hr_out" "$ps_out" "$ps_log" "$serve_out"' EXIT
 printf 'open\nopen\nprepare 1 SELECT a, COUNT(*) AS c FROM R JOIN S ON id = r_id GROUP BY a\nprepare 2 SELECT a, COUNT(*) AS c FROM R JOIN S ON id = r_id GROUP BY a\nsubmit 1 1\nsubmit 2 1\nsubmit 1 1\nsubmit 2 1\nwait 1\nwait 2\nwait 3\nwait 4\nstats\nclose 1\nclose 2\nquit\n' \
   | dune exec bin/dqo.exe -- serve --threads 2 --r-rows 2000 --s-rows 6000 \
       --groups 1500 > "$serve_out"
@@ -156,7 +193,7 @@ echo "== dqo serve --feedback smoke =="
 # execution learns corrections, the second finds the cached statement
 # drifted and replans it server-side before running.
 fb_out="$(mktemp -t serve_feedback_XXXXXX.txt)"
-trap 'rm -f "$out" "$ln_out" "$ps_out" "$ps_log" "$serve_out" "$fb_out"' EXIT
+trap 'rm -f "$out" "$ln_out" "$hr_out" "$ps_out" "$ps_log" "$serve_out" "$fb_out"' EXIT
 printf 'open\nprepare 1 SELECT b, COUNT(*) AS c FROM S WHERE b <= 9 GROUP BY b\nexec 1 1\nstats\nexec 1 1\nstats\nclose 1\nquit\n' \
   | dune exec bin/dqo.exe -- serve --feedback --skew 1.0 --r-rows 2000 \
       --s-rows 6000 --groups 1500 > "$fb_out"
@@ -176,7 +213,7 @@ echo "== dqo serve --advisor smoke =="
 # and the execution after it must replan transparently and digest
 # byte-identically to the ones before.
 adv_out="$(mktemp -t serve_advisor_XXXXXX.txt)"
-trap 'rm -f "$out" "$ln_out" "$ps_out" "$ps_log" "$serve_out" "$fb_out" "$adv_out"' EXIT
+trap 'rm -f "$out" "$ln_out" "$hr_out" "$ps_out" "$ps_log" "$serve_out" "$fb_out" "$adv_out"' EXIT
 printf 'open\nprepare 1 SELECT b, COUNT(*) AS c FROM S GROUP BY b\nexec 1 1\nexec 1 1\nexec 1 1\nexec 1 1\nadvise\nexec 1 1\nstats\nclose 1\nquit\n' \
   | dune exec bin/dqo.exe -- serve --advisor --skew 1.0 --r-rows 2000 \
       --s-rows 6000 --groups 1500 > "$adv_out"

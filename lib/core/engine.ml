@@ -20,6 +20,9 @@ type opts = {
   qerror_threshold : float;
   learner : bool;
   beam_width : int;
+  hier : bool;
+  hier_threshold : int;
+  partition_max : int;
 }
 
 let default_opts =
@@ -30,6 +33,9 @@ let default_opts =
     qerror_threshold = 2.0;
     learner = false;
     beam_width = 4;
+    hier = false;
+    hier_threshold = 16;
+    partition_max = 12;
   }
 
 let check_opts o =
@@ -37,6 +43,8 @@ let check_opts o =
   if o.qerror_threshold < 1.0 then
     invalid_arg "Engine.opts: qerror_threshold < 1.0";
   if o.beam_width < 1 then invalid_arg "Engine.opts: beam_width < 1";
+  if o.hier_threshold < 1 then invalid_arg "Engine.opts: hier_threshold < 1";
+  if o.partition_max < 1 then invalid_arg "Engine.opts: partition_max < 1";
   o
 
 type t = {
@@ -153,6 +161,12 @@ let relation t name =
 
 let catalog t = t.catalog
 
+(* Whether [l] should be planned hierarchically: opted in explicitly,
+   or past the relation-count threshold beyond which the exhaustive
+   DP's cost blows up. *)
+let hier_route t l =
+  t.opts.hier || List.length (Logical.relations l) > t.opts.hier_threshold
+
 (* Planning honours the same parallel-runtime conventions as execution:
    an explicit pool (the [_on] variants, e.g. the server's long-lived
    pool) wins, otherwise [opts.threads]; the DP search fans its levels
@@ -172,19 +186,21 @@ let plan_in t ?pool ?threads mode l =
     | Some b -> (Some t.value_model, Some b)
     | None -> (None, None)
   in
+  let search ?pool () =
+    if hier_route t l then
+      fst
+        (Dqo_opt.Hier.optimize ~model:t.model ?pool ?feedback ?learner ?beam
+           ~partition_max:t.opts.partition_max search_mode t.catalog l)
+    else
+      Dqo_opt.Search.optimize ~model:t.model ?pool ?feedback ?learner ?beam
+        search_mode t.catalog l
+  in
   match pool with
-  | Some _ ->
-    Dqo_opt.Search.optimize ~model:t.model ?pool ?feedback ?learner ?beam
-      search_mode t.catalog l
+  | Some _ -> search ?pool ()
   | None ->
     let threads = resolve_threads t threads in
-    if threads = 1 then
-      Dqo_opt.Search.optimize ~model:t.model ?feedback ?learner ?beam
-        search_mode t.catalog l
-    else
-      Dqo_par.Pool.with_pool ~domains:threads (fun pool ->
-          Dqo_opt.Search.optimize ~model:t.model ~pool ?feedback ?learner
-            ?beam search_mode t.catalog l)
+    if threads = 1 then search ()
+    else Dqo_par.Pool.with_pool ~domains:threads (fun pool -> search ~pool ())
 
 let plan t mode l = plan_in t mode l
 let plan_on t ~pool mode l = plan_in t ~pool mode l
@@ -717,6 +733,7 @@ type analysis = {
   result : Relation.t;
   search_stats : Dqo_opt.Search.stats;
   metrics : Dqo_obs.Metrics.t;
+  hier : Dqo_opt.Hier.report option;
 }
 
 let explain_analyze t l =
@@ -740,11 +757,22 @@ let explain_analyze t l =
   in
   let gated = gated_planning t in
   let go ?pool () =
-    let entries, search_stats =
+    let entries, search_stats, hier =
       Dqo_obs.Metrics.span metrics "optimize" (fun () ->
-          Dqo_opt.Search.optimize_entries ~model:t.model ?pool ~metrics
-            ?feedback:(active_feedback t) ?learner ?beam search_mode
-            t.catalog l)
+          if hier_route t l then
+            let entries, stats, report =
+              Dqo_opt.Hier.optimize_entries ~model:t.model ?pool ~metrics
+                ?feedback:(active_feedback t) ?learner ?beam
+                ~partition_max:t.opts.partition_max search_mode t.catalog l
+            in
+            (entries, stats, Some report)
+          else
+            let entries, stats =
+              Dqo_opt.Search.optimize_entries ~model:t.model ?pool ~metrics
+                ?feedback:(active_feedback t) ?learner ?beam search_mode
+                t.catalog l
+            in
+            (entries, stats, None))
     in
     let entry = Dqo_opt.Pareto.cheapest entries in
     let result, root =
@@ -752,7 +780,7 @@ let explain_analyze t l =
           execute_analyzed_in t ~metrics ?pool ~threads ~gated
             entry.Dqo_opt.Pareto.plan)
     in
-    { entry; root; result; search_stats; metrics }
+    { entry; root; result; search_stats; metrics; hier }
   in
   if threads = 1 then go ()
   else Dqo_par.Pool.with_pool ~domains:threads (fun pool -> go ~pool ())
@@ -760,7 +788,7 @@ let explain_analyze t l =
 let explain_analyze_sql t sql =
   let a = explain_analyze t (Dqo_sql.Binder.plan_of_sql t.catalog sql) in
   Dqo_opt.Explain.render_analysis ~cost:a.entry.Dqo_opt.Pareto.cost
-    ~stats:a.search_stats a.root
+    ~stats:a.search_stats ?hier:a.hier a.root
 
 let analysis_to_json (a : analysis) =
   Dqo_obs.Json.Obj
@@ -768,6 +796,10 @@ let analysis_to_json (a : analysis) =
       ("estimated_cost", Dqo_obs.Json.Float a.entry.Dqo_opt.Pareto.cost);
       ("plan", Dqo_opt.Explain.analyzed_to_json a.root);
       ("optimizer", Dqo_opt.Search.stats_to_json a.search_stats);
+      ( "hier",
+        match a.hier with
+        | Some r -> Dqo_opt.Hier.report_to_json r
+        | None -> Dqo_obs.Json.Null );
       ("metrics", Dqo_obs.Metrics.to_json a.metrics);
     ]
 

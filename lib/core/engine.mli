@@ -50,6 +50,21 @@ type opts = {
   beam_width : int;
       (** Entries the beam gate keeps per join subset (default 4, at
           least 1); the guardrail doubles it per q-error regression. *)
+  hier : bool;
+      (** Force hierarchical join planning ({!Dqo_opt.Hier}): partition
+          the join graph, solve each partition with the exact DP, and
+          stitch the partitions over the quotient graph.  Off by
+          default — but see [hier_threshold], which routes big queries
+          hierarchically regardless. *)
+  hier_threshold : int;
+      (** Queries joining more than this many relations plan
+          hierarchically even with [hier = false] (default 16, at least
+          1) — the escape hatch that keeps the Θ(3{^n}) exhaustive DP
+          off 20-plus-relation (and beyond-64-relation) queries. *)
+  partition_max : int;
+      (** Largest partition the hierarchical planner's greedy
+          partitioner may grow (default 12, at least 1); each partition
+          is solved exactly, so this bounds per-partition DP cost. *)
 }
 (** Execution options carried by the engine handle.  Entry points read
     these options instead of taking scattered [?mode] / [?threads] /
@@ -64,20 +79,23 @@ type opts = {
 
 val default_opts : opts
 (** [{ mode = DQO; threads = 1; feedback = false;
-      qerror_threshold = 2.0; learner = false; beam_width = 4 }]. *)
+      qerror_threshold = 2.0; learner = false; beam_width = 4;
+      hier = false; hier_threshold = 16; partition_max = 12 }]. *)
 
 val create : ?model:Dqo_cost.Model.t -> ?opts:opts -> unit -> t
 (** Fresh engine; the cost model defaults to the paper's Table 2 and
     the execution options to {!default_opts}.
     @raise Invalid_argument if [opts.threads < 1],
-    [opts.qerror_threshold < 1.0], or [opts.beam_width < 1]. *)
+    [opts.qerror_threshold < 1.0], [opts.beam_width < 1],
+    [opts.hier_threshold < 1], or [opts.partition_max < 1]. *)
 
 val opts : t -> opts
 
 val set_opts : t -> opts -> unit
 (** Replace the handle's execution options.
     @raise Invalid_argument if [opts.threads < 1],
-    [opts.qerror_threshold < 1.0], or [opts.beam_width < 1]. *)
+    [opts.qerror_threshold < 1.0], [opts.beam_width < 1],
+    [opts.hier_threshold < 1], or [opts.partition_max < 1]. *)
 
 val corrections : t -> Dqo_cost.Feedback.t
 (** The handle's cardinality-correction store.  Always present;
@@ -115,7 +133,9 @@ val plan : t -> mode -> Dqo_plan.Logical.t -> Dqo_opt.Pareto.entry
 (** Optimise a logical plan without executing it.  With
     [opts.threads > 1] the DP search fans its per-cardinality levels
     over a per-call domain pool; the chosen plan is byte-identical for
-    any pool size. *)
+    any pool size.  Queries routed hierarchically — [opts.hier], or
+    more relations than [opts.hier_threshold] — plan through
+    {!Dqo_opt.Hier} with [opts.partition_max]. *)
 
 val plan_on :
   t -> pool:Dqo_par.Pool.t -> mode -> Dqo_plan.Logical.t -> Dqo_opt.Pareto.entry
@@ -192,6 +212,10 @@ type analysis = {
   result : Dqo_data.Relation.t;
   search_stats : Dqo_opt.Search.stats;
   metrics : Dqo_obs.Metrics.t;
+  hier : Dqo_opt.Hier.report option;
+      (** The partition report when the query planned hierarchically
+          ([opts.hier] or past [opts.hier_threshold]); [None] for
+          exhaustive searches. *)
 }
 (** Everything EXPLAIN ANALYZE observed about one query. *)
 

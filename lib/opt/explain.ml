@@ -214,7 +214,7 @@ let rec render_analyzed buf depth node =
        (Float.of_int node.wall_ns /. 1e6));
   List.iter (render_analyzed buf (depth + 1)) node.children
 
-let render_analysis ?cost ?stats root =
+let render_analysis ?cost ?stats ?hier root =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "=== EXPLAIN ANALYZE ===\n";
   render_analyzed buf 0 root;
@@ -254,6 +254,9 @@ let render_analysis ?cost ?stats root =
           Buffer.add_string buf
             "  learner: cold - exhaustive enumeration\n"
     end
+  | None -> ());
+  (match hier with
+  | Some (r : Hier.report) -> Buffer.add_string buf (Hier.render_report r)
   | None -> ());
   Buffer.contents buf
 

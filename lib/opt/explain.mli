@@ -80,12 +80,13 @@ val training_samples :
     that ranked the plan. *)
 
 val render_analysis : ?cost:float -> ?stats:Search.stats
-  -> analyzed -> string
+  -> ?hier:Hier.report -> analyzed -> string
 (** Human-readable EXPLAIN ANALYZE report: one row per node with
     estimated vs. actual rows, q-error, and cumulative time, plus the
     plan's estimated cost and the optimiser statistics when given —
     including, for the join DP, per-level pruning counts and the
     learned beam gate's activity (beam width, scored, pruned by
-    learner, or cold-fallback status). *)
+    learner, or cold-fallback status).  With [?hier], the hierarchical
+    partition tree ({!Hier.render_report}) is appended. *)
 
 val analyzed_to_json : analyzed -> Dqo_obs.Json.t

@@ -68,6 +68,10 @@ type ctx = {
      best-scored entries of each join subset survive into the next
      level. *)
   learner : (Learner.snapshot * int) option;
+  (* Pre-planned frontiers spliced in under a pseudo relation name —
+     the hierarchical optimiser's stitched join plans.  A [Scan] of a
+     listed name returns its frontier verbatim. *)
+  virtuals : (string * Pareto.entry list) list;
   mutable considered : int;
   mutable enforced : int;
   mutable pruned : int;
@@ -432,49 +436,22 @@ let rec leaf_label (l : Logical.t) =
     leaf_label t
   | Logical.Join _ -> "join"
 
-let rec plan_node ctx (l : Logical.t) : Pareto.entry list =
-  match l with
-  | Logical.Scan name ->
-    count ctx 1;
-    with_enforcers ctx ("scan(" ^ name ^ ")") ~generated:1
-      [ base_entry ctx name ]
-  | Logical.Select (t, col, p) ->
-    let inputs = plan_node ctx t in
-    let candidates = List.map (select_entry ctx col p) inputs in
-    count ctx (List.length candidates);
-    with_enforcers ctx
-      (Format.asprintf "select(%s %a)" col Filter.pp p)
-      ~generated:(List.length candidates) candidates
-  | Logical.Project (t, cols) ->
-    let inputs = plan_node ctx t in
-    let candidates = List.map (project_entry cols) inputs in
-    count ctx (List.length candidates);
-    record_step ctx
-      ("project(" ^ String.concat ", " cols ^ ")")
-      ~generated:(List.length candidates) ~enforcers:0
-      (Pareto.add_all [] candidates)
-  | Logical.Join _ -> join_dp ctx l
-  | Logical.Group_by (t, key, aggs) ->
-    let inputs = plan_node ctx t in
-    let candidates =
-      List.concat_map (fun e -> group_candidates ctx e key aggs) inputs
-    in
-    record_step ctx
-      ("group_by(" ^ key ^ ")")
-      ~generated:(List.length candidates) ~enforcers:0
-      (Pareto.add_all [] candidates)
+(* ------------------------------------------------------------------ *)
+(* The DP core, over pre-planned leaf frontiers.  [join_dp] feeds it
+   the per-leaf plans of one query; the hierarchical optimiser feeds it
+   partition frontiers as compound leaves.                              *)
 
-and join_dp ctx l =
-  let leaves, predicates = flatten_joins l in
-  let k = List.length leaves in
-  let leaf_sets = Array.of_list (List.map (plan_node ctx) leaves) in
+let dp_frontiers ctx ~leaf_names ~(leaf_sets : Pareto.entry list array)
+    ~predicates =
+  let k = Array.length leaf_sets in
+  if k = 0 then invalid_arg "Search: join DP needs at least one leaf";
   (* Column -> leaf index, from each leaf's property column lists. *)
   let col_leaf = Hashtbl.create 16 in
   Array.iteri
     (fun i entries ->
       match entries with
       | [] -> ()
-      | e :: _ ->
+      | (e : Pareto.entry) :: _ ->
         List.iter
           (fun (n, _) ->
             if not (Hashtbl.mem col_leaf n) then Hashtbl.add col_leaf n i)
@@ -509,54 +486,60 @@ and join_dp ctx l =
     in
     go 0
   in
+  (* Leaf adjacency from the resolved predicates, for the connected-
+     subset enumeration below. *)
+  let adj = Array.make k Bitset.empty in
+  Array.iter
+    (fun (ll, rl, _, _) ->
+      if ll <> rl then begin
+        adj.(ll) <- Bitset.add rl adj.(ll);
+        adj.(rl) <- Bitset.add ll adj.(rl)
+      end)
+    pred_endpoints;
   let memo = Hashtbl.create 64 in
   for i = 0 to k - 1 do
     Hashtbl.replace memo (Bitset.singleton i) leaf_sets.(i)
   done;
   let full = Bitset.full k in
-  let leaf_names = Array.of_list (List.map leaf_label leaves) in
   let subset_label s =
     "subset{"
     ^ String.concat ","
         (List.map (fun i -> leaf_names.(i)) (Bitset.to_list s))
     ^ "}"
   in
-  (* Any proper sub-split was solved at an earlier level; a missing memo
-     entry means the level enumeration skipped a plan class, and
-     treating it as an empty frontier would silently degrade the plan
-     instead of flagging the bug. *)
-  let frontier_of s =
-    match Hashtbl.find_opt memo s with
-    | Some entries -> entries
-    | None ->
-      invalid_arg
-        ("Search: DP memo has no entry for " ^ subset_label s
-       ^ " (level enumeration invariant violated)")
-  in
   (* Solve one subset against the (read-only) memo of smaller subsets,
      recording counters into [local] only.  Candidate chunks are consed
      and concatenated at the end: same order as the old
      [new @ !candidates] accumulation, without re-copying the new chunk
-     each time.  With a learner, the beam gate cuts the merged Pareto
-     frontier to the top-k before it is recorded and memoised — the
-     pruning that keeps downstream candidate products flat. *)
+     each time.  Splits whose halves are disconnected (not in the memo
+     — only connected subsets are enumerated) or unconnectable
+     contribute no candidates, exactly as they always did; the memo
+     lookup is cheaper than the predicate scan, so it goes first.  With
+     a learner, the beam gate cuts the merged Pareto frontier to the
+     top-k before it is recorded and memoised — the pruning that keeps
+     downstream candidate products flat. *)
   let solve local s =
     let chunks = ref [] in
-    List.iter
+    Bitset.iter_subsets
       (fun s1 ->
-        let s2 = Bitset.diff s s1 in
-        match connecting s1 s2 with
-        | None -> ()
-        | Some (c1, c2) ->
-          let p1 = frontier_of s1 and p2 = frontier_of s2 in
-          List.iter
-            (fun e1 ->
+        match Hashtbl.find_opt memo s1 with
+        | None | Some [] -> ()
+        | Some p1 -> (
+          let s2 = Bitset.diff s s1 in
+          match Hashtbl.find_opt memo s2 with
+          | None | Some [] -> ()
+          | Some p2 -> (
+            match connecting s1 s2 with
+            | None -> ()
+            | Some (c1, c2) ->
               List.iter
-                (fun e2 ->
-                  chunks := join_candidates local e1 e2 c1 c2 :: !chunks)
-                p2)
-            p1)
-      (Bitset.subsets s);
+                (fun e1 ->
+                  List.iter
+                    (fun e2 ->
+                      chunks := join_candidates local e1 e2 c1 c2 :: !chunks)
+                    p2)
+                p1)))
+      s;
     let candidates = List.concat !chunks in
     let survivors = Pareto.add_all [] candidates in
     let enforced = enforcer_variants local survivors in
@@ -612,13 +595,47 @@ and join_dp ctx l =
       Array.map (function Some v -> v | None -> assert false) out
     | Some _ | None -> Array.map (fun s -> run_task ctx.metrics s) subs
   in
+  (* Connected subsets only.  A disconnected subset always has an empty
+     frontier — no split of it passes [connecting] — so enumerating it
+     is pure Θ(3^n) waste, the reason a 20-relation snowflake used to
+     be unplannable.  Level [c] is grown from level [c-1] by single-
+     neighbour extension (every connected set has a removable vertex,
+     so every connected c-set is reached), deduplicated, and sorted
+     into ascending {!Bitset.compare} — colex — order: exactly the
+     relative order [sized_subsets] enumerated them in, so the barrier
+     merge is byte-for-byte the old one minus the no-op subsets. *)
+  let neighbours s =
+    Bitset.fold (fun i acc -> Bitset.union acc adj.(i)) s Bitset.empty
+  in
+  let next_level prev =
+    let seen = Hashtbl.create (max 16 (Array.length prev * 2)) in
+    Array.iter
+      (fun s ->
+        Bitset.iter
+          (fun v ->
+            let s' = Bitset.add v s in
+            if not (Hashtbl.mem seen s') then Hashtbl.replace seen s' ())
+          (Bitset.diff (neighbours s) s))
+      prev;
+    let arr = Array.make (Hashtbl.length seen) Bitset.empty in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun s () ->
+        arr.(!i) <- s;
+        incr i)
+      seen;
+    Array.sort Bitset.compare arr;
+    arr
+  in
   (* Level-synchronous DP: all subsets of cardinality [card] depend only
      on the memo of smaller subsets, so each level fans out between two
      barriers.  The barrier merge walks results in subset order —
      frontiers, counters, and trace are byte-identical for any pool
      size. *)
+  let level = ref (Array.init k Bitset.singleton) in
   for card = 2 to k do
-    let subs = Array.of_list (Bitset.sized_subsets full card) in
+    let subs = next_level !level in
+    level := subs;
     let t0 = Metrics.now_ns () in
     let results = run_level subs in
     let wall_ms = Float.of_int (Metrics.now_ns () - t0) /. 1e6 in
@@ -657,6 +674,55 @@ and join_dp ctx l =
   | Some [] | None ->
     invalid_arg "Search: join graph is disconnected (cross product needed)"
   | Some entries -> entries
+
+let rec plan_node ctx (l : Logical.t) : Pareto.entry list =
+  match l with
+  | Logical.Scan name -> (
+    match List.assoc_opt name ctx.virtuals with
+    | Some entries ->
+      (* A pre-planned frontier spliced in verbatim (the hierarchical
+         optimiser's stitched join); pruning or enforcing here again
+         would break the byte-identity of one-partition hierarchical
+         plans with the exhaustive DP. *)
+      count ctx (List.length entries);
+      record_step ctx
+        ("stitched(" ^ name ^ ")")
+        ~generated:(List.length entries) ~enforcers:0 entries
+    | None ->
+      count ctx 1;
+      with_enforcers ctx ("scan(" ^ name ^ ")") ~generated:1
+        [ base_entry ctx name ])
+  | Logical.Select (t, col, p) ->
+    let inputs = plan_node ctx t in
+    let candidates = List.map (select_entry ctx col p) inputs in
+    count ctx (List.length candidates);
+    with_enforcers ctx
+      (Format.asprintf "select(%s %a)" col Filter.pp p)
+      ~generated:(List.length candidates) candidates
+  | Logical.Project (t, cols) ->
+    let inputs = plan_node ctx t in
+    let candidates = List.map (project_entry cols) inputs in
+    count ctx (List.length candidates);
+    record_step ctx
+      ("project(" ^ String.concat ", " cols ^ ")")
+      ~generated:(List.length candidates) ~enforcers:0
+      (Pareto.add_all [] candidates)
+  | Logical.Join _ -> join_dp ctx l
+  | Logical.Group_by (t, key, aggs) ->
+    let inputs = plan_node ctx t in
+    let candidates =
+      List.concat_map (fun e -> group_candidates ctx e key aggs) inputs
+    in
+    record_step ctx
+      ("group_by(" ^ key ^ ")")
+      ~generated:(List.length candidates) ~enforcers:0
+      (Pareto.add_all [] candidates)
+
+and join_dp ctx l =
+  let leaves, predicates = flatten_joins l in
+  let leaf_sets = Array.of_list (List.map (plan_node ctx) leaves) in
+  let leaf_names = Array.of_list (List.map leaf_label leaves) in
+  dp_frontiers ctx ~leaf_names ~leaf_sets ~predicates
 
 and group_candidates ctx (e : Pareto.entry) key aggs =
   let groups =
@@ -720,12 +786,11 @@ and group_candidates ctx (e : Pareto.entry) key aggs =
 
 (* ------------------------------------------------------------------ *)
 
-let optimize_entries ?(model = Model.table2) ?pool ?metrics ?feedback ?learner
-    ?(beam = 4) mode catalog l =
+(* The search scores against one immutable snapshot: concurrent
+   training cannot shift scores mid-search, and a cold model (too few
+   observations) degrades to the exhaustive enumeration. *)
+let make_gate ?metrics ~beam learner =
   if beam < 1 then invalid_arg "Search.optimize_entries: beam < 1";
-  (* The search scores against one immutable snapshot: concurrent
-     training cannot shift scores mid-search, and a cold model (too few
-     observations) degrades to the exhaustive enumeration. *)
   let gate, cold =
     match learner with
     | None -> (None, false)
@@ -737,40 +802,71 @@ let optimize_entries ?(model = Model.table2) ?pool ?metrics ?feedback ?learner
   (match (cold, metrics) with
   | true, Some m -> Metrics.incr m "opt.learn.fallbacks"
   | _ -> ());
+  (gate, cold)
+
+let make_ctx ~model ~pool ~metrics ~feedback ~gate ~interesting ~virtuals mode
+    catalog =
+  {
+    mode;
+    model;
+    catalog;
+    interesting;
+    pool;
+    metrics;
+    feedback;
+    learner = gate;
+    virtuals;
+    considered = 0;
+    enforced = 0;
+    pruned = 0;
+    scored = 0;
+    beam_pruned = 0;
+    steps = [];
+    levels = [];
+  }
+
+let finish_stats ctx ~pool ~gate ~cold entries =
+  {
+    plans_considered = ctx.considered;
+    pareto_kept = List.length entries;
+    enforcers_added = ctx.enforced;
+    candidates_pruned = ctx.pruned;
+    dp_domains = (match pool with Some p -> Pool.size p | None -> 1);
+    beam_width = (match gate with Some (_, k) -> Some k | None -> None);
+    learner_scored = ctx.scored;
+    learner_pruned = ctx.beam_pruned;
+    learner_cold = cold;
+    trace = List.rev ctx.steps;
+    levels = List.rev ctx.levels;
+  }
+
+let optimize_entries ?(model = Model.table2) ?pool ?metrics ?feedback ?learner
+    ?(beam = 4) ?interesting ?(virtuals = []) mode catalog l =
+  let gate, cold = make_gate ?metrics ~beam learner in
+  let interesting =
+    match interesting with
+    | Some cols -> cols
+    | None -> interesting_columns l
+  in
   let ctx =
-    {
-      mode;
-      model;
-      catalog;
-      interesting = interesting_columns l;
-      pool;
-      metrics;
-      feedback;
-      learner = gate;
-      considered = 0;
-      enforced = 0;
-      pruned = 0;
-      scored = 0;
-      beam_pruned = 0;
-      steps = [];
-      levels = [];
-    }
+    make_ctx ~model ~pool ~metrics ~feedback ~gate ~interesting ~virtuals mode
+      catalog
   in
   let entries = plan_node ctx l in
-  ( entries,
-    {
-      plans_considered = ctx.considered;
-      pareto_kept = List.length entries;
-      enforcers_added = ctx.enforced;
-      candidates_pruned = ctx.pruned;
-      dp_domains = (match pool with Some p -> Pool.size p | None -> 1);
-      beam_width = (match gate with Some (_, k) -> Some k | None -> None);
-      learner_scored = ctx.scored;
-      learner_pruned = ctx.beam_pruned;
-      learner_cold = cold;
-      trace = List.rev ctx.steps;
-      levels = List.rev ctx.levels;
-    } )
+  (entries, finish_stats ctx ~pool ~gate ~cold entries)
+
+let optimize_frontiers ?(model = Model.table2) ?pool ?metrics ?feedback
+    ?learner ?(beam = 4) ?(interesting = []) ~names ~leaves ~predicates mode
+    catalog =
+  let gate, cold = make_gate ?metrics ~beam learner in
+  let ctx =
+    make_ctx ~model ~pool ~metrics ~feedback ~gate ~interesting ~virtuals:[]
+      mode catalog
+  in
+  let entries =
+    dp_frontiers ctx ~leaf_names:names ~leaf_sets:leaves ~predicates
+  in
+  (entries, finish_stats ctx ~pool ~gate ~cold entries)
 
 let step_to_json (s : trace_step) =
   Dqo_obs.Json.Obj

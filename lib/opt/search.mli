@@ -100,6 +100,8 @@ val optimize_entries :
   ?feedback:Dqo_cost.Feedback.t ->
   ?learner:Dqo_learn.Learner.t ->
   ?beam:int ->
+  ?interesting:string list ->
+  ?virtuals:(string * Pareto.entry list) list ->
   mode ->
   Catalog.t ->
   Dqo_plan.Logical.t ->
@@ -117,10 +119,60 @@ val optimize_entries :
     subset's frontier is beam-gated to the [?beam] (default [4])
     best-scored entries; [opt.learn.scored] / [opt.learn.pruned] count
     the gate's work, [opt.learn.fallbacks] counts cold-model searches.
+
+    [?interesting] overrides the sort-enforcer column set normally
+    derived from the query ({!interesting_columns}) — the hierarchical
+    optimiser passes the {e whole} query's columns into its partition
+    sub-plans, but only the cross-partition and outer-query columns
+    into the stitch.
+    [?virtuals] splices pre-planned Pareto frontiers in under pseudo
+    relation names: a [Scan] of a listed name returns that frontier
+    verbatim (no pruning, no enforcers) instead of consulting the
+    catalog.
     @raise Not_found if the query mentions a relation absent from the
     catalog;
     @raise Invalid_argument if a join has no connecting predicate (cross
     products are not enumerated), or if [beam < 1]. *)
+
+val optimize_frontiers :
+  ?model:Dqo_cost.Model.t ->
+  ?pool:Dqo_par.Pool.t ->
+  ?metrics:Dqo_obs.Metrics.t ->
+  ?feedback:Dqo_cost.Feedback.t ->
+  ?learner:Dqo_learn.Learner.t ->
+  ?beam:int ->
+  ?interesting:string list ->
+  names:string array ->
+  leaves:Pareto.entry list array ->
+  predicates:(string * string) list ->
+  mode ->
+  Catalog.t ->
+  Pareto.entry list * stats
+(** The join DP alone, over pre-planned leaf frontiers — the engine
+    room of hierarchical planning, where each "leaf" is a whole
+    partition's Pareto frontier.  [names] label the leaves in traces;
+    predicate endpoints are resolved against the frontiers' property
+    columns (first providing leaf wins, as in the query DP), and
+    unresolvable predicates are dropped.  A single leaf returns its
+    frontier verbatim (no DP levels run), which is what makes
+    one-partition hierarchical planning byte-identical to the
+    exhaustive search.  Pool, feedback, learner, and determinism
+    behave exactly as in {!optimize_entries}.
+    @raise Invalid_argument if [leaves] is empty, the (quotient) join
+    graph is disconnected, or [beam < 1]. *)
+
+val interesting_columns : Dqo_plan.Logical.t -> string list
+(** Every column a sort enforcer could later pay off on: join columns
+    and grouping keys, sorted and deduplicated. *)
+
+val flatten_joins :
+  Dqo_plan.Logical.t -> Dqo_plan.Logical.t list * (string * string) list
+(** Split a maximal join subtree into its leaves (in leaf order) and
+    its equi-join predicates (in query order).  A non-join node is a
+    single leaf with no predicates. *)
+
+val leaf_label : Dqo_plan.Logical.t -> string
+(** A printable name for a join leaf: the base table it scans. *)
 
 val optimize :
   ?model:Dqo_cost.Model.t ->

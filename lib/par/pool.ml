@@ -74,13 +74,34 @@ let worker_loop t w =
     end
   done
 
+(* Upper bound on explicit pool sizes: the historical 64 as a floor
+   (so small hosts keep their oversubscription head-room), scaled to
+   [recommended_domain_count * 4] so many-core machines are first-class
+   rather than rejected at 65.  Overridable via [DQO_POOL_MAX_DOMAINS]
+   for machines where [recommended_domain_count] under-reports
+   (containers with masked CPU affinity); an empty value means unset.
+   Note the OCaml runtime itself still limits the number of
+   simultaneously live domains (128 in current releases). *)
+let max_domains () =
+  match Sys.getenv_opt "DQO_POOL_MAX_DOMAINS" with
+  | Some v when String.trim v <> "" ->
+    (match int_of_string_opt (String.trim v) with
+    | Some n when n >= 1 -> n
+    | _ -> invalid_arg "Pool.create: bad DQO_POOL_MAX_DOMAINS")
+  | _ -> max 64 (Domain.recommended_domain_count () * 4)
+
 let create ?domains () =
   let domains =
     match domains with
-    | None -> max 1 (min 64 (Domain.recommended_domain_count ()))
+    | None -> max 1 (Domain.recommended_domain_count ())
     | Some d ->
       if d < 1 then invalid_arg "Pool.create: domains < 1";
-      if d > 64 then invalid_arg "Pool.create: domains > 64";
+      let cap = max_domains () in
+      if d > cap then
+        invalid_arg
+          (Printf.sprintf
+             "Pool.create: domains > %d (set DQO_POOL_MAX_DOMAINS to raise)"
+             cap);
       d
   in
   let t =

@@ -34,10 +34,15 @@ type t
 
 val create : ?domains:int -> unit -> t
 (** [create ~domains ()] spawns [domains - 1] workers (default
-    [Domain.recommended_domain_count ()], clamped to [[1, 64]]).
-    @raise Invalid_argument if [domains < 1] or [domains > 64] — an
-    explicit upper bound rather than a silent clamp, so callers always
-    get exactly the pool size they asked for. *)
+    [Domain.recommended_domain_count ()]).  Explicit sizes are capped
+    at [max 64 (Domain.recommended_domain_count () * 4)] — the
+    historical limit of 64 as a floor, scaled up so many-core hosts are
+    first-class — overridable with the [DQO_POOL_MAX_DOMAINS]
+    environment variable when the runtime under-reports available
+    CPUs.
+    @raise Invalid_argument if [domains < 1] or [domains] exceeds the
+    cap — an explicit error rather than a silent clamp, so callers
+    always get exactly the pool size they asked for. *)
 
 val size : t -> int
 (** Total workers, including the calling domain. *)

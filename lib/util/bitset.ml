@@ -1,69 +1,261 @@
-type t = int
+(* Width-polymorphic immutable bitsets.
 
-let empty = 0
-let is_empty s = s = 0
+   Sets whose largest element is <= 62 live in a single tagged machine
+   word ([S]) — exactly the representation the join DP always used —
+   and wider sets spill into a little-endian array of 63-bit words
+   ([W]).  The representation is canonical: a set that fits one word is
+   always [S], and a [W] array never has trailing zero words (so it has
+   at least two words and its last word is non-zero).  Canonicality is
+   what makes cross-width [equal]/[compare]/[hash] — and the generic
+   structural hashing used by the DP's memo tables — work for free. *)
 
-let check i =
-  if i < 0 || i > 62 then invalid_arg "Bitset: element out of [0, 62]"
+type t =
+  | S of int  (* bit i = element i; negative iff element 62 is present *)
+  | W of int array  (* word w, bit b = element w*63 + b *)
+
+let bits = 63
+
+let empty = S 0
+let is_empty = function S 0 -> true | _ -> false
+
+(* Unsigned comparison of two 63-bit words (bit 62 is the sign bit of
+   the OCaml int, so a plain [Int.compare] would sort {62} first). *)
+let ucompare a b = Int.compare (a lxor min_int) (b lxor min_int)
+
+(* Canonicalise a freshly built array; takes ownership of [a]. *)
+let norm a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = 0 then S 0
+  else if !n = 1 then S a.(0)
+  else if !n = Array.length a then W a
+  else W (Array.sub a 0 !n)
+
+let words = function S x -> [| x |] | W a -> a
 
 let singleton i =
-  check i;
-  1 lsl i
+  if i < 0 then invalid_arg "Bitset: negative element";
+  if i <= 62 then S (1 lsl i)
+  else begin
+    let a = Array.make ((i / bits) + 1) 0 in
+    a.(i / bits) <- 1 lsl (i mod bits);
+    W a
+  end
 
-let mem i s = (s lsr i) land 1 = 1
-let add i s = s lor singleton i
-let remove i s = s land lnot (singleton i)
-let union a b = a lor b
-let inter a b = a land b
-let diff a b = a land lnot b
-let subset a b = a land b = a
-let disjoint a b = a land b = 0
+let mem i s =
+  i >= 0
+  &&
+  match s with
+  | S x -> i <= 62 && (x lsr i) land 1 = 1
+  | W a -> i / bits < Array.length a && (a.(i / bits) lsr (i mod bits)) land 1 = 1
 
-let cardinal s =
-  let rec loop s acc = if s = 0 then acc else loop (s land (s - 1)) (acc + 1) in
-  loop s 0
+let union a b =
+  match (a, b) with
+  | S x, S y -> S (x lor y)
+  | _ ->
+    (* At least one side is a canonical [W]: the result's top word is
+       that side's (non-zero) top word, so no re-normalisation needed. *)
+    let wa = words a and wb = words b in
+    let big, small =
+      if Array.length wa >= Array.length wb then (wa, wb) else (wb, wa)
+    in
+    let r = Array.copy big in
+    Array.iteri (fun i w -> r.(i) <- r.(i) lor w) small;
+    W r
 
-let equal = Int.equal
-let compare = Int.compare
+let inter a b =
+  match (a, b) with
+  | S x, S y -> S (x land y)
+  | S x, W w | W w, S x -> S (x land w.(0))
+  | W wa, W wb ->
+    let l = min (Array.length wa) (Array.length wb) in
+    norm (Array.init l (fun i -> wa.(i) land wb.(i)))
+
+let diff a b =
+  match (a, b) with
+  | S x, S y -> S (x land lnot y)
+  | S x, W w -> S (x land lnot w.(0))
+  | W wa, S y ->
+    let r = Array.copy wa in
+    r.(0) <- r.(0) land lnot y;
+    W r (* top word untouched, still non-zero *)
+  | W wa, W wb ->
+    let r = Array.copy wa in
+    let l = min (Array.length wa) (Array.length wb) in
+    for i = 0 to l - 1 do
+      r.(i) <- r.(i) land lnot wb.(i)
+    done;
+    norm r
+
+let add i s = union (singleton i) s
+let remove i s = diff s (singleton i)
+
+let subset a b =
+  match (a, b) with
+  | S x, S y -> x land y = x
+  | S x, W w -> x land w.(0) = x
+  | W _, S _ -> false (* canonical W holds an element >= 63 *)
+  | W wa, W wb ->
+    Array.length wa <= Array.length wb
+    &&
+    let rec go i =
+      i < 0 || (wa.(i) land wb.(i) = wa.(i) && go (i - 1))
+    in
+    go (Array.length wa - 1)
+
+let disjoint a b =
+  match (a, b) with
+  | S x, S y -> x land y = 0
+  | S x, W w | W w, S x -> x land w.(0) = 0
+  | W wa, W wb ->
+    let l = min (Array.length wa) (Array.length wb) in
+    let rec go i = i >= l || (wa.(i) land wb.(i) = 0 && go (i + 1)) in
+    go 0
+
+let popcount w =
+  let rec loop w acc = if w = 0 then acc else loop (w land (w - 1)) (acc + 1) in
+  loop w 0
+
+let cardinal = function
+  | S x -> popcount x
+  | W a -> Array.fold_left (fun acc w -> acc + popcount w) 0 a
+
+let equal a b =
+  match (a, b) with
+  | S x, S y -> Int.equal x y
+  | W wa, W wb ->
+    Array.length wa = Array.length wb
+    &&
+    let rec go i = i < 0 || (wa.(i) = wb.(i) && go (i - 1)) in
+    go (Array.length wa - 1)
+  | _ -> false
+
+(* Total order: ascending unsigned value of the bit string, i.e.
+   colexicographic on the element sets.  A canonical [W] always holds
+   an element >= 63 and therefore sorts after every [S]. *)
+let compare a b =
+  match (a, b) with
+  | S x, S y -> ucompare x y
+  | S _, W _ -> -1
+  | W _, S _ -> 1
+  | W wa, W wb ->
+    let la = Array.length wa and lb = Array.length wb in
+    if la <> lb then Int.compare la lb
+    else
+      let rec go i =
+        if i < 0 then 0
+        else
+          let c = ucompare wa.(i) wb.(i) in
+          if c <> 0 then c else go (i - 1)
+      in
+      go (la - 1)
+
+let hash = function S x -> Hashtbl.hash x | W a -> Hashtbl.hash a
 let of_list l = List.fold_left (fun s i -> add i s) empty l
 
-let fold f s init =
-  let rec loop i s acc =
-    if s = 0 then acc
-    else if s land 1 = 1 then loop (i + 1) (s lsr 1) (f i acc)
-    else loop (i + 1) (s lsr 1) acc
+let fold_word f base w init =
+  let rec loop i w acc =
+    if w = 0 then acc
+    else if w land 1 = 1 then loop (i + 1) (w lsr 1) (f (base + i) acc)
+    else loop (i + 1) (w lsr 1) acc
   in
-  loop 0 s init
+  loop 0 w init
+
+let fold f s init =
+  match s with
+  | S x -> fold_word f 0 x init
+  | W a ->
+    let acc = ref init in
+    Array.iteri (fun wi w -> acc := fold_word f (wi * bits) w !acc) a;
+    !acc
 
 let to_list s = List.rev (fold (fun i acc -> i :: acc) s [])
 let iter f s = List.iter f (to_list s)
 
-(* [check] admits elements 0..62, so [full 63] must cover all 63 of
-   them: that is every bit of the 63-bit int set, i.e. -1.  The old
-   [-1 land max_int] silently dropped element 62 (the sign bit), which
-   [singleton 62] does use — all set operations here are bitwise, so a
-   negative representation is harmless. *)
+(* [full 63] must cover elements 0..62: every bit of the 63-bit int
+   set, i.e. -1.  All word operations here are bitwise, so the negative
+   representation is harmless. *)
 let full n =
-  if n < 0 || n > 63 then invalid_arg "Bitset.full";
-  if n = 63 then -1 else (1 lsl n) - 1
+  if n < 0 then invalid_arg "Bitset.full";
+  if n <= 62 then S ((1 lsl n) - 1)
+  else if n = 63 then S (-1)
+  else begin
+    let nw = (n + bits - 1) / bits in
+    let a = Array.make nw (-1) in
+    let rem = n mod bits in
+    if rem <> 0 then a.(nw - 1) <- (1 lsl rem) - 1;
+    W a (* n > 63 so nw >= 2, and the top word is non-zero *)
+  end
+
+(* Multi-word [sub := (sub - 1) land s], in place; [sub] must be a
+   non-empty subset of [s].  The word-local [- 1] is the correct 63-bit
+   decrement: the one wrapping case, [min_int - 1 = max_int], is
+   exactly "borrow out of bit 62 leaves bits 0..61 set"; a zero word
+   borrows through and becomes all-ones, masked back to [s]. *)
+let w_pred_and sub s =
+  let i = ref 0 in
+  while sub.(!i) = 0 do
+    sub.(!i) <- s.(!i);
+    incr i
+  done;
+  sub.(!i) <- (sub.(!i) - 1) land s.(!i)
+
+let all_zero a = Array.for_all (fun w -> w = 0) a
 
 (* Enumerate non-empty proper subsets of [s] with the standard
-   [sub = (sub - 1) land s] trick. *)
+   [sub = (sub - 1) land s] trick; the list comes out ascending as
+   unsigned integers (the {!compare} order). *)
 let subsets s =
-  let rec loop sub acc =
-    let acc = if sub <> s && sub <> 0 then sub :: acc else acc in
-    if sub = 0 then acc else loop ((sub - 1) land s) acc
-  in
-  if s = 0 then [] else loop s []
+  match s with
+  | S x ->
+    let rec loop sub acc =
+      let acc = if sub <> x && sub <> 0 then S sub :: acc else acc in
+      if sub = 0 then acc else loop ((sub - 1) land x) acc
+    in
+    if x = 0 then [] else loop x []
+  | W sw ->
+    let acc = ref [] in
+    let sub = Array.copy sw in
+    let continue_ = ref true in
+    while !continue_ do
+      w_pred_and sub sw;
+      if all_zero sub then continue_ := false
+      else acc := norm (Array.copy sub) :: !acc
+    done;
+    !acc
+
+(* Same sequence as {!subsets} — ascending unsigned — without
+   materialising the list.  The decrement trick runs descending, so we
+   emit complements: for [x ⊆ s], the complement [s \ x] is [s - x] as
+   an unsigned integer, and descending [x] means ascending [s \ x]. *)
+let iter_subsets f s =
+  match s with
+  | S x ->
+    if x <> 0 then begin
+      let sub = ref ((x - 1) land x) in
+      while !sub <> 0 do
+        f (S (x land lnot !sub));
+        sub := (!sub - 1) land x
+      done
+    end
+  | W sw ->
+    let n = Array.length sw in
+    let sub = Array.copy sw in
+    let continue_ = ref true in
+    while !continue_ do
+      w_pred_and sub sw;
+      if all_zero sub then continue_ := false
+      else f (norm (Array.init n (fun i -> sw.(i) land lnot sub.(i))))
+    done
 
 (* Subsets of [s] with exactly [c] members, built directly from the
    member positions: a c-subset is its highest member plus a
    (c-1)-subset of the members below it.  Visiting candidate highest
    members in ascending position order at every level yields
-   colexicographic — ascending unsigned-integer — order, exactly the
-   order a cardinality-stable sort of [subsets] would produce, without
-   touching the other [2^n - C(n,c)] subsets.  (Not ascending under
-   [compare]: a set containing element 62 is a negative int.) *)
+   colexicographic — ascending unsigned, the {!compare} order, the
+   order a cardinality-stable sort of [subsets] would produce — without
+   touching the other [2^n - C(n,c)] subsets.  Representation-generic:
+   only [to_list]/[add] touch the words. *)
 let sized_subsets s c =
   let members = Array.of_list (to_list s) in
   let n = Array.length members in

@@ -1,17 +1,22 @@
-(** Small immutable bitsets over [\[0, 62\]].
+(** Immutable bitsets over arbitrary non-negative integers.
 
     Used by the optimiser's dynamic programming to index plan classes
     (subsets of base relations), exactly as in System-R style join
-    enumeration. *)
+    enumeration.  Sets whose largest element is at most 62 live in a
+    single machine word — the fast path every query under 64 relations
+    takes — and wider sets transparently spill into an array of 63-bit
+    words.  The representation is canonical, so structural equality and
+    generic hashing (e.g. [Hashtbl] memo tables keyed by sets) agree
+    with {!equal}/{!hash} across both widths. *)
 
 type t
-(** A set of small non-negative integers, represented in one machine word. *)
+(** A set of small non-negative integers. *)
 
 val empty : t
 val is_empty : t -> bool
 
 val singleton : int -> t
-(** @raise Invalid_argument if the element is outside [\[0, 62\]]. *)
+(** @raise Invalid_argument if the element is negative. *)
 
 val mem : int -> t -> bool
 val add : int -> t -> t
@@ -24,9 +29,19 @@ val subset : t -> t -> bool
 val disjoint : t -> t -> bool
 val cardinal : t -> int
 val equal : t -> t -> bool
+
 val compare : t -> t -> int
+(** Total order: ascending as unsigned bit strings, i.e.
+    colexicographic on the element sets ({i not} cardinality-first).
+    Consistent across the one-word and wide representations, and the
+    order {!subsets} and {!sized_subsets} enumerate in. *)
+
+val hash : t -> int
+(** Structural hash; equal sets hash equally regardless of how they
+    were built. *)
 
 val of_list : int list -> t
+
 val to_list : t -> int list
 (** Elements in increasing order. *)
 
@@ -34,18 +49,24 @@ val iter : (int -> unit) -> t -> unit
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 
 val full : int -> t
-(** [full n] is [{0, ..., n-1}].
-    @raise Invalid_argument unless [0 <= n <= 63]. *)
+(** [full n] is [{0, ..., n-1}] for any [n >= 0].
+    @raise Invalid_argument if [n < 0]. *)
 
 val subsets : t -> t list
-(** [subsets s] enumerates all non-empty proper subsets of [s]. *)
+(** [subsets s] — all non-empty proper subsets of [s], ascending in the
+    {!compare} order.  Materialises all [2^n - 2] of them; prefer
+    {!iter_subsets} when the list is not needed. *)
+
+val iter_subsets : (t -> unit) -> t -> unit
+(** [iter_subsets f s] applies [f] to every non-empty proper subset of
+    [s], in exactly the {!subsets} order, without building the list. *)
 
 val sized_subsets : t -> int -> t list
 (** [sized_subsets s c] — the subsets of [s] with exactly [c] members,
-    in exactly the order they occur in {!subsets} (ascending as
-    unsigned integers), computed directly from the member positions
-    rather than by filtering all [2^n] subsets.  The DP join search
-    streams one cardinality level at a time with this.
+    in exactly the order they occur in {!subsets} (ascending under
+    {!compare}, i.e. colexicographic), computed directly from the
+    member positions rather than by filtering all [2^n] subsets.  The
+    DP join search streams one cardinality level at a time with this.
     [sized_subsets s 0] is [[empty]]; an out-of-range [c] yields []. *)
 
 val pp : Format.formatter -> t -> unit

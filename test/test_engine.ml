@@ -452,6 +452,62 @@ let test_binder_errors () =
   expect_error "SELECT a FROM R WHERE";
   expect_error "SELECT a, FROM R"
 
+(* --- hierarchical routing ------------------------------------------- *)
+
+let hier_sql = "SELECT a, COUNT(*) AS cnt FROM R JOIN S ON id = r_id GROUP BY a"
+
+let test_hier_routing_off_by_default () =
+  let db, _ = fk_db ~r_sorted:false ~s_sorted:false ~dense:true ~seed:71 in
+  let a = Engine.explain_analyze db (Dqo_sql.Binder.plan_of_sql (Engine.catalog db) hier_sql) in
+  Alcotest.(check bool) "2-relation query plans exhaustively" true
+    (a.Engine.hier = None)
+
+let test_hier_routing_forced () =
+  let db, pair = fk_db ~r_sorted:false ~s_sorted:false ~dense:true ~seed:72 in
+  let q = Dqo_sql.Binder.plan_of_sql (Engine.catalog db) hier_sql in
+  let exhaustive = Engine.explain_analyze db q in
+  Engine.set_opts db { (Engine.opts db) with Engine.hier = true };
+  let a = Engine.explain_analyze db q in
+  (match a.Engine.hier with
+  | None -> Alcotest.fail "opts.hier = true must produce a partition report"
+  | Some r ->
+      Alcotest.(check int) "two leaves" 2 r.Dqo_opt.Hier.leaves;
+      Alcotest.(check int) "one partition" 1
+        (List.length r.Dqo_opt.Hier.partitions));
+  (* A 2-relation query fits one partition: same plan, same cost, same
+     answer as the exhaustive search. *)
+  Alcotest.(check string) "plan identical to exhaustive"
+    (Format.asprintf "%a" Physical.pp exhaustive.Engine.entry.Pareto.plan)
+    (Format.asprintf "%a" Physical.pp a.Engine.entry.Pareto.plan);
+  Alcotest.(check (float 1e-6)) "cost identical"
+    exhaustive.Engine.entry.Pareto.cost a.Engine.entry.Pareto.cost;
+  let expected =
+    List.sort compare
+      (Hashtbl.fold
+         (fun k v acc -> (k, v) :: acc)
+         (reference_group_counts pair) [])
+  in
+  Alcotest.(check (list (pair int int))) "hier result correct" expected
+    (result_to_alist a.Engine.result)
+
+let test_hier_routing_by_threshold () =
+  let db, _ = fk_db ~r_sorted:false ~s_sorted:false ~dense:true ~seed:73 in
+  Engine.set_opts db { (Engine.opts db) with Engine.hier_threshold = 1 };
+  let a = Engine.explain_analyze db (Dqo_sql.Binder.plan_of_sql (Engine.catalog db) hier_sql) in
+  Alcotest.(check bool) "2 relations > threshold 1 routes hierarchically" true
+    (a.Engine.hier <> None)
+
+let test_hier_explain_analyze_sql_renders_partitions () =
+  let db, _ = fk_db ~r_sorted:false ~s_sorted:false ~dense:true ~seed:74 in
+  Engine.set_opts db { (Engine.opts db) with Engine.hier = true };
+  let report = Engine.explain_analyze_sql db hier_sql in
+  Alcotest.(check bool) "mentions hierarchical planning" true
+    (Astring.String.is_infix ~affix:"hierarchical planning" report);
+  Alcotest.(check bool) "renders the partition line" true
+    (Astring.String.is_infix ~affix:"P0: 2 leaves" report);
+  Alcotest.(check bool) "renders the stitch line" true
+    (Astring.String.is_infix ~affix:"stitch:" report)
+
 let () =
   Alcotest.run "dqo_engine"
     [
@@ -505,5 +561,16 @@ let () =
         [
           Alcotest.test_case "explain" `Quick test_explain_sql;
           Alcotest.test_case "binder errors" `Quick test_binder_errors;
+        ] );
+      ( "hier-routing",
+        [
+          Alcotest.test_case "off by default" `Quick
+            test_hier_routing_off_by_default;
+          Alcotest.test_case "forced via opts.hier" `Quick
+            test_hier_routing_forced;
+          Alcotest.test_case "threshold routes" `Quick
+            test_hier_routing_by_threshold;
+          Alcotest.test_case "explain analyze renders partitions" `Quick
+            test_hier_explain_analyze_sql_renders_partitions;
         ] );
     ]

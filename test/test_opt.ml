@@ -806,6 +806,153 @@ let test_parallel_serve_pool_prepare () =
       Alcotest.(check string) "serve-pool plan = sequential plan" sequential
         (entry_fp (Engine.prepared_entry (Server.stmt_prepared stmt))))
 
+(* --- hierarchical planning ------------------------------------------ *)
+
+module Hier = Dqo_opt.Hier
+
+(* A chain T0 ⋈ T1 ⋈ … ⋈ T(n-1) joined on T(i).t{i}_f = T(i+1).t{i+1}_k,
+   alternate relations pre-sorted so order properties matter. *)
+let chain_catalog n =
+  let table i =
+    let k = Printf.sprintf "t%d_k" i and f = Printf.sprintf "t%d_f" i in
+    let sorted = i mod 2 = 0 in
+    let props =
+      {
+        Props.sorted_by = (if sorted then Some k else None);
+        clustered_by = (if sorted then Some k else None);
+        columns =
+          [
+            (k, col ~dense:true ~lo:0 ~hi:999 ~distinct:1_000);
+            (f, col ~dense:false ~lo:0 ~hi:999 ~distinct:800);
+          ];
+        co_ordered = [];
+      }
+    in
+    Catalog.table ~name:(Printf.sprintf "T%d" i) ~rows:(1_000 + (137 * i))
+      ~props
+  in
+  Catalog.create (List.init n table)
+
+let chain_query n =
+  let q = ref (Logical.scan "T0") in
+  for i = 1 to n - 1 do
+    q :=
+      Logical.join !q
+        (Logical.scan (Printf.sprintf "T%d" i))
+        ~on:(Printf.sprintf "t%d_f" (i - 1), Printf.sprintf "t%d_k" i)
+  done;
+  Logical.group_by !q ~key:"t0_k" [ Logical.count_star () ]
+
+let entry_fingerprint (e : Pareto.entry) =
+  Printf.sprintf "%s|%.6f"
+    (Format.asprintf "%a" Physical.pp e.Pareto.plan)
+    e.Pareto.cost
+
+let cheapest entries =
+  List.fold_left
+    (fun acc (e : Pareto.entry) ->
+      match acc with
+      | Some (b : Pareto.entry) when b.Pareto.cost <= e.Pareto.cost -> acc
+      | _ -> Some e)
+    None entries
+  |> Option.get
+
+let test_hier_partition_graph () =
+  let chain n = List.init (n - 1) (fun i -> (i, i + 1)) in
+  Alcotest.(check (list (list int)))
+    "chain of 6, max 3"
+    [ [ 0; 1; 2 ]; [ 3; 4; 5 ] ]
+    (Hier.partition_graph ~n:6 ~edges:(chain 6) ~max_size:3);
+  Alcotest.(check (list (list int)))
+    "max covering all -> one partition"
+    [ [ 0; 1; 2; 3 ] ]
+    (Hier.partition_graph ~n:4 ~edges:(chain 4) ~max_size:10);
+  Alcotest.(check (list (list int)))
+    "no edges -> singletons"
+    [ [ 0 ]; [ 1 ]; [ 2 ] ]
+    (Hier.partition_graph ~n:3 ~edges:[] ~max_size:4);
+  (* Star: the hub fills its partition first, stranding the remaining
+     spokes as (connected) singletons. *)
+  Alcotest.(check (list (list int)))
+    "star, max 3"
+    [ [ 0; 1; 2 ]; [ 3 ]; [ 4 ] ]
+    (Hier.partition_graph ~n:5
+       ~edges:[ (0, 1); (0, 2); (0, 3); (0, 4) ]
+       ~max_size:3);
+  Alcotest.check_raises "max_size < 1 rejected"
+    (Invalid_argument "Hier.partition_graph: max_size < 1") (fun () ->
+      ignore (Hier.partition_graph ~n:2 ~edges:[ (0, 1) ] ~max_size:0))
+
+let test_hier_single_partition_identical () =
+  let cat = chain_catalog 6 and q = chain_query 6 in
+  let exhaustive, _ = Search.optimize_entries Search.Deep cat q in
+  let hier, _, report =
+    Hier.optimize_entries ~partition_max:16 Search.Deep cat q
+  in
+  Alcotest.(check int) "one partition" 1 (List.length report.Hier.partitions);
+  Alcotest.(check int) "six leaves" 6 report.Hier.leaves;
+  Alcotest.(check (list string))
+    "frontier byte-identical to exhaustive DP"
+    (List.map entry_fingerprint exhaustive)
+    (List.map entry_fingerprint hier)
+
+let test_hier_multi_partition_cost () =
+  let cat = chain_catalog 9 and q = chain_query 9 in
+  let exhaustive, _ = Search.optimize_entries Search.Deep cat q in
+  let hier, _, report =
+    Hier.optimize_entries ~partition_max:3 Search.Deep cat q
+  in
+  Alcotest.(check int) "three partitions" 3
+    (List.length report.Hier.partitions);
+  Alcotest.(check int) "two cut predicates" 2 report.Hier.cut_predicates;
+  List.iter
+    (fun (p : Hier.partition_info) ->
+      Alcotest.(check int) "3 leaves per partition" 3 p.Hier.leaf_count;
+      Alcotest.(check int) "2 internal predicates" 2 p.Hier.internal_predicates)
+    report.Hier.partitions;
+  let ratio = (cheapest hier).Pareto.cost /. (cheapest exhaustive).Pareto.cost in
+  Alcotest.(check bool)
+    (Printf.sprintf "cost ratio %.3f within 1.1x of exhaustive" ratio)
+    true
+    (ratio <= 1.1 && ratio >= 1.0 -. 1e-9)
+
+let test_hier_pooled_identical () =
+  let cat = chain_catalog 8 and q = chain_query 8 in
+  let sequential, _, _ =
+    Hier.optimize_entries ~partition_max:3 Search.Deep cat q
+  in
+  let expected = List.map entry_fingerprint sequential in
+  List.iter
+    (fun domains ->
+      Dqo_par.Pool.with_pool ~domains (fun pool ->
+          let pooled, _, _ =
+            Hier.optimize_entries ~pool ~partition_max:3 Search.Deep cat q
+          in
+          Alcotest.(check (list string))
+            (Printf.sprintf "pool of %d matches sequential hier" domains)
+            expected
+            (List.map entry_fingerprint pooled)))
+    [ 2; 4 ]
+
+let test_hier_70_relation_chain () =
+  let n = 70 in
+  let cat = chain_catalog n and q = chain_query n in
+  let entries, _, report =
+    Hier.optimize_entries ~partition_max:12 Search.Deep cat q
+  in
+  Alcotest.(check int) "70 leaves" n report.Hier.leaves;
+  Alcotest.(check int) "six partitions" 6 (List.length report.Hier.partitions);
+  Alcotest.(check int) "69 predicates partitioned" 69
+    (report.Hier.cut_predicates
+    + List.fold_left
+        (fun acc (p : Hier.partition_info) -> acc + p.Hier.internal_predicates)
+        0 report.Hier.partitions);
+  Alcotest.(check bool) "non-empty frontier" true (entries <> []);
+  Alcotest.(check bool)
+    "finite positive cost" true
+    (let c = (cheapest entries).Pareto.cost in
+     Float.is_finite c && c > 0.0)
+
 let () =
   Alcotest.run "dqo_opt"
     [
@@ -878,6 +1025,18 @@ let () =
           Alcotest.test_case "enforcers only where interesting" `Quick
             test_enforcer_only_on_interesting_columns;
           Alcotest.test_case "explain" `Quick test_explain_mentions_factor;
+        ] );
+      ( "hier",
+        [
+          Alcotest.test_case "partition graph" `Quick test_hier_partition_graph;
+          Alcotest.test_case "single partition is exhaustive" `Quick
+            test_hier_single_partition_identical;
+          Alcotest.test_case "multi-partition cost" `Quick
+            test_hier_multi_partition_cost;
+          Alcotest.test_case "pooled matches sequential" `Quick
+            test_hier_pooled_identical;
+          Alcotest.test_case "70-relation chain" `Quick
+            test_hier_70_relation_chain;
         ] );
       ( "parallel",
         [

@@ -25,9 +25,29 @@ let test_pool_create () =
   Alcotest.check_raises "domains < 1 rejected"
     (Invalid_argument "Pool.create: domains < 1") (fun () ->
       ignore (Pool.create ~domains:0 ()));
-  Alcotest.check_raises "domains > 64 rejected"
-    (Invalid_argument "Pool.create: domains > 64") (fun () ->
-      ignore (Pool.create ~domains:65 ()));
+  (* Explicit sizes are capped at recommended*4 (DQO_POOL_MAX_DOMAINS
+     overrides); anything past the cap is an explicit error, not a
+     clamp. *)
+  let cap = max 64 (Domain.recommended_domain_count () * 4) in
+  Unix.putenv "DQO_POOL_MAX_DOMAINS" "";
+  Alcotest.check_raises "domains > cap rejected"
+    (Invalid_argument
+       (Printf.sprintf
+          "Pool.create: domains > %d (set DQO_POOL_MAX_DOMAINS to raise)" cap))
+    (fun () -> ignore (Pool.create ~domains:(cap + 1) ()));
+  (* The override lifts the cap: cap+1 domains must now be accepted
+     (only spawn them when that stays a sane number of OS threads). *)
+  Unix.putenv "DQO_POOL_MAX_DOMAINS" (string_of_int (cap + 1));
+  (* Stay well under the OCaml runtime's own live-domain limit (128)
+     when actually spawning the now-permitted size. *)
+  if cap + 1 <= 80 then
+    Pool.with_pool ~domains:(cap + 1) (fun p ->
+        Alcotest.(check int) "override accepted" (cap + 1) (Pool.size p));
+  Unix.putenv "DQO_POOL_MAX_DOMAINS" "garbage";
+  Alcotest.check_raises "bad override rejected"
+    (Invalid_argument "Pool.create: bad DQO_POOL_MAX_DOMAINS") (fun () ->
+      ignore (Pool.create ~domains:2 ()));
+  Unix.putenv "DQO_POOL_MAX_DOMAINS" "";
   (* shutdown is idempotent. *)
   let p = Pool.create ~domains:2 () in
   Pool.shutdown p;

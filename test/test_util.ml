@@ -256,9 +256,96 @@ let test_bitset_sized_subsets () =
 let test_bitset_full_and_bounds () =
   Alcotest.(check int) "full 5" 5 (Bitset.cardinal (Bitset.full 5));
   Alcotest.(check int) "full 0" 0 (Bitset.cardinal (Bitset.full 0));
-  Alcotest.check_raises "element 63"
-    (Invalid_argument "Bitset: element out of [0, 62]") (fun () ->
-      ignore (Bitset.singleton 63))
+  Alcotest.check_raises "negative element"
+    (Invalid_argument "Bitset: negative element") (fun () ->
+      ignore (Bitset.singleton (-1)))
+
+(* The width boundary: elements 62 (top bit of the one-word path), 63
+   and 64 (first elements of the wide path).  Operations, equality,
+   ordering and hashing must agree across the two representations. *)
+let test_bitset_wide () =
+  (* Basic algebra across the boundary. *)
+  let s = Bitset.of_list [ 2; 62; 63; 64; 100 ] in
+  Alcotest.(check int) "cardinal" 5 (Bitset.cardinal s);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) (Printf.sprintf "mem %d" i) true (Bitset.mem i s))
+    [ 2; 62; 63; 64; 100 ];
+  Alcotest.(check bool) "mem 65" false (Bitset.mem 65 s);
+  Alcotest.(check (list int)) "to_list" [ 2; 62; 63; 64; 100 ]
+    (Bitset.to_list s);
+  let t = Bitset.of_list [ 62; 63; 200 ] in
+  Alcotest.(check (list int)) "union" [ 2; 62; 63; 64; 100; 200 ]
+    (Bitset.to_list (Bitset.union s t));
+  Alcotest.(check (list int)) "inter" [ 62; 63 ]
+    (Bitset.to_list (Bitset.inter s t));
+  Alcotest.(check (list int)) "diff" [ 2; 64; 100 ]
+    (Bitset.to_list (Bitset.diff s t));
+  Alcotest.(check bool) "subset" true
+    (Bitset.subset (Bitset.of_list [ 63; 100 ]) s);
+  Alcotest.(check bool) "not subset (wide vs word)" false
+    (Bitset.subset (Bitset.singleton 63) (Bitset.full 63));
+  Alcotest.(check bool) "disjoint" true
+    (Bitset.disjoint (Bitset.of_list [ 0; 70 ]) (Bitset.of_list [ 1; 71 ]));
+  (* [full] past one word. *)
+  Alcotest.(check int) "full 64" 64 (Bitset.cardinal (Bitset.full 64));
+  Alcotest.(check bool) "63 in full 64" true (Bitset.mem 63 (Bitset.full 64));
+  Alcotest.(check int) "full 126" 126 (Bitset.cardinal (Bitset.full 126));
+  Alcotest.(check int) "full 127" 127 (Bitset.cardinal (Bitset.full 127));
+  Alcotest.(check bool) "full 126 subset of full 127" true
+    (Bitset.subset (Bitset.full 126) (Bitset.full 127));
+  (* Cross-width agreement: a set built wide that shrinks back under 63
+     must be indistinguishable from one built narrow. *)
+  let narrow = Bitset.of_list [ 1; 2; 62 ] in
+  let wide = Bitset.remove 70 (Bitset.of_list [ 1; 2; 62; 70 ]) in
+  Alcotest.(check bool) "cross-width equal" true (Bitset.equal narrow wide);
+  Alcotest.(check int) "cross-width compare" 0 (Bitset.compare narrow wide);
+  Alcotest.(check int) "cross-width hash" (Bitset.hash narrow)
+    (Bitset.hash wide);
+  Alcotest.(check bool) "generic hashtbl agreement" true
+    (Hashtbl.hash narrow = Hashtbl.hash wide);
+  (* Compare is the ascending-unsigned (colex) order across widths:
+     {62} < {0..62} is the unsigned rule the sign bit used to break,
+     and any wide set sorts after any one-word set. *)
+  Alcotest.(check bool) "compare colex at sign bit" true
+    (Bitset.compare (Bitset.singleton 62) (Bitset.full 63) < 0);
+  Alcotest.(check bool) "wide sorts after word" true
+    (Bitset.compare (Bitset.full 63) (Bitset.singleton 63) < 0);
+  Alcotest.(check bool) "colex: highest member decides" true
+    (Bitset.compare (Bitset.of_list [ 0; 63 ]) (Bitset.of_list [ 62; 64 ]) < 0)
+
+(* [iter_subsets] must visit exactly the [subsets] list, in the same
+   order, on both representations; [sized_subsets] keeps colex order
+   above the word boundary too. *)
+let test_bitset_wide_subsets () =
+  let check_iter members =
+    let s = Bitset.of_list members in
+    let seen = ref [] in
+    Bitset.iter_subsets (fun sub -> seen := sub :: !seen) s;
+    Alcotest.(check (list (list int)))
+      (Printf.sprintf "iter = list (%d members)" (List.length members))
+      (List.map Bitset.to_list (Bitset.subsets s))
+      (List.map Bitset.to_list (List.rev !seen))
+  in
+  List.iter check_iter
+    [ []; [ 5 ]; [ 0; 1; 2 ]; [ 1; 3; 62 ]; [ 0; 62; 63 ]; [ 2; 63; 64; 130 ] ];
+  let s = Bitset.of_list [ 60; 61; 62; 63; 64; 65 ] in
+  Alcotest.(check int) "wide subsets count" (64 - 2)
+    (List.length (Bitset.subsets s));
+  (* Ascending order straddling the boundary. *)
+  let sorted l = List.sort Bitset.compare l in
+  Alcotest.(check (list (list int)))
+    "subsets ascending under compare"
+    (List.map Bitset.to_list (sorted (Bitset.subsets s)))
+    (List.map Bitset.to_list (Bitset.subsets s));
+  for c = 1 to 5 do
+    let level = Bitset.sized_subsets s c in
+    Alcotest.(check (list (list int)))
+      (Printf.sprintf "sized_subsets colex (c=%d)" c)
+      (List.map Bitset.to_list
+         (List.filter (fun sub -> Bitset.cardinal sub = c) (Bitset.subsets s)))
+      (List.map Bitset.to_list level)
+  done
 
 (* Element 62 lives in the sign bit of the 63-bit OCaml int; [full 63]
    used to drop it. *)
@@ -370,6 +457,9 @@ let () =
           Alcotest.test_case "full & bounds" `Quick test_bitset_full_and_bounds;
           Alcotest.test_case "sign-bit boundary" `Quick
             test_bitset_sign_bit_boundary;
+          Alcotest.test_case "wide width boundary" `Quick test_bitset_wide;
+          Alcotest.test_case "wide subsets & iter" `Quick
+            test_bitset_wide_subsets;
         ] );
       ( "stats",
         [
